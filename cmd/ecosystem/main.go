@@ -1,0 +1,151 @@
+// Command ecosystem regenerates the catalog-level artifacts of the study
+// (§3-§4 of the paper): Tables 1-3 and 7, and Figures 1-5.
+//
+// Usage:
+//
+//	ecosystem [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vpnscope/internal/ecosystem"
+	"vpnscope/internal/geo"
+	"vpnscope/internal/report"
+	"vpnscope/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ecosystem: ")
+	seed := flag.Uint64("seed", 2018, "catalog seed (deterministic per seed)")
+	flag.Parse()
+
+	out := os.Stdout
+	entries := ecosystem.BuildCatalog(*seed)
+
+	// ----- Table 1 -----
+	var t1 [][]string
+	for _, s := range ecosystem.ReviewSites() {
+		mark := "yes"
+		if !s.Affiliate {
+			mark = "no"
+		}
+		t1 = append(t1, []string{s.Domain, mark})
+	}
+	report.Table(out, "Table 1: Review websites and affiliate status",
+		[]string{"Website", "Affiliate"}, t1)
+
+	// ----- Table 2 -----
+	c := ecosystem.Categories(entries)
+	report.Table(out, "Table 2: VPNs per selection category (overlapping)",
+		[]string{"Category", "# of VPNs"}, [][]string{
+			{"Popular services (review websites)", fmt.Sprint(c.Popular)},
+			{"Reddit crawl", fmt.Sprint(c.Reddit)},
+			{"Personal recommendations", fmt.Sprint(c.Personal)},
+			{"Cheap & free VPNs", fmt.Sprint(c.CheapFree)},
+			{"Multiple-language reviews", fmt.Sprint(c.MultiLang)},
+			{"Large number of vantage points", fmt.Sprint(c.ManyVPs)},
+			{"Others", fmt.Sprint(c.Other)},
+			{"Total selected", fmt.Sprint(c.Total)},
+		})
+
+	// ----- Table 3 -----
+	var t3 [][]string
+	for _, s := range ecosystem.SubscriptionStats(entries) {
+		t3 = append(t3, []string{
+			s.Plan, fmt.Sprint(s.Count),
+			fmt.Sprintf("%.2f", s.Min), fmt.Sprintf("%.2f", s.Avg), fmt.Sprintf("%.2f", s.Max),
+		})
+	}
+	report.Table(out, "Table 3: Monthly subscription costs per plan ($)",
+		[]string{"Subscription", "# of VPNs", "Min", "Avg", "Max"}, t3)
+
+	// ----- Figure 1 -----
+	locs := map[string]int{}
+	for _, row := range ecosystem.BusinessLocationCounts(entries) {
+		locs[geo.CountryName(row.Country)] = row.Count
+	}
+	report.WorldMap(out, "Figure 1: Geographic distribution of VPN business locations", locs)
+
+	// ----- Figure 2 -----
+	cdf, err := stats.NewCDF(ecosystem.ClaimedServerCounts(entries))
+	if err != nil {
+		log.Fatal(err)
+	}
+	xs, ps := cdf.Points()
+	report.CDF(out, "Figure 2: Claimed server counts of VPN services", xs, ps, "servers")
+	fmt.Fprintf(out, "share of providers claiming <= 750 servers: %.0f%%\n\n", 100*cdf.At(750))
+
+	// ----- Figure 3 (vantage-point countries of the top providers) -----
+	vps := map[string]int{}
+	specs := ecosystem.TestedSpecs(*seed, 5)
+	top := map[string]bool{
+		"NordVPN": true, "Private Internet Access": true, "Hotspot Shield": true,
+		"ExpressVPN": true, "CyberGhost": true, "IPVanish": true, "HideMyAss": true,
+		"TunnelBear": true, "PureVPN": true, "Windscribe": true, "Mullvad": true,
+		"ProtonVPN": true, "SurfEasy": true, "Betternet": true, "SaferVPN": true,
+	}
+	for _, spec := range specs {
+		if !top[spec.Name] {
+			continue
+		}
+		for _, vp := range spec.VantagePoints {
+			vps[string(vp.ClaimedCountry)]++
+		}
+	}
+	report.WorldMap(out, "Figure 3: Advertised vantage-point countries, top-15 providers", vps)
+
+	// ----- Figure 4 -----
+	pc := ecosystem.PaymentCounts(entries)
+	var payBars []report.BarEntry
+	for _, m := range []string{
+		ecosystem.PayVisa, ecosystem.PayMastercard, ecosystem.PayAmex,
+		ecosystem.PayPaypal, ecosystem.PayAlipay, ecosystem.PayWebMoney,
+		ecosystem.PayBitcoin, ecosystem.PayEthereum, ecosystem.PayLitecoin,
+	} {
+		payBars = append(payBars, report.BarEntry{Label: m, Value: pc[m]})
+	}
+	report.Bar(out, "Figure 4: Accepted payment methods", payBars, 40)
+
+	// ----- Figure 5 -----
+	proto := ecosystem.ProtocolCounts(entries)
+	var protoBars []report.BarEntry
+	for _, p := range []string{
+		ecosystem.ProtoOpenVPN, ecosystem.ProtoPPTP, ecosystem.ProtoIPsec,
+		ecosystem.ProtoSSTP, ecosystem.ProtoSSL, ecosystem.ProtoSSH,
+	} {
+		protoBars = append(protoBars, report.BarEntry{Label: p, Value: proto[p]})
+	}
+	report.Bar(out, "Figure 5: Tunneling technologies", protoBars, 40)
+
+	// ----- Table 7 -----
+	var t7 [][]string
+	for _, name := range ecosystem.TestedNames() {
+		sub, err := ecosystem.SubscriptionOf(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t7 = append(t7, []string{name, string(sub)})
+	}
+	report.Table(out, "Table 7: The VPN services evaluated",
+		[]string{"VPN Name", "Subscription"}, t7)
+
+	// ----- §4 transparency headlines -----
+	n := len(entries)
+	count := func(pred func(ecosystem.CatalogEntry) bool) int { return ecosystem.CountBy(entries, pred) }
+	report.Table(out, "§4: Transparency and marketing highlights",
+		[]string{"Metric", "Value"}, [][]string{
+			{"Providers without a privacy policy", fmt.Sprintf("%d (%.0f%%)", count(func(e ecosystem.CatalogEntry) bool { return !e.HasPrivacyPolicy }), 100*float64(count(func(e ecosystem.CatalogEntry) bool { return !e.HasPrivacyPolicy }))/float64(n))},
+			{"Providers without terms of service", fmt.Sprintf("%d (%.0f%%)", count(func(e ecosystem.CatalogEntry) bool { return !e.HasTermsOfService }), 100*float64(count(func(e ecosystem.CatalogEntry) bool { return !e.HasTermsOfService }))/float64(n))},
+			{"Explicit no-logs claims", fmt.Sprint(count(func(e ecosystem.CatalogEntry) bool { return e.ClaimsNoLogs }))},
+			{"Affiliate programs", fmt.Sprint(count(func(e ecosystem.CatalogEntry) bool { return e.AffiliateProgram }))},
+			{"Kill-switch marketing", fmt.Sprint(count(func(e ecosystem.CatalogEntry) bool { return e.ClaimsKillSwitch }))},
+			{"VPN-over-Tor offerings", fmt.Sprint(count(func(e ecosystem.CatalogEntry) bool { return e.VPNOverTor }))},
+			{"P2P/torrent friendly", fmt.Sprint(count(func(e ecosystem.CatalogEntry) bool { return e.AllowsP2P }))},
+			{"Founded 2005 or later", fmt.Sprintf("%.0f%%", 100*float64(count(func(e ecosystem.CatalogEntry) bool { return e.Founded >= 2005 }))/float64(n))},
+		})
+}

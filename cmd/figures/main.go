@@ -1,0 +1,240 @@
+// Command figures runs the full simulated study (62 providers, the
+// paper's §5 methodology) and regenerates every results artifact from §6:
+// Tables 4-6 and Figures 6-9, plus the headline numbers (transparent
+// proxies, geo-database agreement, virtual vantage points, tunnel-failure
+// leakage).
+//
+// Usage:
+//
+//	figures [-seed N] [-full-vps N] [-provider NAME]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"vpnscope/internal/analysis"
+	"vpnscope/internal/report"
+	"vpnscope/internal/results"
+	"vpnscope/internal/study"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	seed := flag.Uint64("seed", 2018, "study seed (deterministic per seed)")
+	fullVPs := flag.Int("full-vps", 0, "max full-suite vantage points per provider (0 = default)")
+	provider := flag.String("provider", "", "restrict the run to one provider")
+	jsonPath := flag.String("json", "", "also save the raw study result as JSON to this file")
+	flag.Parse()
+
+	w, err := study.Build(study.Options{Seed: *seed, MaxFullSuiteVPs: *fullVPs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var res *study.Result
+	if *provider != "" {
+		res, err = w.RunProvider(*provider)
+	} else {
+		res, err = w.Run()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := os.Stdout
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := results.Save(f, res, results.WithSeed(*seed)); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "raw results saved to %s\n", *jsonPath)
+	}
+
+	fmt.Fprintf(out, "Study complete: %d vantage points attempted, %d measured, %d connect failures\n\n",
+		res.VPsAttempted, len(res.Reports), len(res.ConnectFailures))
+
+	// ----- Table 4: URL redirection destinations -----
+	var t4 [][]string
+	for _, row := range analysis.Redirections(res.Reports) {
+		t4 = append(t4, []string{row.Destination, fmt.Sprint(row.VPNs), string(row.Country)})
+	}
+	report.Table(out, "Table 4: Destination domains of URL redirections",
+		[]string{"Destination", "VPNs", "Country"}, t4)
+
+	// ----- §6.1.3 / Figure 7: content injection -----
+	var injRows [][]string
+	for _, inj := range analysis.Injections(res.Reports) {
+		injRows = append(injRows, []string{inj.Provider, fmt.Sprint(inj.Pages), strings.Join(inj.InjectedHosts, ", ")})
+	}
+	report.Table(out, "Figure 7 / §6.1.3: Providers injecting content",
+		[]string{"Provider", "Pages", "Injected hosts"}, injRows)
+
+	// ----- §6.2.1: transparent proxies -----
+	var proxyRows [][]string
+	for _, p := range analysis.TransparentProxies(res.Reports) {
+		proxyRows = append(proxyRows, []string{p})
+	}
+	report.Table(out, "§6.2.1: Transparent proxies (header regeneration)",
+		[]string{"Provider"}, proxyRows)
+
+	// ----- §6.1.2: TLS summary -----
+	tls := analysis.TLSSummary(res.Reports)
+	report.Table(out, "§6.1.2: TLS interception & downgrade summary",
+		[]string{"Metric", "Value"}, [][]string{
+			{"Providers probed", fmt.Sprint(tls.Providers)},
+			{"TLS interception", fmt.Sprint(len(tls.InterceptedProviders))},
+			{"TLS downgrades", fmt.Sprint(len(tls.DowngradedProviders))},
+			{"Providers blocked by VPN-hostile sites", fmt.Sprint(len(tls.BlockedProviders))},
+			{"Blocked page loads", fmt.Sprint(tls.BlockedLoads)},
+		})
+
+	// ----- §6.1: DNS manipulation -----
+	manip := analysis.DNSManipulationSummary(res.Reports)
+	report.Table(out, "§6.1: Providers with suspicious DNS answers",
+		[]string{"Provider"}, toRows(manip))
+
+	// ----- Table 5: shared address blocks -----
+	infra := analysis.Infrastructure(res.Reports, 3)
+	var t5 [][]string
+	for _, b := range infra.SharedBlocks {
+		t5 = append(t5, []string{b.Prefix, fmt.Sprintf("%d (%s)", b.ASN, b.Country), strings.Join(b.Providers, ", ")})
+	}
+	report.Table(out, "Table 5: IP blocks shared by >= 3 providers",
+		[]string{"IP Block", "ASN (ISO)", "VPNs"}, t5)
+	var exactRows [][]string
+	for ip, provs := range infra.SharedExactIP {
+		exactRows = append(exactRows, []string{ip, strings.Join(provs, ", ")})
+	}
+	sort.Slice(exactRows, func(i, j int) bool { return exactRows[i][0] < exactRows[j][0] })
+	report.Table(out, "§6.3: Identical vantage-point addresses across providers",
+		[]string{"Address", "Providers"}, exactRows)
+	report.Table(out, "§6.3: Infrastructure totals", []string{"Metric", "Value"}, [][]string{
+		{"Vantage points analyzed", fmt.Sprint(infra.VantagePoints)},
+		{"Distinct IP addresses", fmt.Sprint(infra.DistinctIPs)},
+		{"Distinct CIDRs", fmt.Sprint(infra.DistinctCIDRs)},
+		{"Providers sharing a CIDR", fmt.Sprint(infra.ProvidersSharingCIDR)},
+	})
+
+	// ----- §6.4.1: geolocation database agreement -----
+	var geoRows [][]string
+	for _, row := range analysis.GeoAgreement(res.Reports, w.Databases) {
+		geoRows = append(geoRows, []string{
+			row.Database,
+			fmt.Sprintf("%d/%d", row.Located, row.Compared),
+			fmt.Sprintf("%.0f%%", 100*row.AgreeRate),
+			fmt.Sprint(row.USInconsistencies),
+		})
+	}
+	report.Table(out, "§6.4.1: Geo-IP database agreement with claimed locations",
+		[]string{"Database", "Located", "Agree", "US-errors"}, geoRows)
+
+	// ----- §6.4.2: virtual vantage points -----
+	vv := analysis.DetectVirtualVPs(res.Reports, w.Config)
+	report.Table(out, "§6.4.2: Providers with 'virtual' vantage points",
+		[]string{"Provider"}, toRows(vv.Providers))
+	var vRows [][]string
+	for i, f := range vv.Findings {
+		if i >= 12 {
+			vRows = append(vRows, []string{fmt.Sprintf("... and %d more", len(vv.Findings)-12), "", "", ""})
+			break
+		}
+		vRows = append(vRows, []string{
+			f.VPLabel, string(f.Claimed), f.Witness,
+			fmt.Sprintf("bound %.0f km vs %.0f km claimed", f.BoundKm, f.ClaimDistKm),
+		})
+	}
+	report.Table(out, "§6.4.2: Physically impossible location claims (sample)",
+		[]string{"Vantage point", "Claimed", "Witness landmark", "Evidence"}, vRows)
+	var cRows [][]string
+	for _, c := range vv.Clusters {
+		cRows = append(cRows, []string{c.Provider, fmt.Sprint(len(c.VPLabels)), countriesOf(c)})
+	}
+	report.Table(out, "§6.4.2: Co-located vantage points claiming distinct countries",
+		[]string{"Provider", "VPs", "Claimed countries"}, cRows)
+
+	// ----- Figure 9: RTT series for the three providers in the paper -----
+	for _, name := range []string{"Le VPN", "MyIP.io", "HideMyAss"} {
+		series := analysis.Figure9Series(res.Reports, name)
+		if len(series) == 0 {
+			continue
+		}
+		if len(series) > 12 {
+			series = series[:12]
+		}
+		var ls []report.LabeledSeries
+		for _, s := range series {
+			ls = append(ls, report.LabeledSeries{Label: s.Label, Values: s.Sorted})
+		}
+		report.Series(out, fmt.Sprintf("Figure 9: sorted landmark RTTs, %s", name), ls)
+	}
+
+	// ----- §6.5 / Table 6: leakage -----
+	leaks := analysis.Leaks(res.Reports)
+	report.Table(out, "Table 6: Providers leaking DNS and IPv6 traffic",
+		[]string{"Leakage", "Providers"}, [][]string{
+			{"DNS", strings.Join(leaks.DNSLeakers, ", ")},
+			{"IPv6", strings.Join(leaks.IPv6Leakers, ", ")},
+		})
+	report.Table(out, "§6.5: Tunnel-failure leakage", []string{"Metric", "Value"}, [][]string{
+		{"Providers leaking on tunnel failure", fmt.Sprint(len(leaks.FailOpen))},
+		{"Applicable providers (own client)", fmt.Sprint(leaks.Applicable)},
+		{"Fail-open rate", fmt.Sprintf("%.0f%%", 100*leaks.FailOpenRate())},
+	})
+	report.Table(out, "§6.5: Fail-open providers", []string{"Provider"}, toRows(leaks.FailOpen))
+
+	// ----- §7 extension: WebRTC address leakage -----
+	rtc := analysis.WebRTCLeaks(res.Reports)
+	report.Table(out, "§7: WebRTC address-leak audit",
+		[]string{"Metric", "Value"}, [][]string{
+			{"Providers exposing the real address", fmt.Sprint(len(rtc.Exposed))},
+			{"Providers masking ICE gathering", strings.Join(rtc.Masked, ", ")},
+		})
+
+	// ----- §6.6: peer-to-peer exit traffic -----
+	p2p := analysis.PeerExits(res.Reports)
+	var p2pRows [][]string
+	for prov, names := range p2p.Exiting {
+		p2pRows = append(p2pRows, []string{prov, strings.Join(names, ", ")})
+	}
+	report.Table(out, fmt.Sprintf("§6.6: Peer-exit traffic (unexpected DNS; %d providers scanned)", p2p.Tested),
+		[]string{"Provider", "Unattributable queries"}, p2pRows)
+
+	// ----- §5.2: vantage point reliability -----
+	var failLabels []string
+	for _, cf := range res.ConnectFailures {
+		failLabels = append(failLabels, cf.VPLabel)
+	}
+	rel := analysis.ConnectReliability(res.VPsAttempted, failLabels)
+	report.Table(out, "§5.2: Vantage-point connection reliability",
+		[]string{"Metric", "Value"}, [][]string{
+			{"Attempted", fmt.Sprint(rel.Attempted)},
+			{"Connect failures", fmt.Sprint(rel.Failed)},
+		})
+}
+
+func toRows(xs []string) [][]string {
+	rows := make([][]string, len(xs))
+	for i, x := range xs {
+		rows[i] = []string{x}
+	}
+	return rows
+}
+
+func countriesOf(c analysis.CoLocationCluster) string {
+	parts := make([]string, len(c.Claimed))
+	for i, cc := range c.Claimed {
+		parts[i] = string(cc)
+	}
+	return strings.Join(parts, ", ")
+}

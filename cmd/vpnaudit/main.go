@@ -1,0 +1,171 @@
+// Command vpnaudit runs the measurement suite against one (simulated)
+// VPN provider and prints a per-vantage-point audit — the workflow the
+// paper's released test suite supports for individuals evaluating a
+// single service.
+//
+// Usage:
+//
+//	vpnaudit -provider NordVPN [-seed N] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"path/filepath"
+	"vpnscope/internal/ecosystem"
+	"vpnscope/internal/report"
+
+	"vpnscope/internal/study"
+	"vpnscope/internal/vpntest"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vpnaudit: ")
+	provider := flag.String("provider", "", "provider to audit (see -list)")
+	seed := flag.Uint64("seed", 2018, "world seed")
+	list := flag.Bool("list", false, "list auditable providers and exit")
+	pcapDir := flag.String("pcap", "", "directory to write per-vantage-point pcap traces to")
+	flag.Parse()
+
+	if *list {
+		for _, name := range ecosystem.TestedNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *provider == "" {
+		log.Fatal("missing -provider (use -list to see choices)")
+	}
+
+	w, err := study.Build(study.Options{Seed: *seed, CollectCaptures: *pcapDir != ""})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := w.RunProvider(*provider)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := os.Stdout
+	for _, cf := range res.ConnectFailures {
+		fmt.Fprintf(out, "!! could not connect: %s (%s)\n", cf.VPLabel, cf.Err)
+	}
+	for _, r := range res.Reports {
+		printReport(out, r)
+		if *pcapDir != "" && len(r.Captures) > 0 {
+			if err := writePcap(*pcapDir, r); err != nil {
+				log.Printf("writing pcap for %s: %v", r.VPLabel, err)
+			}
+		}
+	}
+}
+
+// writePcap dumps one vantage point's trace as <dir>/<label>.pcap.
+func writePcap(dir string, r *vpntest.VPReport) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			return c
+		default:
+			return '_'
+		}
+	}, r.VPLabel)
+	f, err := os.Create(filepath.Join(dir, name+".pcap"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := r.WriteCaptures(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d packets)\n", f.Name(), len(r.Captures))
+	return nil
+}
+
+func printReport(out *os.File, r *vpntest.VPReport) {
+	fmt.Fprintf(out, "\n### %s — claimed %s\n\n", r.VPLabel, r.ClaimedCountry)
+	rows := [][]string{}
+	add := func(k, v string) { rows = append(rows, []string{k, v}) }
+
+	if r.Geo != nil {
+		add("Egress IP", r.Geo.EgressIP.String())
+		if r.Geo.WhoisFound {
+			add("WHOIS", fmt.Sprintf("%s (AS%d, %s)", r.Geo.WhoisBlock.Org, r.Geo.WhoisBlock.ASN, r.Geo.WhoisBlock.Prefix))
+		}
+		if r.Geo.APIFound {
+			add("Geolocation API", string(r.Geo.APICountry))
+		}
+	}
+	if r.DNS != nil {
+		add("DNS manipulation", verdict(r.DNS.Manipulated(), fmt.Sprintf("%d suspicious diffs", len(r.DNS.Diffs))))
+	}
+	if r.DOM != nil {
+		add("Pages loaded", fmt.Sprintf("%d ok, %d failed", r.DOM.PagesLoaded, r.DOM.PagesFailed))
+		add("Content injection", verdict(len(r.DOM.Injections) > 0, fmt.Sprintf("%d pages", len(r.DOM.Injections))))
+		for _, red := range r.DOM.Redirections {
+			add("Redirection", fmt.Sprintf("%s -> %s", red.FromURL, red.Destination))
+		}
+	}
+	if r.TLS != nil {
+		add("TLS interception", verdict(len(r.TLS.Intercepted) > 0, fmt.Sprintf("%d hosts", len(r.TLS.Intercepted))))
+		add("TLS downgrades", verdict(len(r.TLS.Downgraded) > 0, strings.Join(r.TLS.Downgraded, ", ")))
+		add("Blocked by VPN-hostile sites", fmt.Sprintf("%d loads", len(r.TLS.Blocked)))
+	}
+	if r.Proxy != nil {
+		add("Transparent proxy", verdict(r.Proxy.Modified, describeProxy(r.Proxy)))
+	}
+	if r.Origin != nil && len(r.Origin.Origins) > 0 {
+		add("DNS recursion origin", fmt.Sprintf("%v (%s)", r.Origin.Origins[0], strings.Join(r.Origin.OriginOrgs, ", ")))
+	}
+	if r.Pings != nil {
+		if s, ok := r.Pings.MinSample(); ok {
+			add("Nearest landmark", fmt.Sprintf("%s (%s), %.1f ms", s.Landmark, s.Country, s.RTTms))
+		}
+		add("Landmark pings", fmt.Sprintf("%d ok, %d failed", len(r.Pings.Samples), r.Pings.Failed))
+	}
+	if r.Leaks != nil {
+		add("DNS leak", verdict(r.Leaks.DNSLeak, fmt.Sprintf("%d packets", r.Leaks.DNSLeakCount)))
+		add("IPv6 leak", verdict(r.Leaks.IPv6Leak, fmt.Sprintf("%d packets over %d probes", r.Leaks.IPv6LeakCount, r.Leaks.IPv6Probes)))
+	}
+	if r.WebRTC != nil {
+		add("WebRTC leak", verdict(r.WebRTC.RealAddressExposed, fmt.Sprintf("%d candidates revealed", len(r.WebRTC.Revealed))))
+	}
+	if r.P2P != nil {
+		add("Peer-exit traffic", verdict(r.P2P.PeerExit(), fmt.Sprintf("%d unattributable queries", len(r.P2P.UnexpectedQueries))))
+	}
+	if r.Traces != nil {
+		add("Traceroutes", fmt.Sprintf("%d paths collected", len(r.Traces.Paths)))
+	}
+	if r.Failure != nil {
+		add("Tunnel-failure leak", verdict(r.Failure.Leaked, fmt.Sprintf("after %.0fs, %d attempts", r.Failure.SecondsToLeak, r.Failure.Attempts)))
+	}
+	for _, e := range r.Errors {
+		add("Test error", e)
+	}
+	report.Table(out, "", []string{"Check", "Result"}, rows)
+}
+
+func verdict(bad bool, detail string) string {
+	if bad {
+		return "DETECTED — " + detail
+	}
+	return "clean"
+}
+
+func describeProxy(p *vpntest.ProxyResult) string {
+	switch {
+	case len(p.HeadersAdded) > 0:
+		return "headers added: " + strings.Join(p.HeadersAdded, ", ")
+	case p.Regenerated:
+		return "headers parsed and regenerated"
+	default:
+		return "request modified"
+	}
+}

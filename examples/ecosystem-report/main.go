@@ -1,0 +1,106 @@
+// Ecosystem-report: explore the 200-provider catalog programmatically —
+// find the cheapest no-logs providers, compare free vs. paid
+// transparency, and cross-reference the catalog with the active
+// measurement ground truth.
+//
+// Run with: go run ./examples/ecosystem-report
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"vpnscope/internal/ecosystem"
+	"vpnscope/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	entries := ecosystem.BuildCatalog(2018)
+	out := os.Stdout
+
+	// 1. Cheapest annual plans among providers claiming no-logs AND
+	// publishing a privacy policy — the shortlist a privacy-conscious
+	// shopper would actually want.
+	type pick struct {
+		name  string
+		price float64
+	}
+	var picks []pick
+	for _, e := range entries {
+		if e.ClaimsNoLogs && e.HasPrivacyPolicy && e.Prices.Annual > 0 {
+			picks = append(picks, pick{e.Name, e.Prices.Annual})
+		}
+	}
+	sort.Slice(picks, func(i, j int) bool { return picks[i].price < picks[j].price })
+	var rows [][]string
+	for i, p := range picks {
+		if i >= 10 {
+			break
+		}
+		rows = append(rows, []string{p.name, fmt.Sprintf("$%.2f/mo", p.price)})
+	}
+	report.Table(out, "Cheapest annual plans with no-logs claims and a privacy policy",
+		[]string{"Provider", "Annual rate"}, rows)
+
+	// 2. Transparency by price tier: do free offerings document
+	// themselves as well as paid ones?
+	tier := func(pred func(ecosystem.CatalogEntry) bool, label string) []string {
+		n, policy, tos := 0, 0, 0
+		for _, e := range entries {
+			if !pred(e) {
+				continue
+			}
+			n++
+			if e.HasPrivacyPolicy {
+				policy++
+			}
+			if e.HasTermsOfService {
+				tos++
+			}
+		}
+		if n == 0 {
+			return []string{label, "0", "-", "-"}
+		}
+		return []string{label, fmt.Sprint(n),
+			fmt.Sprintf("%.0f%%", 100*float64(policy)/float64(n)),
+			fmt.Sprintf("%.0f%%", 100*float64(tos)/float64(n))}
+	}
+	report.Table(out, "Transparency by tier",
+		[]string{"Tier", "Providers", "Privacy policy", "Terms of service"},
+		[][]string{
+			tier(func(e ecosystem.CatalogEntry) bool { return e.FreeOrTrial }, "free or trial"),
+			tier(func(e ecosystem.CatalogEntry) bool { return !e.FreeOrTrial }, "paid only"),
+		})
+
+	// 3. Marketing red flags: affiliate programs plus superlative
+	// crypto marketing, cross-referenced against the evaluated subset.
+	var flags [][]string
+	for _, e := range entries {
+		if e.AffiliateProgram && e.MilitaryGradeMarketing && e.Tested != nil {
+			flags = append(flags, []string{e.Name, string(e.Tested.Subscription)})
+		}
+	}
+	sort.Slice(flags, func(i, j int) bool { return flags[i][0] < flags[j][0] })
+	if len(flags) > 12 {
+		flags = flags[:12]
+	}
+	report.Table(out, "Evaluated providers with affiliate programs and 'military grade' marketing",
+		[]string{"Provider", "Subscription"}, flags)
+
+	// 4. Claimed-infrastructure sanity: biggest claimed-server counts
+	// versus claimed countries.
+	sorted := append([]ecosystem.CatalogEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ClaimedServers > sorted[j].ClaimedServers })
+	var top [][]string
+	for _, e := range sorted[:8] {
+		top = append(top, []string{e.Name, fmt.Sprint(e.ClaimedServers), fmt.Sprint(e.ClaimedCountries)})
+	}
+	report.Table(out, "Largest claimed fleets",
+		[]string{"Provider", "Claimed servers", "Claimed countries"}, top)
+
+	fmt.Println("Claims above are marketing numbers; the figures command measures")
+	fmt.Println("how many of those locations are physically real.")
+}

@@ -1,0 +1,97 @@
+// Geoaudit: hunt for "virtual" vantage points (§6.4.2 of the paper) —
+// servers advertised in one country but physically elsewhere. This walks
+// the HideMyAss scenario: dozens of claimed countries served out of a
+// handful of physical sites, exposed by RTT fingerprints and co-location
+// clustering, with geo-IP databases disagreeing about where things are.
+//
+// Run with: go run ./examples/geoaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"vpnscope/internal/analysis"
+	"vpnscope/internal/report"
+	"vpnscope/internal/study"
+	"vpnscope/internal/vpntest"
+)
+
+func main() {
+	log.SetFlags(0)
+	world, err := study.Build(study.Options{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Measure the three providers Figure 9 profiles (plus one honest
+	// provider as a control) — pings only, like the paper's light sweep
+	// over HideMyAss's >150 endpoints.
+	var reports []*vpntest.VPReport
+	for _, name := range []string{"HideMyAss", "MyIP.io", "Le VPN", "Mullvad"} {
+		res, err := world.RunProvider(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports = append(reports, res.Reports...)
+	}
+	out := os.Stdout
+
+	// 1. Physical-impossibility findings.
+	vv := analysis.DetectVirtualVPs(reports, world.Config)
+	var rows [][]string
+	for i, f := range vv.Findings {
+		if i >= 15 {
+			rows = append(rows, []string{fmt.Sprintf("... %d more", len(vv.Findings)-15), "", ""})
+			break
+		}
+		rows = append(rows, []string{
+			f.VPLabel,
+			fmt.Sprintf("claimed %s, max %d km away", f.Claimed, int(f.BoundKm)),
+			fmt.Sprintf("but %s is %d km from %s", f.Witness, int(f.ClaimDistKm), f.Claimed),
+		})
+	}
+	report.Table(out, "Physically impossible location claims",
+		[]string{"Vantage point", "RTT bound", "Contradiction"}, rows)
+
+	// 2. Co-location clusters.
+	var cRows [][]string
+	for _, c := range vv.Clusters {
+		countries := ""
+		for i, cc := range c.Claimed {
+			if i > 0 {
+				countries += ", "
+			}
+			countries += string(cc)
+		}
+		cRows = append(cRows, []string{c.Provider, fmt.Sprint(len(c.VPLabels)), countries})
+	}
+	report.Table(out, "Co-located vantage points claiming different countries",
+		[]string{"Provider", "VPs in cluster", "Claimed countries"}, cRows)
+
+	// 3. Figure 9: the RTT-series signature.
+	series := analysis.Figure9Series(reports, "MyIP.io")
+	var ls []report.LabeledSeries
+	for _, s := range series {
+		ls = append(ls, report.LabeledSeries{Label: s.Label, Values: s.Sorted})
+	}
+	report.Series(out, "Figure 9 (MyIP.io): near-identical series = same machine", ls)
+
+	// 4. What the geo databases think.
+	var gRows [][]string
+	for _, row := range analysis.GeoAgreement(reports, world.Databases) {
+		gRows = append(gRows, []string{
+			row.Database,
+			fmt.Sprintf("%d/%d", row.Located, row.Compared),
+			fmt.Sprintf("%.0f%%", 100*row.AgreeRate),
+		})
+	}
+	report.Table(out, "Geo-IP database agreement with claimed locations",
+		[]string{"Database", "Located", "Agree"}, gRows)
+
+	fmt.Println("The seedable databases largely repeat the providers' claims; the")
+	fmt.Println("measurement-driven one does not — which is why the paper saw the")
+	fmt.Println("biggest disagreement from the database with the highest fidelity.")
+	fmt.Printf("\nProviders flagged for virtual vantage points: %v\n", vv.Providers)
+}

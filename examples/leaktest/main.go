@@ -1,0 +1,99 @@
+// Leaktest: audit the traffic-leakage behavior (§5.3.3 of the paper) of
+// several providers side by side — DNS leaks, IPv6 leaks, and fail-open
+// behavior under induced tunnel failure — and show how a disabled kill
+// switch turns a transient outage into cleartext exposure.
+//
+// Run with: go run ./examples/leaktest
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"vpnscope/internal/report"
+	"vpnscope/internal/study"
+	"vpnscope/internal/vpn"
+	"vpnscope/internal/vpntest"
+)
+
+func main() {
+	log.SetFlags(0)
+	world, err := study.Build(study.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A mix of providers the paper found leaky and safe.
+	targets := []string{
+		"Freedome VPN", // DNS leak (Table 6)
+		"Buffered VPN", // IPv6 leak (Table 6)
+		"NordVPN",      // fail-open: kill switch is per-app (§6.5)
+		"Goose VPN",    // behavior determined by its defaults
+		"Windscribe",   // behavior determined by its defaults
+	}
+
+	var rows [][]string
+	for _, name := range targets {
+		var provider *vpn.Provider
+		for _, p := range world.Providers {
+			if p.Name() == name {
+				provider = p
+			}
+		}
+		if provider == nil {
+			log.Fatalf("provider %q not in world", name)
+		}
+
+		stack, err := world.NewClientStack()
+		if err != nil {
+			log.Fatal(err)
+		}
+		client, err := vpn.Connect(stack, provider.VPs[0])
+		if err != nil {
+			rows = append(rows, []string{name, "connect failed", "-", "-"})
+			continue
+		}
+
+		env := vpntest.NewEnv(world.Config, world.Baseline, stack,
+			name, provider.VPs[0].ID(), provider.VPs[0].ClaimedCountry)
+
+		leaks, err := vpntest.RunLeakTests(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		failure, err := vpntest.RunTunnelFailure(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		client.Disconnect()
+
+		rows = append(rows, []string{
+			name,
+			yesNo(leaks.DNSLeak),
+			yesNo(leaks.IPv6Leak),
+			failVerdict(failure),
+		})
+	}
+	report.Table(os.Stdout, "Leakage audit (cf. Table 6 and §6.5)",
+		[]string{"Provider", "DNS leak", "IPv6 leak", "Tunnel failure"}, rows)
+
+	fmt.Println("A 'fails open' verdict means the client, after losing its tunnel,")
+	fmt.Println("silently routed traffic over the bare physical interface — in a")
+	fmt.Println("censoring country, that is exactly the exposure users bought a VPN")
+	fmt.Println("to avoid. The paper found 58% of applicable providers doing this.")
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "LEAKS"
+	}
+	return "ok"
+}
+
+func failVerdict(f *vpntest.FailureResult) string {
+	if f.Leaked {
+		return fmt.Sprintf("fails open after %.0fs", f.SecondsToLeak)
+	}
+	return "fails closed"
+}

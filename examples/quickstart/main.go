@@ -1,0 +1,67 @@
+// Quickstart: build a simulated world, connect to one VPN provider, run
+// the measurement suite against a single vantage point, and print the
+// verdicts.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vpnscope/internal/study"
+	"vpnscope/internal/vpn"
+	"vpnscope/internal/vpntest"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Build the whole simulated Internet: web sites, DNS, geolocation
+	// databases, landmarks, and the paper's 62 VPN providers. Same
+	// seed, same world.
+	world, err := study.Build(study.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick a provider and a vantage point.
+	var provider *vpn.Provider
+	for _, p := range world.Providers {
+		if p.Name() == "TunnelBear" {
+			provider = p
+		}
+	}
+	vantage := provider.VPs[0]
+	fmt.Printf("auditing %s via %s (claimed %s)\n\n",
+		provider.Name(), vantage.ID(), vantage.ClaimedCountry)
+
+	// Provision a fresh client machine and connect the VPN — exactly
+	// what the paper did with a fresh macOS VM per provider.
+	stack, err := world.NewClientStack()
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := vpn.Connect(stack, vantage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Disconnect()
+
+	// Run the black-box measurement suite.
+	env := vpntest.NewEnv(world.Config, world.Baseline, stack,
+		provider.Name(), vantage.ID(), vantage.ClaimedCountry)
+	reportCard := vpntest.RunSuite(env, vpntest.SuiteOptions{})
+
+	fmt.Printf("egress IP:            %v\n", reportCard.EgressIP())
+	fmt.Printf("DNS manipulation:     %v\n", reportCard.DNS.Manipulated())
+	fmt.Printf("content injection:    %d pages\n", len(reportCard.DOM.Injections))
+	fmt.Printf("TLS interception:     %d hosts\n", len(reportCard.TLS.Intercepted))
+	fmt.Printf("transparent proxy:    %v\n", reportCard.Proxy.Modified)
+	fmt.Printf("DNS leak:             %v\n", reportCard.Leaks.DNSLeak)
+	fmt.Printf("IPv6 leak:            %v\n", reportCard.Leaks.IPv6Leak)
+	fmt.Printf("fails open:           %v\n", reportCard.Failure.Leaked)
+	if s, ok := reportCard.Pings.MinSample(); ok {
+		fmt.Printf("nearest landmark:     %s (%.1f ms)\n", s.Landmark, s.RTTms)
+	}
+}

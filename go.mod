@@ -1,0 +1,3 @@
+module vpnscope
+
+go 1.22

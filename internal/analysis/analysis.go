@@ -1,0 +1,345 @@
+// Package analysis aggregates per-vantage-point measurement reports
+// into the paper's §6 results: censorship redirection tables, shared
+// infrastructure, geolocation-database agreement, virtual-vantage-point
+// detection, and leakage summaries.
+//
+// Like internal/vpntest, this package works only from observed data
+// (reports, WHOIS, databases) — never from the simulator's ground
+// truth — so its verdicts are genuinely earned.
+package analysis
+
+import (
+	"net/url"
+	"sort"
+
+	"vpnscope/internal/geo"
+	"vpnscope/internal/geodb"
+	"vpnscope/internal/vpntest"
+)
+
+// ---------------------------------------------------------------------
+// §6.1.1 — URL redirection (Table 4)
+// ---------------------------------------------------------------------
+
+// RedirectRow is one row of Table 4: a redirect destination, how many
+// distinct VPN providers hit it, and the egress country involved.
+type RedirectRow struct {
+	Destination string
+	VPNs        int
+	Country     geo.Country
+	Providers   []string
+}
+
+// Redirections tabulates every unrelated-domain redirect across all
+// reports, grouped by destination (Table 4).
+func Redirections(reports []*vpntest.VPReport) []RedirectRow {
+	type key struct {
+		dest    string
+		country geo.Country
+	}
+	providers := map[key]map[string]bool{}
+	add := func(r *vpntest.VPReport, red vpntest.Redirection) {
+		dest := normalizeDest(red.Destination)
+		k := key{dest, r.ClaimedCountry}
+		if providers[k] == nil {
+			providers[k] = map[string]bool{}
+		}
+		providers[k][r.Provider] = true
+	}
+	for _, r := range reports {
+		if r.DOM != nil {
+			for _, red := range r.DOM.Redirections {
+				add(r, red)
+			}
+		}
+		if r.TLS != nil {
+			for _, red := range r.TLS.Redirections {
+				add(r, red)
+			}
+		}
+	}
+	rows := make([]RedirectRow, 0, len(providers))
+	for k, provs := range providers {
+		row := RedirectRow{Destination: k.dest, Country: k.country, VPNs: len(provs)}
+		for p := range provs {
+			row.Providers = append(row.Providers, p)
+		}
+		sort.Strings(row.Providers)
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].VPNs != rows[j].VPNs {
+			return rows[i].VPNs > rows[j].VPNs
+		}
+		return rows[i].Destination < rows[j].Destination
+	})
+	return rows
+}
+
+// normalizeDest reduces a redirect destination URL to scheme://host.
+func normalizeDest(raw string) string {
+	u, err := url.Parse(raw)
+	if err != nil || u.Host == "" {
+		return raw
+	}
+	return u.Scheme + "://" + u.Hostname()
+}
+
+// ---------------------------------------------------------------------
+// §6.1.3 / §6.2.1 — injection and proxy summaries
+// ---------------------------------------------------------------------
+
+// InjectionFinding is one provider caught modifying page content.
+type InjectionFinding struct {
+	Provider      string
+	Pages         int
+	InjectedHosts []string
+}
+
+// Injections lists the providers whose vantage points injected content.
+func Injections(reports []*vpntest.VPReport) []InjectionFinding {
+	agg := map[string]*InjectionFinding{}
+	for _, r := range reports {
+		if r.DOM == nil {
+			continue
+		}
+		for _, inj := range r.DOM.Injections {
+			f := agg[r.Provider]
+			if f == nil {
+				f = &InjectionFinding{Provider: r.Provider}
+				agg[r.Provider] = f
+			}
+			f.Pages++
+			for _, h := range inj.InjectedHosts {
+				if !contains(f.InjectedHosts, h) {
+					f.InjectedHosts = append(f.InjectedHosts, h)
+				}
+			}
+		}
+	}
+	out := make([]InjectionFinding, 0, len(agg))
+	for _, f := range agg {
+		sort.Strings(f.InjectedHosts)
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Provider < out[j].Provider })
+	return out
+}
+
+// TransparentProxies lists providers whose egress regenerated our
+// request headers (§6.2.1).
+func TransparentProxies(reports []*vpntest.VPReport) []string {
+	seen := map[string]bool{}
+	for _, r := range reports {
+		if r.Proxy != nil && r.Proxy.Modified && r.Proxy.Regenerated {
+			seen[r.Provider] = true
+		}
+	}
+	return sortedKeys(seen)
+}
+
+// TLSSummary aggregates the TLS test across all reports (§6.1.2).
+type TLSSummaryResult struct {
+	Providers            int
+	InterceptedProviders []string
+	DowngradedProviders  []string
+	// BlockedLoads counts 403/empty responses against a clean
+	// baseline — VPN-range discrimination by sites.
+	BlockedLoads     int
+	BlockedProviders []string
+}
+
+// TLSSummary tabulates interception, downgrades and VPN-blocking.
+func TLSSummary(reports []*vpntest.VPReport) TLSSummaryResult {
+	res := TLSSummaryResult{}
+	intercepted := map[string]bool{}
+	downgraded := map[string]bool{}
+	blocked := map[string]bool{}
+	providers := map[string]bool{}
+	for _, r := range reports {
+		if r.TLS == nil {
+			continue
+		}
+		providers[r.Provider] = true
+		if len(r.TLS.Intercepted) > 0 {
+			intercepted[r.Provider] = true
+		}
+		if len(r.TLS.Downgraded) > 0 {
+			downgraded[r.Provider] = true
+		}
+		if len(r.TLS.Blocked) > 0 {
+			blocked[r.Provider] = true
+			res.BlockedLoads += len(r.TLS.Blocked)
+		}
+	}
+	res.Providers = len(providers)
+	res.InterceptedProviders = sortedKeys(intercepted)
+	res.DowngradedProviders = sortedKeys(downgraded)
+	res.BlockedProviders = sortedKeys(blocked)
+	return res
+}
+
+// ---------------------------------------------------------------------
+// §6.3 — shared infrastructure (Table 5)
+// ---------------------------------------------------------------------
+
+// SharedBlockRow is one row of Table 5.
+type SharedBlockRow struct {
+	Prefix    string
+	ASN       int
+	Country   string
+	Providers []string
+}
+
+// InfraSummary is the §6.3 infrastructure analysis.
+type InfraSummary struct {
+	VantagePoints int
+	DistinctIPs   int
+	DistinctCIDRs int
+	// SharedExactIP maps an address to the providers egressing from it
+	// (the Boxpn/Anonine signature). Only multi-provider entries.
+	SharedExactIP map[string][]string
+	// SharedBlocks lists blocks hosting >= minProviders providers.
+	SharedBlocks []SharedBlockRow
+	// ProvidersSharingCIDR counts providers that share at least one
+	// CIDR with another provider.
+	ProvidersSharingCIDR int
+}
+
+// Infrastructure analyzes egress addresses and WHOIS blocks across all
+// reports. minProviders is the Table 5 threshold (3).
+func Infrastructure(reports []*vpntest.VPReport, minProviders int) InfraSummary {
+	if minProviders <= 0 {
+		minProviders = 3
+	}
+	res := InfraSummary{SharedExactIP: map[string][]string{}}
+	ipProviders := map[string]map[string]bool{}
+	type blockKey struct {
+		prefix  string
+		asn     int
+		country string
+	}
+	blockProviders := map[blockKey]map[string]bool{}
+	cidrProviders := map[string]map[string]bool{}
+
+	for _, r := range reports {
+		if r.Geo == nil || !r.Geo.EgressIP.IsValid() {
+			continue
+		}
+		res.VantagePoints++
+		ip := r.Geo.EgressIP.String()
+		if ipProviders[ip] == nil {
+			ipProviders[ip] = map[string]bool{}
+		}
+		ipProviders[ip][r.Provider] = true
+
+		if r.Geo.WhoisFound {
+			blk := r.Geo.WhoisBlock
+			k := blockKey{blk.Prefix.String(), blk.ASN, blk.Country}
+			if blockProviders[k] == nil {
+				blockProviders[k] = map[string]bool{}
+			}
+			blockProviders[k][r.Provider] = true
+			if cidrProviders[k.prefix] == nil {
+				cidrProviders[k.prefix] = map[string]bool{}
+			}
+			cidrProviders[k.prefix][r.Provider] = true
+		}
+	}
+	res.DistinctIPs = len(ipProviders)
+	res.DistinctCIDRs = len(cidrProviders)
+	for ip, provs := range ipProviders {
+		if len(provs) > 1 {
+			res.SharedExactIP[ip] = sortedKeys(provs)
+		}
+	}
+	for k, provs := range blockProviders {
+		if len(provs) >= minProviders {
+			res.SharedBlocks = append(res.SharedBlocks, SharedBlockRow{
+				Prefix: k.prefix, ASN: k.asn, Country: k.country,
+				Providers: sortedKeys(provs),
+			})
+		}
+	}
+	sort.Slice(res.SharedBlocks, func(i, j int) bool {
+		return res.SharedBlocks[i].Prefix < res.SharedBlocks[j].Prefix
+	})
+	sharing := map[string]bool{}
+	for _, provs := range cidrProviders {
+		if len(provs) > 1 {
+			for p := range provs {
+				sharing[p] = true
+			}
+		}
+	}
+	res.ProvidersSharingCIDR = len(sharing)
+	return res
+}
+
+// ---------------------------------------------------------------------
+// §6.4.1 — geolocation database agreement
+// ---------------------------------------------------------------------
+
+// GeoAgreementRow is one database's agreement with claimed locations.
+type GeoAgreementRow struct {
+	Database  string
+	Compared  int // vantage points with both a claim and an estimate
+	Located   int // vantage points the database had an estimate for
+	Agreed    int
+	AgreeRate float64
+	// USInconsistencies counts disagreements where the database said
+	// "US" (the paper: about one third).
+	USInconsistencies int
+}
+
+// GeoAgreement compares claimed locations to database estimates for
+// every vantage point with a discovered egress address (§6.4.1).
+func GeoAgreement(reports []*vpntest.VPReport, dbs []*geodb.Database) []GeoAgreementRow {
+	rows := make([]GeoAgreementRow, 0, len(dbs))
+	for _, db := range dbs {
+		row := GeoAgreementRow{Database: db.Profile.Name}
+		for _, r := range reports {
+			if r.Geo == nil || !r.Geo.EgressIP.IsValid() || r.ClaimedCountry == "" {
+				continue
+			}
+			row.Compared++
+			c, ok := db.Locate(r.Geo.EgressIP)
+			if !ok {
+				continue
+			}
+			row.Located++
+			if c == r.ClaimedCountry {
+				row.Agreed++
+			} else if c == "US" {
+				row.USInconsistencies++
+			}
+		}
+		if row.Located > 0 {
+			row.AgreeRate = float64(row.Agreed) / float64(row.Located)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

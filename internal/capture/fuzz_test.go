@@ -1,0 +1,72 @@
+package capture
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"vpnscope/internal/simrand"
+)
+
+// Decoders face attacker-controlled bytes (leaked traffic, damaged
+// captures); none of them may panic, whatever the input.
+
+func TestDecodeArbitraryBytesNeverPanics(t *testing.T) {
+	types := []LayerType{TypeIPv4, TypeIPv6, TypeUDP, TypeTCP, TypeICMP, TypeTunnel}
+	check := func(data []byte, pick uint8) bool {
+		first := types[int(pick)%len(types)]
+		p := NewPacket(data, first, Default)
+		// Whatever happened, the accessors must be safe.
+		_ = p.Layers()
+		_ = p.NetworkLayer()
+		_ = p.TransportLayer()
+		_ = p.ApplicationLayer()
+		_ = p.ErrorLayer()
+		_ = p.String()
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeMutatedValidPacketsNeverPanics(t *testing.T) {
+	// Start from a valid packet and flip bytes — the nastier corpus.
+	rng := simrand.New(99)
+	base := buildIPv4UDP(t, []byte("payload for mutation"))
+	for i := 0; i < 5000; i++ {
+		data := make([]byte, len(base))
+		copy(data, base)
+		flips := 1 + rng.Intn(4)
+		for f := 0; f < flips; f++ {
+			data[rng.Intn(len(data))] ^= byte(rng.Uint64())
+		}
+		p := NewPacket(data, TypeIPv4, Default)
+		_ = p.Layers()
+		_ = p.String()
+	}
+}
+
+func TestDecodingLayerParserArbitraryBytes(t *testing.T) {
+	var ip4 IPv4
+	var ip6 IPv6
+	var udp UDP
+	var tcp TCP
+	parser := NewDecodingLayerParser(TypeIPv4, &ip4, &ip6, &udp, &tcp)
+	decoded := []LayerType{}
+	if err := quick.Check(func(data []byte) bool {
+		_ = parser.DecodeLayers(data, &decoded)
+		return true
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadPcapArbitraryBytes(t *testing.T) {
+	if err := quick.Check(func(data []byte) bool {
+		_, _ = ReadPcap(bytes.NewReader(data))
+		return true
+	}, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package capture implements the packet model of the simulator: typed
+// protocol layers with real wire formats, decoding from and serialization
+// to bytes, flow/endpoint abstractions, per-interface capture sinks, and
+// a pcap-format trace writer.
+//
+// The design follows gopacket: a Packet is a decoded stack of Layers; a
+// DecodingLayerParser offers an allocation-free fast path for known layer
+// stacks; serialization prepends layers onto a SerializeBuffer in reverse
+// order. The simulator's leakage analysis (§5.3.4, §6.5 of the paper)
+// consumes captures exactly the way the paper's tooling consumed tcpdump
+// output.
+package capture
+
+import (
+	"fmt"
+)
+
+// LayerType identifies a protocol layer.
+type LayerType int
+
+// Known layer types. TypeTunnel is the VPN encapsulation layer: an
+// opaque encrypted envelope carrying an inner packet.
+const (
+	TypeInvalid LayerType = iota
+	TypeIPv4
+	TypeIPv6
+	TypeUDP
+	TypeTCP
+	TypeICMP
+	TypeTunnel
+	TypePayload
+)
+
+var layerTypeNames = map[LayerType]string{
+	TypeInvalid: "Invalid",
+	TypeIPv4:    "IPv4",
+	TypeIPv6:    "IPv6",
+	TypeUDP:     "UDP",
+	TypeTCP:     "TCP",
+	TypeICMP:    "ICMP",
+	TypeTunnel:  "Tunnel",
+	TypePayload: "Payload",
+}
+
+func (t LayerType) String() string {
+	if s, ok := layerTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("LayerType(%d)", int(t))
+}
+
+// Layer is one decoded protocol layer of a packet.
+type Layer interface {
+	// LayerType identifies the protocol.
+	LayerType() LayerType
+	// LayerContents returns the header bytes of this layer.
+	LayerContents() []byte
+	// LayerPayload returns the bytes this layer carries (the next
+	// layer's contents plus everything after).
+	LayerPayload() []byte
+}
+
+// NetworkLayer is a layer with network-level (IP) endpoints.
+type NetworkLayer interface {
+	Layer
+	NetworkFlow() Flow
+}
+
+// TransportLayer is a layer with transport-level (port) endpoints.
+type TransportLayer interface {
+	Layer
+	TransportFlow() Flow
+}
+
+// DecodingLayer is a layer that can decode itself from bytes in place,
+// enabling the allocation-free DecodingLayerParser fast path.
+type DecodingLayer interface {
+	Layer
+	// DecodeFromBytes parses data into the receiver, replacing prior
+	// state.
+	DecodeFromBytes(data []byte) error
+	// NextLayerType returns the type of the layer carried in the
+	// payload, or TypePayload when unknown/opaque.
+	NextLayerType() LayerType
+}
+
+// SerializableLayer is a layer that can write itself to a SerializeBuffer.
+type SerializableLayer interface {
+	Layer
+	// SerializeTo prepends the layer's wire representation onto b,
+	// treating b's current contents as the payload.
+	SerializeTo(b *SerializeBuffer) error
+}
+
+// DecodeError describes a failure to parse a particular layer. Decoding
+// does not abort the whole packet: layers before the failure remain
+// available, mirroring gopacket's ErrorLayer behavior.
+type DecodeError struct {
+	Type   LayerType
+	Reason string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("capture: cannot decode %s: %s", e.Type, e.Reason)
+}
+
+// IPProtocol numbers used inside IPv4/IPv6 headers (real IANA values).
+type IPProtocol byte
+
+const (
+	ProtoICMP   IPProtocol = 1
+	ProtoTCP    IPProtocol = 6
+	ProtoUDP    IPProtocol = 17
+	ProtoICMPv6 IPProtocol = 58
+	// ProtoTunnel marks the simulator's VPN encapsulation. 99 is the
+	// IANA "any private encryption scheme" protocol number.
+	ProtoTunnel IPProtocol = 99
+)
+
+func (p IPProtocol) layerType() LayerType {
+	switch p {
+	case ProtoTCP:
+		return TypeTCP
+	case ProtoUDP:
+		return TypeUDP
+	case ProtoICMP, ProtoICMPv6:
+		return TypeICMP
+	case ProtoTunnel:
+		return TypeTunnel
+	default:
+		return TypePayload
+	}
+}

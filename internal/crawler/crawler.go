@@ -1,0 +1,273 @@
+// Package crawler reproduces the paper's §3 selection pipeline as an
+// executable process rather than a static list: review sites exist as
+// simulated web properties (rankings, affiliate links, multi-language
+// review sections), a crawler fetches them the way the authors crawled
+// the top "top VPN services" search results, and the extraction step
+// derives provider names, affiliate status, and selection categories
+// from page content. The Table 1/2 data then falls out of crawling
+// instead of being asserted.
+package crawler
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"vpnscope/internal/dnssim"
+	"vpnscope/internal/ecosystem"
+	"vpnscope/internal/geo"
+	"vpnscope/internal/netsim"
+	"vpnscope/internal/websim"
+)
+
+// ReviewWorld is the simulated review-site ecosystem.
+type ReviewWorld struct {
+	Sites []*ReviewSite
+}
+
+// ReviewSite is one review property: a listing page ranking providers,
+// possibly monetized with affiliate links.
+type ReviewSite struct {
+	Domain    string
+	Affiliate bool
+	// Listings are the providers the site ranks, in rank order.
+	Listings []Listing
+	Host     *netsim.Host
+}
+
+// Listing is one ranked provider entry on a review site.
+type Listing struct {
+	Provider string
+	// Score is the site's rating out of 5. Affiliate sites never score
+	// below 4 — the paper's VPNmentor observation.
+	Score float64
+	// ReviewLanguages are the languages user reviews appear in
+	// (VPNMentor-style sites only).
+	ReviewLanguages []string
+}
+
+// BuildReviewWorld instantiates the paper's 20 review sites on the
+// network, ranking providers drawn from the catalog. Affiliate sites
+// link out through their referral redirector; the two non-affiliate
+// sources (reddit, the comparison spreadsheet site) do not.
+func BuildReviewWorld(n *netsim.Network, dir *dnssim.Directory, entries []ecosystem.CatalogEntry) (*ReviewWorld, error) {
+	blk := netsim.Block{
+		Prefix: netip.MustParsePrefix("192.0.78.0/24"), ASN: 2635, Org: "Review Hosting Sim",
+	}
+	alloc := netsim.NewAllocator(blk)
+	city, ok := geo.CityByName("San Jose")
+	if !ok {
+		return nil, fmt.Errorf("crawler: no hosting city")
+	}
+	w := &ReviewWorld{}
+	for i, rs := range ecosystem.ReviewSites() {
+		site := &ReviewSite{Domain: rs.Domain, Affiliate: rs.Affiliate}
+		// Each site ranks a deterministic slice of the catalog: sites
+		// overlap heavily (they all chase the same affiliate payouts)
+		// but differ at the margins.
+		for j := 0; j < 25; j++ {
+			e := entries[(i*7+j*3)%len(entries)]
+			l := Listing{Provider: e.Name, Score: 4.0 + float64((i+j)%10)/10}
+			if !rs.Affiliate {
+				// Honest sources publish the full score range.
+				l.Score = 2.5 + float64((i*3+j*5)%25)/10
+			}
+			if rs.Domain == "vpnmentor.com" {
+				langs := []string{"en", "de", "fr", "es", "ru", "zh", "pt"}
+				l.ReviewLanguages = langs[:1+(j%4)]
+			}
+			site.Listings = append(site.Listings, l)
+		}
+		addr, err := alloc.Next()
+		if err != nil {
+			return nil, err
+		}
+		host := netsim.NewHost("review:"+site.Domain, city, addr)
+		host.Block = blk
+		if err := n.AddHost(host); err != nil {
+			return nil, err
+		}
+		site.install(host)
+		dir.Register(site.Domain, addr)
+		site.Host = host
+		w.Sites = append(w.Sites, site)
+	}
+	return w, nil
+}
+
+// install serves the listing page.
+func (s *ReviewSite) install(host *netsim.Host) {
+	host.HandleTCP(80, func(_ netip.Addr, _ uint16, payload []byte) []byte {
+		req, err := websim.ParseRequest(payload)
+		if err != nil || req.Method != "GET" {
+			return (&websim.Response{Status: 400}).Encode()
+		}
+		return (&websim.Response{
+			Status:  200,
+			Headers: []websim.Header{{Name: "Content-Type", Value: "text/html"}},
+			Body:    []byte(s.renderListing()),
+		}).Encode()
+	})
+}
+
+// renderListing produces the page the crawler scrapes. Affiliate
+// monetization shows up as go.<domain>/ref redirector links — the
+// signal Table 1's affiliate column records.
+func (s *ReviewSite) renderListing() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!doctype html>\n<html><head><title>Best VPN Services — %s</title></head><body>\n", s.Domain)
+	b.WriteString("<ol class=\"vpn-ranking\">\n")
+	for _, l := range s.Listings {
+		href := "https://" + providerDomain(l.Provider) + "/"
+		if s.Affiliate {
+			href = fmt.Sprintf("https://go.%s/ref?partner=%s&payout=1", s.Domain, providerDomain(l.Provider))
+		}
+		fmt.Fprintf(&b, `<li data-provider=%q data-score="%.1f"`, l.Provider, l.Score)
+		if len(l.ReviewLanguages) > 0 {
+			fmt.Fprintf(&b, ` data-review-langs=%q`, strings.Join(l.ReviewLanguages, ","))
+		}
+		fmt.Fprintf(&b, `><a href=%q>%s</a></li>`+"\n", href, l.Provider)
+	}
+	b.WriteString("</ol>\n</body></html>\n")
+	return b.String()
+}
+
+func providerDomain(name string) string {
+	d := strings.ToLower(name)
+	d = strings.NewReplacer(" ", "", ".", "-").Replace(d)
+	return d + ".example"
+}
+
+// ---------------------------------------------------------------------
+// Crawling and extraction
+// ---------------------------------------------------------------------
+
+// CrawledSite is what the crawler learned about one review property.
+type CrawledSite struct {
+	Domain string
+	// AffiliateBased is inferred from the link structure: rankings that
+	// route through a referral redirector are monetized.
+	AffiliateBased bool
+	Providers      []string
+	Scores         map[string]float64
+	ReviewLangs    map[string][]string
+}
+
+// Crawl fetches every review site through the given web client and
+// extracts providers, scores, affiliate status, and review languages.
+func Crawl(client *websim.Client, domains []string) ([]CrawledSite, error) {
+	var out []CrawledSite
+	for _, domain := range domains {
+		chain, err := client.Get("http://" + domain + "/")
+		if err != nil {
+			return nil, fmt.Errorf("crawler: fetching %s: %w", domain, err)
+		}
+		body := string(chain[len(chain)-1].Response.Body)
+		cs := CrawledSite{
+			Domain:      domain,
+			Scores:      map[string]float64{},
+			ReviewLangs: map[string][]string{},
+		}
+		cs.AffiliateBased = strings.Contains(body, "/ref?partner=")
+		for _, item := range splitItems(body) {
+			name := attr(item, "data-provider")
+			if name == "" {
+				continue
+			}
+			cs.Providers = append(cs.Providers, name)
+			if sc := attr(item, "data-score"); sc != "" {
+				var v float64
+				fmt.Sscanf(sc, "%f", &v)
+				cs.Scores[name] = v
+			}
+			if langs := attr(item, "data-review-langs"); langs != "" {
+				cs.ReviewLangs[name] = strings.Split(langs, ",")
+			}
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+func splitItems(body string) []string {
+	var out []string
+	rest := body
+	for {
+		i := strings.Index(rest, "<li ")
+		if i < 0 {
+			return out
+		}
+		rest = rest[i:]
+		j := strings.Index(rest, "</li>")
+		if j < 0 {
+			return out
+		}
+		out = append(out, rest[:j])
+		rest = rest[j:]
+	}
+}
+
+func attr(item, name string) string {
+	marker := name + `="`
+	i := strings.Index(item, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := item[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
+}
+
+// Selection is the §3 aggregation derived from crawling.
+type Selection struct {
+	// Providers is the union of every site's listings (the merged list
+	// the paper built 200 uniques from).
+	Providers []string
+	// AffiliateSites / NonAffiliateSites reproduce Table 1's split.
+	AffiliateSites    []string
+	NonAffiliateSites []string
+	// MultiLanguage are providers with reviews in 2+ languages
+	// (a Table 2 category).
+	MultiLanguage []string
+	// AllAffiliateScoresHigh records the paper's VPNmentor observation:
+	// no affiliate-site listing scores below 4.
+	AllAffiliateScoresHigh bool
+}
+
+// Aggregate merges crawl results into the selection lists.
+func Aggregate(sites []CrawledSite) Selection {
+	sel := Selection{AllAffiliateScoresHigh: true}
+	seen := map[string]bool{}
+	multi := map[string]bool{}
+	for _, cs := range sites {
+		if cs.AffiliateBased {
+			sel.AffiliateSites = append(sel.AffiliateSites, cs.Domain)
+		} else {
+			sel.NonAffiliateSites = append(sel.NonAffiliateSites, cs.Domain)
+		}
+		for _, p := range cs.Providers {
+			if !seen[p] {
+				seen[p] = true
+				sel.Providers = append(sel.Providers, p)
+			}
+			if cs.AffiliateBased && cs.Scores[p] < 4 {
+				sel.AllAffiliateScoresHigh = false
+			}
+			if len(cs.ReviewLangs[p]) >= 2 {
+				multi[p] = true
+			}
+		}
+	}
+	for p := range multi {
+		sel.MultiLanguage = append(sel.MultiLanguage, p)
+	}
+	sort.Strings(sel.Providers)
+	sort.Strings(sel.MultiLanguage)
+	sort.Strings(sel.AffiliateSites)
+	sort.Strings(sel.NonAffiliateSites)
+	return sel
+}

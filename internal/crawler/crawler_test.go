@@ -1,0 +1,157 @@
+package crawler_test
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"vpnscope/internal/crawler"
+	"vpnscope/internal/dnssim"
+	"vpnscope/internal/ecosystem"
+	"vpnscope/internal/geo"
+	"vpnscope/internal/netsim"
+	"vpnscope/internal/websim"
+)
+
+// reviewHarness builds a network hosting the review sites plus a client
+// that can crawl them.
+func reviewHarness(t *testing.T) (*crawler.ReviewWorld, *websim.Client, []string) {
+	t.Helper()
+	n := netsim.New(9)
+	dir := dnssim.NewDirectory()
+	entries := ecosystem.BuildCatalog(9)
+	world, err := crawler.BuildReviewWorld(n, dir, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resolver + client machine.
+	city, _ := geo.CityByName("New York")
+	res := netsim.NewHost("dns", city, netip.MustParseAddr("8.8.8.8"))
+	if err := n.AddHost(res); err != nil {
+		t.Fatal(err)
+	}
+	r := &dnssim.Resolver{Name: "dns", Addr: res.Addr, Dir: dir}
+	res.HandleUDP(53, r.Handler())
+	chi, _ := geo.CityByName("Chicago")
+	ch := netsim.NewHost("crawler", chi, netip.MustParseAddr("203.0.113.9"))
+	if err := n.AddHost(ch); err != nil {
+		t.Fatal(err)
+	}
+	stack := netsim.NewStack(n, ch)
+	stack.SetResolvers(res.Addr)
+
+	var domains []string
+	for _, s := range world.Sites {
+		domains = append(domains, s.Domain)
+	}
+	return world, &websim.Client{Stack: stack}, domains
+}
+
+func TestBuildReviewWorldShape(t *testing.T) {
+	world, _, _ := reviewHarness(t)
+	if len(world.Sites) != 20 {
+		t.Fatalf("sites = %d, want the Table 1 twenty", len(world.Sites))
+	}
+	nonAff := 0
+	for _, s := range world.Sites {
+		if !s.Affiliate {
+			nonAff++
+		}
+		if len(s.Listings) == 0 {
+			t.Errorf("%s has no listings", s.Domain)
+		}
+	}
+	if nonAff != 2 {
+		t.Errorf("non-affiliate sites = %d, want 2", nonAff)
+	}
+}
+
+func TestCrawlRecoversTable1(t *testing.T) {
+	_, client, domains := reviewHarness(t)
+	crawled, err := crawler.Crawl(client, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crawled) != 20 {
+		t.Fatalf("crawled = %d", len(crawled))
+	}
+	// Affiliate status is inferred from link structure and must match
+	// the embedded Table 1 ground truth for every site.
+	truth := map[string]bool{}
+	for _, rs := range ecosystem.ReviewSites() {
+		truth[rs.Domain] = rs.Affiliate
+	}
+	for _, cs := range crawled {
+		if cs.AffiliateBased != truth[cs.Domain] {
+			t.Errorf("%s: crawled affiliate=%v, truth=%v", cs.Domain, cs.AffiliateBased, truth[cs.Domain])
+		}
+		if len(cs.Providers) == 0 {
+			t.Errorf("%s: no providers extracted", cs.Domain)
+		}
+	}
+}
+
+func TestAggregateSelection(t *testing.T) {
+	_, client, domains := reviewHarness(t)
+	crawled, err := crawler.Crawl(client, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := crawler.Aggregate(crawled)
+	if len(sel.AffiliateSites) != 18 || len(sel.NonAffiliateSites) != 2 {
+		t.Errorf("sites split = %d/%d, want 18/2", len(sel.AffiliateSites), len(sel.NonAffiliateSites))
+	}
+	// The union is a substantial merged list with no duplicates.
+	if len(sel.Providers) < 50 {
+		t.Errorf("merged providers = %d", len(sel.Providers))
+	}
+	seen := map[string]bool{}
+	for _, p := range sel.Providers {
+		if seen[p] {
+			t.Errorf("duplicate %q in union", p)
+		}
+		seen[p] = true
+	}
+	// VPNmentor-style multi-language reviews feed the Table 2 category.
+	if len(sel.MultiLanguage) == 0 {
+		t.Error("no multi-language providers extracted")
+	}
+	// The paper's observation: affiliate sites never rate below 4.
+	if !sel.AllAffiliateScoresHigh {
+		t.Error("affiliate scores dipped below 4; the monetization bias signal is lost")
+	}
+}
+
+func TestHonestSitesUseFullScoreRange(t *testing.T) {
+	_, client, domains := reviewHarness(t)
+	crawled, err := crawler.Crawl(client, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowSeen := false
+	for _, cs := range crawled {
+		if cs.AffiliateBased {
+			continue
+		}
+		for _, v := range cs.Scores {
+			if v < 4 {
+				lowSeen = true
+			}
+		}
+	}
+	if !lowSeen {
+		t.Error("non-affiliate sources should publish scores below 4")
+	}
+}
+
+func TestListingPageIsParseableHTMLish(t *testing.T) {
+	_, client, domains := reviewHarness(t)
+	chain, err := client.Get("http://" + domains[0] + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(chain[0].Response.Body)
+	if !strings.Contains(body, "vpn-ranking") || !strings.Contains(body, "data-provider=") {
+		t.Errorf("listing markup missing:\n%s", body[:200])
+	}
+}

@@ -1,0 +1,223 @@
+// Package dnssim implements the DNS of the simulated Internet: an RFC
+// 1035-subset wire codec, a global name directory, recursive resolvers
+// (public and provider-operated, with optional answer manipulation), and
+// origin-logging authoritative servers for the paper's tagged-hostname
+// recursive-origin test (§5.3.2).
+package dnssim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Record types (real IANA values).
+const (
+	TypeA    uint16 = 1
+	TypeAAAA uint16 = 28
+)
+
+// Response codes.
+const (
+	RCodeOK       byte = 0
+	RCodeNXDomain byte = 3
+	RCodeRefused  byte = 5
+)
+
+// Question is one DNS question.
+type Question struct {
+	Name string
+	Type uint16
+}
+
+// RR is one answer resource record (A or AAAA only).
+type RR struct {
+	Name string
+	Type uint16
+	TTL  uint32
+	Addr netip.Addr
+}
+
+// Message is a DNS message restricted to the simulator's needs: one or
+// more questions and address answers.
+type Message struct {
+	ID        uint16
+	Response  bool
+	RCode     byte
+	Questions []Question
+	Answers   []RR
+}
+
+// Errors from the codec.
+var (
+	ErrTruncatedMessage = errors.New("dnssim: truncated message")
+	ErrBadName          = errors.New("dnssim: malformed name")
+)
+
+// NewQuery builds a single-question query message.
+func NewQuery(id uint16, name string, qtype uint16) *Message {
+	return &Message{ID: id, Questions: []Question{{Name: name, Type: qtype}}}
+}
+
+// Reply builds a response skeleton echoing the query's ID and questions.
+func (m *Message) Reply() *Message {
+	r := &Message{ID: m.ID, Response: true}
+	r.Questions = append(r.Questions, m.Questions...)
+	return r
+}
+
+// Answer appends an address answer for the first question.
+func (m *Message) Answer(addr netip.Addr) *Message {
+	if len(m.Questions) == 0 {
+		return m
+	}
+	q := m.Questions[0]
+	t := TypeA
+	if addr.Is6() {
+		t = TypeAAAA
+	}
+	m.Answers = append(m.Answers, RR{Name: q.Name, Type: t, TTL: 300, Addr: addr})
+	return m
+}
+
+// Encode serializes the message to DNS wire format (no compression).
+func (m *Message) Encode() ([]byte, error) {
+	out := make([]byte, 12, 64)
+	binary.BigEndian.PutUint16(out[0:2], m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= 1 << 15 // QR
+	}
+	flags |= 1 << 8 // RD
+	flags |= uint16(m.RCode) & 0xF
+	binary.BigEndian.PutUint16(out[2:4], flags)
+	binary.BigEndian.PutUint16(out[4:6], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(out[6:8], uint16(len(m.Answers)))
+	for _, q := range m.Questions {
+		n, err := encodeName(q.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n...)
+		out = binary.BigEndian.AppendUint16(out, q.Type)
+		out = binary.BigEndian.AppendUint16(out, 1) // class IN
+	}
+	for _, rr := range m.Answers {
+		n, err := encodeName(rr.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n...)
+		out = binary.BigEndian.AppendUint16(out, rr.Type)
+		out = binary.BigEndian.AppendUint16(out, 1) // class IN
+		out = binary.BigEndian.AppendUint32(out, rr.TTL)
+		data := rr.Addr.AsSlice()
+		out = binary.BigEndian.AppendUint16(out, uint16(len(data)))
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// Decode parses DNS wire format produced by Encode.
+func Decode(data []byte) (*Message, error) {
+	if len(data) < 12 {
+		return nil, ErrTruncatedMessage
+	}
+	m := &Message{ID: binary.BigEndian.Uint16(data[0:2])}
+	flags := binary.BigEndian.Uint16(data[2:4])
+	m.Response = flags&(1<<15) != 0
+	m.RCode = byte(flags & 0xF)
+	qd := int(binary.BigEndian.Uint16(data[4:6]))
+	an := int(binary.BigEndian.Uint16(data[6:8]))
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, n, err := decodeName(data, off)
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		if off+4 > len(data) {
+			return nil, ErrTruncatedMessage
+		}
+		m.Questions = append(m.Questions, Question{
+			Name: name,
+			Type: binary.BigEndian.Uint16(data[off : off+2]),
+		})
+		off += 4
+	}
+	for i := 0; i < an; i++ {
+		name, n, err := decodeName(data, off)
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		if off+10 > len(data) {
+			return nil, ErrTruncatedMessage
+		}
+		rr := RR{
+			Name: name,
+			Type: binary.BigEndian.Uint16(data[off : off+2]),
+			TTL:  binary.BigEndian.Uint32(data[off+4 : off+8]),
+		}
+		rdlen := int(binary.BigEndian.Uint16(data[off+8 : off+10]))
+		off += 10
+		if off+rdlen > len(data) {
+			return nil, ErrTruncatedMessage
+		}
+		if rdlen == 4 || rdlen == 16 {
+			addr, ok := netip.AddrFromSlice(data[off : off+rdlen])
+			if !ok {
+				return nil, fmt.Errorf("dnssim: bad rdata for %q", name)
+			}
+			rr.Addr = addr
+		}
+		off += rdlen
+		m.Answers = append(m.Answers, rr)
+	}
+	return m, nil
+}
+
+func encodeName(name string) ([]byte, error) {
+	name = strings.TrimSuffix(strings.ToLower(name), ".")
+	if name == "" {
+		return []byte{0}, nil
+	}
+	if len(name) > 253 {
+		return nil, fmt.Errorf("%w: name too long", ErrBadName)
+	}
+	var out []byte
+	for _, label := range strings.Split(name, ".") {
+		if label == "" || len(label) > 63 {
+			return nil, fmt.Errorf("%w: label %q", ErrBadName, label)
+		}
+		out = append(out, byte(len(label)))
+		out = append(out, label...)
+	}
+	return append(out, 0), nil
+}
+
+func decodeName(data []byte, off int) (string, int, error) {
+	var labels []string
+	n := 0
+	for {
+		if off+n >= len(data) {
+			return "", 0, ErrTruncatedMessage
+		}
+		l := int(data[off+n])
+		n++
+		if l == 0 {
+			break
+		}
+		if l > 63 {
+			return "", 0, fmt.Errorf("%w: compression unsupported", ErrBadName)
+		}
+		if off+n+l > len(data) {
+			return "", 0, ErrTruncatedMessage
+		}
+		labels = append(labels, string(data[off+n:off+n+l]))
+		n += l
+	}
+	return strings.Join(labels, "."), n, nil
+}

@@ -1,0 +1,196 @@
+package dnssim
+
+import (
+	"net/netip"
+	"strings"
+	"sync"
+)
+
+// Directory is the simulated global DNS database: hostname to addresses.
+// All resolvers answer from the same directory (modulo manipulation), so
+// a "correct" answer is well defined, exactly the property the paper's
+// DNS-manipulation test relies on when diffing a VPN resolver against
+// Google Public DNS.
+type Directory struct {
+	mu          sync.RWMutex
+	names       map[string][]netip.Addr
+	authorities []*Authority
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{names: make(map[string][]netip.Addr)}
+}
+
+// Register binds a hostname to one or more addresses (replacing any
+// previous binding).
+func (d *Directory) Register(name string, addrs ...netip.Addr) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.names[normalize(name)] = append([]netip.Addr(nil), addrs...)
+}
+
+// Lookup returns the addresses for name with the given record type
+// filter (TypeA returns only v4, TypeAAAA only v6).
+func (d *Directory) Lookup(name string, qtype uint16) []netip.Addr {
+	d.mu.RLock()
+	addrs := d.names[normalize(name)]
+	d.mu.RUnlock()
+	var out []netip.Addr
+	for _, a := range addrs {
+		switch {
+		case qtype == TypeA && a.Is4():
+			out = append(out, a)
+		case qtype == TypeAAAA && a.Is6():
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Exists reports whether name is registered at all (any family).
+func (d *Directory) Exists(name string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.names[normalize(name)]
+	return ok
+}
+
+// AddAuthority attaches an origin-logging authoritative server for a
+// domain suffix.
+func (d *Directory) AddAuthority(a *Authority) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.authorities = append(d.authorities, a)
+}
+
+// authorityFor returns the authority whose suffix covers name, or nil.
+func (d *Directory) authorityFor(name string) *Authority {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	name = normalize(name)
+	for _, a := range d.authorities {
+		if name == a.Suffix || strings.HasSuffix(name, "."+a.Suffix) {
+			return a
+		}
+	}
+	return nil
+}
+
+func normalize(name string) string {
+	return strings.TrimSuffix(strings.ToLower(name), ".")
+}
+
+// OriginRecord is one request seen by an authoritative server: which
+// hostname was asked for, and which resolver address asked.
+type OriginRecord struct {
+	Name string
+	From netip.Addr
+}
+
+// Authority is an authoritative nameserver for a domain suffix that logs
+// the source of every query it receives. The recursive-origin test
+// resolves a unique tagged hostname and reads this log to learn which
+// resolver (and therefore which network) actually performed recursion.
+type Authority struct {
+	Suffix string // e.g. "probe.vpnscope.test"
+	Addr   netip.Addr
+
+	mu  sync.Mutex
+	log []OriginRecord
+}
+
+// NewAuthority creates an authority for suffix.
+func NewAuthority(suffix string, addr netip.Addr) *Authority {
+	return &Authority{Suffix: normalize(suffix), Addr: addr}
+}
+
+// Resolve answers a query for name (always 192.0.2.1 — the content is
+// irrelevant; the log is the point) and records the origin.
+func (a *Authority) Resolve(name string, from netip.Addr) netip.Addr {
+	a.mu.Lock()
+	a.log = append(a.log, OriginRecord{normalize(name), from})
+	a.mu.Unlock()
+	return netip.AddrFrom4([4]byte{192, 0, 2, 1})
+}
+
+// Log returns a snapshot of the origin log.
+func (a *Authority) Log() []OriginRecord {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]OriginRecord, len(a.log))
+	copy(out, a.log)
+	return out
+}
+
+// OriginsOf returns the source addresses that asked for exactly name.
+func (a *Authority) OriginsOf(name string) []netip.Addr {
+	name = normalize(name)
+	var out []netip.Addr
+	for _, r := range a.Log() {
+		if r.Name == name {
+			out = append(out, r.From)
+		}
+	}
+	return out
+}
+
+// Manipulator rewrites resolver answers; nil addrs means NXDOMAIN. The
+// returned slice replaces the true answers. VPN providers that hijack
+// DNS install one of these on their resolver.
+type Manipulator func(name string, qtype uint16, addrs []netip.Addr) []netip.Addr
+
+// Resolver is a recursive DNS resolver host behavior. Attach to a
+// netsim host with Handler.
+type Resolver struct {
+	Name string
+	// Addr is the resolver's own address, reported to authorities as
+	// the recursion origin.
+	Addr netip.Addr
+	Dir  *Directory
+	// Manipulate, when non-nil, rewrites every answer set.
+	Manipulate Manipulator
+}
+
+// HandleQuery processes one wire-format DNS query and returns the
+// wire-format response.
+func (r *Resolver) HandleQuery(query []byte) []byte {
+	m, err := Decode(query)
+	if err != nil || m.Response || len(m.Questions) == 0 {
+		return nil
+	}
+	resp := m.Reply()
+	q := m.Questions[0]
+
+	var addrs []netip.Addr
+	if auth := r.Dir.authorityFor(q.Name); auth != nil {
+		if q.Type == TypeA {
+			addrs = []netip.Addr{auth.Resolve(q.Name, r.Addr)}
+		}
+	} else {
+		addrs = r.Dir.Lookup(q.Name, q.Type)
+	}
+	if r.Manipulate != nil {
+		addrs = r.Manipulate(q.Name, q.Type, addrs)
+	}
+	if len(addrs) == 0 {
+		if !r.Dir.Exists(q.Name) && r.Dir.authorityFor(q.Name) == nil {
+			resp.RCode = RCodeNXDomain
+		}
+	}
+	for _, a := range addrs {
+		resp.Answer(a)
+	}
+	out, err := resp.Encode()
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// Handler adapts the resolver to a netsim UDP handler signature.
+func (r *Resolver) Handler() func(src netip.Addr, srcPort uint16, payload []byte) []byte {
+	return func(_ netip.Addr, _ uint16, payload []byte) []byte {
+		return r.HandleQuery(payload)
+	}
+}

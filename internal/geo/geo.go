@@ -1,0 +1,214 @@
+// Package geo provides the geographic substrate for the simulator:
+// country codes, city coordinates, great-circle distances, and the model
+// that converts distance into network round-trip time.
+//
+// The paper's virtual-vantage-point analysis (§6.4.2) relies entirely on
+// "ping times to hosts with a known location"; in this reproduction those
+// ping times derive from the geometry in this package, so a vantage point
+// physically placed in Prague but advertised as Pyongyang exhibits exactly
+// the RTT signature the paper describes.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Coord is a point on the Earth's surface in decimal degrees.
+type Coord struct {
+	Lat float64 // degrees north, [-90, 90]
+	Lon float64 // degrees east, [-180, 180]
+}
+
+func (c Coord) String() string {
+	return fmt.Sprintf("(%.3f, %.3f)", c.Lat, c.Lon)
+}
+
+// Valid reports whether the coordinate lies in the legal range.
+func (c Coord) Valid() bool {
+	return c.Lat >= -90 && c.Lat <= 90 && c.Lon >= -180 && c.Lon <= 180
+}
+
+const (
+	// EarthRadiusKm is the mean Earth radius used for great-circle math.
+	EarthRadiusKm = 6371.0
+
+	// speedKmPerMs is the propagation speed of light in fiber, ~2/3 c,
+	// expressed in km per millisecond.
+	speedKmPerMs = 200.0
+)
+
+// DistanceKm returns the great-circle distance between a and b using the
+// haversine formula.
+func DistanceKm(a, b Coord) float64 {
+	const rad = math.Pi / 180
+	lat1, lat2 := a.Lat*rad, b.Lat*rad
+	dLat := (b.Lat - a.Lat) * rad
+	dLon := (b.Lon - a.Lon) * rad
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	h := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// PropagationRTTMs returns the ideal two-way propagation delay in
+// milliseconds between two coordinates over fiber, with no queueing,
+// processing, or path stretch.
+func PropagationRTTMs(a, b Coord) float64 {
+	return 2 * DistanceKm(a, b) / speedKmPerMs
+}
+
+// RTTModel converts geography into a realistic round-trip time. Real
+// Internet paths are longer than great circles and add per-hop overhead;
+// the model captures that with a multiplicative path-stretch factor and a
+// constant processing floor.
+type RTTModel struct {
+	// PathStretch multiplies the great-circle propagation delay to account
+	// for indirect routing. Measurement literature puts typical stretch
+	// around 1.5-2.5; the default is 2.0.
+	PathStretch float64
+	// FloorMs is the minimum RTT between any two distinct hosts
+	// (last-mile, queueing, processing). Default 1.0 ms.
+	FloorMs float64
+}
+
+// DefaultRTTModel is the model used by the simulator unless a test
+// installs its own.
+var DefaultRTTModel = RTTModel{PathStretch: 2.0, FloorMs: 1.0}
+
+// RTTMs returns the modeled round-trip time in milliseconds between two
+// coordinates, before jitter.
+func (m RTTModel) RTTMs(a, b Coord) float64 {
+	stretch := m.PathStretch
+	if stretch <= 0 {
+		stretch = 2.0
+	}
+	floor := m.FloorMs
+	if floor <= 0 {
+		floor = 1.0
+	}
+	rtt := PropagationRTTMs(a, b) * stretch
+	if rtt < floor {
+		rtt = floor
+	}
+	return rtt
+}
+
+// Country is an ISO 3166-1 alpha-2 country code, e.g. "US".
+type Country string
+
+// Info describes a country known to the simulator.
+type Info struct {
+	Code    Country
+	Name    string
+	Capital Coord // coordinate used when only a country is known
+	// Censors indicates the country operates national-level content
+	// blocking that the simulator should enforce on egress traffic
+	// (§6.1.1: Turkey, South Korea, Russia, Netherlands, Thailand...).
+	Censors bool
+}
+
+// City is a named location used to place hosts precisely.
+type City struct {
+	Name    string
+	Country Country
+	Coord   Coord
+}
+
+// ErrUnknownCountry is returned by lookups for codes not in the table.
+type ErrUnknownCountry struct{ Code Country }
+
+func (e ErrUnknownCountry) Error() string {
+	return fmt.Sprintf("geo: unknown country %q", string(e.Code))
+}
+
+// CountryInfo returns the Info for code.
+func CountryInfo(code Country) (Info, error) {
+	if info, ok := countries[code]; ok {
+		return info, nil
+	}
+	return Info{}, ErrUnknownCountry{code}
+}
+
+// CountryCoord returns a representative coordinate for the country
+// (its capital). Unknown countries return an error.
+func CountryCoord(code Country) (Coord, error) {
+	info, err := CountryInfo(code)
+	if err != nil {
+		return Coord{}, err
+	}
+	return info.Capital, nil
+}
+
+// CountryName returns the human-readable name, or the code itself when
+// unknown.
+func CountryName(code Country) string {
+	if info, ok := countries[code]; ok {
+		return info.Name
+	}
+	return string(code)
+}
+
+// Censors reports whether the country operates national content blocking
+// in the simulator's model.
+func Censors(code Country) bool {
+	info, ok := countries[code]
+	return ok && info.Censors
+}
+
+// Countries returns all known country codes in no particular order.
+func Countries() []Country {
+	out := make([]Country, 0, len(countries))
+	for c := range countries {
+		out = append(out, c)
+	}
+	return out
+}
+
+// CountryMinDistanceKm returns the smallest great-circle distance from p
+// to any known point (capital or city) of the country — the right lower
+// bound when reasoning about "distance to a country" for physically
+// large countries.
+func CountryMinDistanceKm(code Country, p Coord) (float64, error) {
+	info, err := CountryInfo(code)
+	if err != nil {
+		return 0, err
+	}
+	min := DistanceKm(info.Capital, p)
+	for _, c := range cityList {
+		if c.Country != code {
+			continue
+		}
+		if d := DistanceKm(c.Coord, p); d < min {
+			min = d
+		}
+	}
+	return min, nil
+}
+
+// CityByName returns a known city by name.
+func CityByName(name string) (City, bool) {
+	c, ok := cities[name]
+	return c, ok
+}
+
+// CitiesIn returns all known cities in a country.
+func CitiesIn(code Country) []City {
+	var out []City
+	for _, c := range cityList {
+		if c.Country == code {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Cities returns all known cities in registration order.
+func Cities() []City {
+	out := make([]City, len(cityList))
+	copy(out, cityList)
+	return out
+}

@@ -1,0 +1,196 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	// Reference great-circle distances, tolerance ±2%.
+	cases := []struct {
+		a, b   string
+		wantKm float64
+	}{
+		{"New York", "London", 5570},
+		{"London", "Paris", 344},
+		{"Tokyo", "Seattle", 7700},
+		{"Sydney", "London", 16990},
+		{"Frankfurt", "Amsterdam", 365},
+	}
+	for _, c := range cases {
+		a, ok := CityByName(c.a)
+		if !ok {
+			t.Fatalf("unknown city %q", c.a)
+		}
+		b, ok := CityByName(c.b)
+		if !ok {
+			t.Fatalf("unknown city %q", c.b)
+		}
+		got := DistanceKm(a.Coord, b.Coord)
+		if math.Abs(got-c.wantKm)/c.wantKm > 0.02 {
+			t.Errorf("DistanceKm(%s, %s) = %.0f, want ~%.0f", c.a, c.b, got, c.wantKm)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	wrap := func(lat, lon float64) Coord {
+		return Coord{
+			Lat: math.Mod(math.Abs(lat), 180) - 90,
+			Lon: math.Mod(math.Abs(lon), 360) - 180,
+		}
+	}
+	// Symmetry.
+	if err := quick.Check(func(a1, o1, a2, o2 float64) bool {
+		p, q := wrap(a1, o1), wrap(a2, o2)
+		d1, d2 := DistanceKm(p, q), DistanceKm(q, p)
+		return math.Abs(d1-d2) < 1e-6
+	}, cfg); err != nil {
+		t.Error("symmetry:", err)
+	}
+	// Identity.
+	if err := quick.Check(func(a1, o1 float64) bool {
+		p := wrap(a1, o1)
+		return DistanceKm(p, p) < 1e-6
+	}, cfg); err != nil {
+		t.Error("identity:", err)
+	}
+	// Bounded by half the circumference.
+	maxD := math.Pi * EarthRadiusKm
+	if err := quick.Check(func(a1, o1, a2, o2 float64) bool {
+		d := DistanceKm(wrap(a1, o1), wrap(a2, o2))
+		return d >= 0 && d <= maxD+1e-6
+	}, cfg); err != nil {
+		t.Error("bounds:", err)
+	}
+}
+
+func TestAntipodes(t *testing.T) {
+	a := Coord{0, 0}
+	b := Coord{0, 180}
+	want := math.Pi * EarthRadiusKm
+	if got := DistanceKm(a, b); math.Abs(got-want) > 1 {
+		t.Errorf("antipodal distance = %v, want %v", got, want)
+	}
+}
+
+func TestRTTModel(t *testing.T) {
+	m := DefaultRTTModel
+	ny, _ := CityByName("New York")
+	ldn, _ := CityByName("London")
+	rtt := m.RTTMs(ny.Coord, ldn.Coord)
+	// Transatlantic RTT with 2x stretch over ~5570km: ~111 ms.
+	if rtt < 80 || rtt > 160 {
+		t.Errorf("NY-London RTT = %.1f ms, want 80-160", rtt)
+	}
+	// Identical points hit the floor.
+	if got := m.RTTMs(ny.Coord, ny.Coord); got != m.FloorMs {
+		t.Errorf("same-point RTT = %v, want floor %v", got, m.FloorMs)
+	}
+}
+
+func TestRTTModelZeroValueDefaults(t *testing.T) {
+	var m RTTModel // zero value must still behave sanely
+	a := Coord{0, 0}
+	b := Coord{0, 90}
+	if rtt := m.RTTMs(a, b); rtt <= 0 {
+		t.Errorf("zero-value model RTT = %v, want > 0", rtt)
+	}
+}
+
+func TestAviraScenarioRTTs(t *testing.T) {
+	// §6.4.2: Avira's "US" vantage point pinged European hosts in < 9 ms
+	// and US hosts at 113-173 ms — our model must reproduce that shape
+	// for a server actually in Europe.
+	server, _ := CityByName("Frankfurt")
+	lux, _ := CityByName("Luxembourg")
+	ams, _ := CityByName("Amsterdam")
+	nyc, _ := CityByName("New York")
+	sea, _ := CityByName("Seattle")
+
+	m := DefaultRTTModel
+	if rtt := m.RTTMs(server.Coord, lux.Coord); rtt > 9 {
+		t.Errorf("Frankfurt-Luxembourg = %.1f ms, want < 9", rtt)
+	}
+	if rtt := m.RTTMs(server.Coord, ams.Coord); rtt > 9 {
+		t.Errorf("Frankfurt-Amsterdam = %.1f ms, want < 9", rtt)
+	}
+	if rtt := m.RTTMs(server.Coord, nyc.Coord); rtt < 50 || rtt > 180 {
+		t.Errorf("Frankfurt-NY = %.1f ms, want 50-180", rtt)
+	}
+	if rtt := m.RTTMs(server.Coord, sea.Coord); rtt < 100 {
+		t.Errorf("Frankfurt-Seattle = %.1f ms, want > 100", rtt)
+	}
+}
+
+func TestCountryLookups(t *testing.T) {
+	info, err := CountryInfo("US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "United States" {
+		t.Errorf("US name = %q", info.Name)
+	}
+	if _, err := CountryInfo("XX"); err == nil {
+		t.Error("expected error for unknown country")
+	} else if _, ok := err.(ErrUnknownCountry); !ok {
+		t.Errorf("error type = %T, want ErrUnknownCountry", err)
+	}
+	if CountryName("XX") != "XX" {
+		t.Error("unknown CountryName should echo code")
+	}
+}
+
+func TestCensorshipFlags(t *testing.T) {
+	for _, c := range []Country{"RU", "TR", "KR", "NL", "TH", "CN", "IR"} {
+		if !Censors(c) {
+			t.Errorf("%s should censor", c)
+		}
+	}
+	for _, c := range []Country{"US", "DE", "SE", "CA", "GB"} {
+		if Censors(c) {
+			t.Errorf("%s should not censor", c)
+		}
+	}
+}
+
+func TestCitiesConsistency(t *testing.T) {
+	for _, c := range Cities() {
+		if !c.Coord.Valid() {
+			t.Errorf("city %s has invalid coord %v", c.Name, c.Coord)
+		}
+		if _, err := CountryInfo(c.Country); err != nil {
+			t.Errorf("city %s references unknown country %s", c.Name, c.Country)
+		}
+	}
+	if len(CitiesIn("US")) < 5 {
+		t.Error("expected several US cities")
+	}
+	if len(Countries()) < 50 {
+		t.Errorf("expected >= 50 countries, got %d", len(Countries()))
+	}
+}
+
+func TestCityCountryCoordNear(t *testing.T) {
+	// Every city must be within 4000 km of its country's capital —
+	// a sanity check against typos in the data tables.
+	for _, c := range Cities() {
+		cap, err := CountryCoord(c.Country)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := DistanceKm(c.Coord, cap); d > 4000 {
+			t.Errorf("%s is %.0f km from its capital; data typo?", c.Name, d)
+		}
+	}
+}
+
+func BenchmarkDistanceKm(b *testing.B) {
+	p := Coord{40.71, -74.01}
+	q := Coord{51.51, -0.13}
+	for i := 0; i < b.N; i++ {
+		_ = DistanceKm(p, q)
+	}
+}

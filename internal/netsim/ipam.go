@@ -1,0 +1,54 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Block is an address block as seen in WHOIS/BGP data: a CIDR prefix
+// announced by an ASN and registered to an organization, whose hosts are
+// physically in Country. The shared-infrastructure analysis (Table 5 of
+// the paper) groups vantage points by these blocks.
+type Block struct {
+	Prefix  netip.Prefix
+	ASN     int
+	Org     string
+	Country string // ISO code of the advertised block location
+}
+
+// Allocator hands out addresses sequentially from a Block, skipping the
+// network and broadcast addresses of IPv4 prefixes.
+type Allocator struct {
+	block Block
+	next  netip.Addr
+	count int
+}
+
+// NewAllocator returns an allocator over block. The first allocated
+// address is the prefix base plus one.
+func NewAllocator(block Block) *Allocator {
+	return &Allocator{block: block, next: block.Prefix.Addr().Next()}
+}
+
+// Block returns the block being allocated from.
+func (a *Allocator) Block() Block { return a.block }
+
+// Next returns the next free address in the block.
+func (a *Allocator) Next() (netip.Addr, error) {
+	addr := a.next
+	if !a.block.Prefix.Contains(addr) {
+		return netip.Addr{}, fmt.Errorf("netsim: block %v exhausted after %d addresses", a.block.Prefix, a.count)
+	}
+	a.next = addr.Next()
+	a.count++
+	return addr, nil
+}
+
+// MustNext is Next for initialization code where exhaustion is a bug.
+func (a *Allocator) MustNext() netip.Addr {
+	addr, err := a.Next()
+	if err != nil {
+		panic(err)
+	}
+	return addr
+}

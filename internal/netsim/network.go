@@ -1,0 +1,453 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"vpnscope/internal/capture"
+	"vpnscope/internal/geo"
+	"vpnscope/internal/simrand"
+)
+
+// Errors returned by exchanges.
+var (
+	// ErrTimeout means the peer never answered (host down, lossy path,
+	// or firewalled). The clock still advances by the timeout budget.
+	ErrTimeout = errors.New("netsim: timeout")
+	// ErrNoRoute means no host owns the destination address.
+	ErrNoRoute = errors.New("netsim: no route to host")
+	// ErrRefused means the host exists but nothing listens on the port.
+	ErrRefused = errors.New("netsim: connection refused")
+	// ErrBlocked means a local firewall rule dropped the packet before
+	// it left the stack.
+	ErrBlocked = errors.New("netsim: blocked by local firewall")
+)
+
+// Timeout is the virtual-time budget spent on an exchange that never
+// completes, matching a typical client socket timeout.
+const Timeout = 5 * time.Second
+
+// Network is the simulated Internet: a registry of hosts plus the
+// latency, jitter, and loss models that govern exchanges between them.
+type Network struct {
+	Clock *Clock
+
+	rttModel geo.RTTModel
+	mu       sync.RWMutex
+	hosts    map[netip.Addr]*Host
+	rng      *simrand.Source
+}
+
+// New creates an empty network seeded for deterministic jitter and loss.
+func New(seed uint64) *Network {
+	return &Network{
+		Clock:    NewClock(),
+		rttModel: geo.DefaultRTTModel,
+		hosts:    make(map[netip.Addr]*Host),
+		rng:      simrand.New(seed).Fork("netsim"),
+	}
+}
+
+// AddHost registers h under its IPv4 (and, if present, IPv6) address.
+func (n *Network) AddHost(h *Host) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !h.Addr.IsValid() {
+		return fmt.Errorf("netsim: host %q has no address", h.Name)
+	}
+	if other, ok := n.hosts[h.Addr]; ok && other != h {
+		return fmt.Errorf("netsim: address %v already owned by %q", h.Addr, other.Name)
+	}
+	n.hosts[h.Addr] = h
+	if h.Addr6.IsValid() {
+		if other, ok := n.hosts[h.Addr6]; ok && other != h {
+			return fmt.Errorf("netsim: address %v already owned by %q", h.Addr6, other.Name)
+		}
+		n.hosts[h.Addr6] = h
+	}
+	return nil
+}
+
+// HostByAddr returns the host owning addr, or nil.
+func (n *Network) HostByAddr(addr netip.Addr) *Host {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.hosts[addr]
+}
+
+// Hosts returns all registered hosts (deduplicated) in no particular
+// order.
+func (n *Network) Hosts() []*Host {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	seen := make(map[*Host]bool, len(n.hosts))
+	out := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// baseRTT returns the modeled RTT between two coordinates with
+// deterministic jitter applied (a few percent, never negative).
+func (n *Network) baseRTT(a, b geo.Coord) time.Duration {
+	ms := n.rttModel.RTTMs(a, b)
+	jitter := 1 + 0.015*n.rng.NormFloat64()
+	if jitter < 0.95 {
+		jitter = 0.95
+	}
+	return time.Duration(ms * jitter * float64(time.Millisecond))
+}
+
+// RTTBetween returns one jittered RTT sample between two hosts.
+func (n *Network) RTTBetween(a, b *Host) time.Duration {
+	return n.baseRTT(a.Coord, b.Coord)
+}
+
+// Exchange originates the raw IP packet pkt from host `from`, delivers
+// it to the destination named in the header, and returns the first
+// response packet. The virtual clock advances by the modeled exchange
+// time (one RTT for UDP/ICMP, two for TCP's handshake-plus-request, plus
+// Timeout on failures that time out).
+func (n *Network) Exchange(from *Host, pkt []byte) ([]byte, error) {
+	dst, proto, err := peekIP(pkt)
+	if err != nil {
+		return nil, err
+	}
+	target := n.HostByAddr(dst)
+	if target == nil {
+		// Unrouted destinations burn the full timeout.
+		n.Clock.Advance(Timeout)
+		return nil, fmt.Errorf("%w: %v", ErrNoRoute, dst)
+	}
+	// TTL semantics: the path to the target has pathHops hops (the
+	// target being the last); a packet whose TTL runs out earlier gets
+	// an ICMP Time Exceeded from the router where it died, which is
+	// what traceroute harvests.
+	hops := pathHops(from.Coord, target.Coord)
+	if ttl := peekTTL(pkt); int(ttl) < hops {
+		return n.expireAtHop(from, target, pkt, int(ttl), hops)
+	}
+	rtt := n.baseRTT(from.Coord, target.Coord)
+	if target.down() || !n.rng.Bool(target.reliability()) {
+		n.Clock.Advance(Timeout)
+		return nil, fmt.Errorf("%w: %v (%s)", ErrTimeout, dst, target.Name)
+	}
+	if proto == capture.ProtoTCP {
+		// Handshake costs an extra round trip.
+		rtt *= 2
+	}
+	n.Clock.Advance(rtt)
+
+	responses, err := n.deliver(target, pkt)
+	if err != nil {
+		return nil, err
+	}
+	if len(responses) == 0 {
+		return nil, nil
+	}
+	return responses[0], nil
+}
+
+// pathHops returns the router-path length between two coordinates: 3
+// hops locally, up to 9 intercontinentally.
+func pathHops(a, b geo.Coord) int {
+	hops := 3 + int(geo.DistanceKm(a, b)/2000)
+	if hops > 9 {
+		hops = 9
+	}
+	return hops
+}
+
+// peekTTL reads the TTL (v4) or hop limit (v6) of a raw IP packet.
+func peekTTL(pkt []byte) byte {
+	switch {
+	case len(pkt) >= 20 && pkt[0]>>4 == 4:
+		return pkt[8]
+	case len(pkt) >= 40 && pkt[0]>>4 == 6:
+		return pkt[7]
+	default:
+		return 255
+	}
+}
+
+// expireAtHop answers a TTL-exhausted packet with ICMP Time Exceeded
+// from the hop where it died. Only the time to that hop elapses.
+func (n *Network) expireAtHop(from, target *Host, pkt []byte, ttl, hops int) ([]byte, error) {
+	if ttl < 1 {
+		ttl = 1
+	}
+	src, _, err := peekSrc(pkt)
+	if err != nil {
+		return nil, err
+	}
+	frac := float64(ttl) / float64(hops)
+	mid := geo.Coord{
+		Lat: from.Coord.Lat + (target.Coord.Lat-from.Coord.Lat)*frac,
+		Lon: from.Coord.Lon + (target.Coord.Lon-from.Coord.Lon)*frac,
+	}
+	n.Clock.Advance(n.baseRTT(from.Coord, mid))
+	dst, _, _ := peekIP(pkt)
+	router := routerAddr(from.Addr, dst, ttl)
+	// Time Exceeded only makes sense for IPv4 in this simulator (the
+	// router addresses are v4); v6 packets just die quietly.
+	if !src.Is4() {
+		return nil, fmt.Errorf("%w: %v (hop limit exceeded)", ErrTimeout, dst)
+	}
+	return buildPacket(router, src,
+		&capture.ICMP{TypeCode: capture.ICMPTimeExceeded})
+}
+
+// peekSrc extracts the source address of a raw IP packet.
+func peekSrc(pkt []byte) (src netip.Addr, proto capture.IPProtocol, err error) {
+	switch {
+	case len(pkt) >= 20 && pkt[0]>>4 == 4:
+		a, _ := netip.AddrFromSlice(pkt[12:16])
+		return a, capture.IPProtocol(pkt[9]), nil
+	case len(pkt) >= 40 && pkt[0]>>4 == 6:
+		a, _ := netip.AddrFromSlice(pkt[8:24])
+		return a, capture.IPProtocol(pkt[6]), nil
+	default:
+		return netip.Addr{}, 0, &capture.DecodeError{Type: capture.TypeInvalid, Reason: "unknown IP version"}
+	}
+}
+
+// deliver dispatches pkt on the target host and returns response packets.
+func (n *Network) deliver(target *Host, pkt []byte) ([][]byte, error) {
+	if raw := target.rawHandler(); raw != nil {
+		if resp := raw(n, pkt); resp != nil {
+			return resp, nil
+		}
+	}
+	p := capture.NewPacket(pkt, firstLayerType(pkt), capture.NoCopy)
+	if el := p.ErrorLayer(); el != nil {
+		return nil, el
+	}
+	nl := p.NetworkLayer()
+	if nl == nil {
+		return nil, &capture.DecodeError{Type: capture.TypeInvalid, Reason: "no network layer"}
+	}
+	srcAddr, _ := netip.AddrFromSlice(nl.NetworkFlow().Src())
+	dstAddr, _ := netip.AddrFromSlice(nl.NetworkFlow().Dst())
+
+	switch l := p.Layer(capture.TypeICMP); {
+	case l != nil:
+		ic := l.(*capture.ICMP)
+		if ic.TypeCode != capture.ICMPEchoRequest {
+			return nil, nil
+		}
+		reply, err := buildPacket(dstAddr, srcAddr,
+			&capture.ICMP{TypeCode: capture.ICMPEchoReply, ID: ic.ID, Seq: ic.Seq},
+			capture.Payload(ic.LayerPayload()))
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{reply}, nil
+	}
+
+	if l := p.Layer(capture.TypeUDP); l != nil {
+		u := l.(*capture.UDP)
+		h := target.udpHandler(u.DstPort)
+		if h == nil {
+			return nil, fmt.Errorf("%w: udp %v:%d", ErrRefused, dstAddr, u.DstPort)
+		}
+		payload := h(srcAddr, u.SrcPort, u.LayerPayload())
+		if payload == nil {
+			return nil, nil
+		}
+		reply, err := buildPacket(dstAddr, srcAddr,
+			&capture.UDP{SrcPort: u.DstPort, DstPort: u.SrcPort},
+			capture.Payload(payload))
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{reply}, nil
+	}
+
+	if l := p.Layer(capture.TypeTCP); l != nil {
+		t := l.(*capture.TCP)
+		h := target.tcpHandler(t.DstPort)
+		if h == nil {
+			return nil, fmt.Errorf("%w: tcp %v:%d", ErrRefused, dstAddr, t.DstPort)
+		}
+		payload := h(srcAddr, t.SrcPort, t.LayerPayload())
+		if payload == nil {
+			return nil, nil
+		}
+		reply, err := buildPacket(dstAddr, srcAddr,
+			&capture.TCP{SrcPort: t.DstPort, DstPort: t.SrcPort,
+				Flags: capture.FlagACK | capture.FlagPSH},
+			capture.Payload(payload))
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{reply}, nil
+	}
+	return nil, nil
+}
+
+// peekIP extracts the destination address and transport protocol from a
+// raw IP packet without a full decode.
+func peekIP(pkt []byte) (dst netip.Addr, proto capture.IPProtocol, err error) {
+	if len(pkt) < 1 {
+		return netip.Addr{}, 0, &capture.DecodeError{Type: capture.TypeInvalid, Reason: "empty packet"}
+	}
+	switch pkt[0] >> 4 {
+	case 4:
+		if len(pkt) < 20 {
+			return netip.Addr{}, 0, &capture.DecodeError{Type: capture.TypeIPv4, Reason: "truncated"}
+		}
+		a, _ := netip.AddrFromSlice(pkt[16:20])
+		return a, capture.IPProtocol(pkt[9]), nil
+	case 6:
+		if len(pkt) < 40 {
+			return netip.Addr{}, 0, &capture.DecodeError{Type: capture.TypeIPv6, Reason: "truncated"}
+		}
+		a, _ := netip.AddrFromSlice(pkt[24:40])
+		return a, capture.IPProtocol(pkt[6]), nil
+	default:
+		return netip.Addr{}, 0, &capture.DecodeError{Type: capture.TypeInvalid, Reason: "unknown IP version"}
+	}
+}
+
+// firstLayerType returns the layer type of a raw IP packet's first byte.
+func firstLayerType(pkt []byte) capture.LayerType {
+	if len(pkt) > 0 && pkt[0]>>4 == 6 {
+		return capture.TypeIPv6
+	}
+	return capture.TypeIPv4
+}
+
+// buildPacket serializes a network packet from src to dst wrapping the
+// given transport and payload layers, with the default TTL of 64.
+func buildPacket(src, dst netip.Addr, inner ...capture.SerializableLayer) ([]byte, error) {
+	return buildPacketTTL(64, src, dst, inner...)
+}
+
+// buildPacketTTL is buildPacket with an explicit TTL / hop limit —
+// traceroute's probe ladder needs it.
+func buildPacketTTL(ttl byte, src, dst netip.Addr, inner ...capture.SerializableLayer) ([]byte, error) {
+	buf := capture.NewSerializeBuffer()
+	var netLayer capture.SerializableLayer
+	proto := protoOf(inner)
+	if src.Is4() && dst.Is4() {
+		netLayer = &capture.IPv4{TTL: ttl, Protocol: proto, Src: src, Dst: dst}
+	} else {
+		netLayer = &capture.IPv6{HopLimit: ttl, Next: proto, Src: src, Dst: dst}
+	}
+	layers := append([]capture.SerializableLayer{netLayer}, inner...)
+	if err := capture.SerializeLayers(buf, layers...); err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(buf.Bytes()))
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+func protoOf(layers []capture.SerializableLayer) capture.IPProtocol {
+	for _, l := range layers {
+		switch l.LayerType() {
+		case capture.TypeUDP:
+			return capture.ProtoUDP
+		case capture.TypeTCP:
+			return capture.ProtoTCP
+		case capture.TypeICMP:
+			return capture.ProtoICMP
+		case capture.TypeTunnel:
+			return capture.ProtoTunnel
+		}
+	}
+	return capture.ProtoUDP
+}
+
+// BuildPacket is the exported form of buildPacket for other packages
+// (the VPN server synthesizes forwarded packets).
+func BuildPacket(src, dst netip.Addr, inner ...capture.SerializableLayer) ([]byte, error) {
+	return buildPacket(src, dst, inner...)
+}
+
+// BuildPacketTTL is BuildPacket with an explicit TTL / hop limit.
+func BuildPacketTTL(ttl byte, src, dst netip.Addr, inner ...capture.SerializableLayer) ([]byte, error) {
+	return buildPacketTTL(ttl, src, dst, inner...)
+}
+
+// ---------------------------------------------------------------------
+// Ping and traceroute
+// ---------------------------------------------------------------------
+
+// Ping measures one ICMP echo RTT from host `from` to dst. It advances
+// the clock like any exchange.
+func (n *Network) Ping(from *Host, dst netip.Addr) (time.Duration, error) {
+	before := n.Clock.Now()
+	pkt, err := buildPacket(from.Addr, dst,
+		&capture.ICMP{TypeCode: capture.ICMPEchoRequest, ID: 1, Seq: 1})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := n.Exchange(from, pkt); err != nil {
+		return 0, err
+	}
+	return n.Clock.Now() - before, nil
+}
+
+// Hop is one traceroute hop.
+type Hop struct {
+	Addr netip.Addr
+	RTT  time.Duration
+}
+
+// Traceroute synthesizes the router path from `from` to dst: hop
+// coordinates interpolate the great circle between the endpoints, hop
+// addresses derive deterministically from the endpoint pair, and the
+// final hop is the destination itself. The clock advances by the total
+// probing time (one RTT per hop).
+func (n *Network) Traceroute(from *Host, dst netip.Addr) ([]Hop, error) {
+	target := n.HostByAddr(dst)
+	if target == nil {
+		n.Clock.Advance(Timeout)
+		return nil, fmt.Errorf("%w: %v", ErrNoRoute, dst)
+	}
+	dist := geo.DistanceKm(from.Coord, target.Coord)
+	// 3 hops locally, up to 9 intercontinentally.
+	hops := 3 + int(dist/2000)
+	if hops > 9 {
+		hops = 9
+	}
+	out := make([]Hop, 0, hops)
+	for i := 1; i <= hops; i++ {
+		frac := float64(i) / float64(hops)
+		mid := geo.Coord{
+			Lat: from.Coord.Lat + (target.Coord.Lat-from.Coord.Lat)*frac,
+			Lon: from.Coord.Lon + (target.Coord.Lon-from.Coord.Lon)*frac,
+		}
+		rtt := n.baseRTT(from.Coord, mid)
+		n.Clock.Advance(rtt)
+		addr := dst
+		if i < hops {
+			addr = routerAddr(from.Addr, dst, i)
+		}
+		out = append(out, Hop{Addr: addr, RTT: rtt})
+	}
+	return out, nil
+}
+
+// routerAddr derives a stable synthetic router address for hop i of the
+// path between two endpoints, inside 198.18.0.0/15 (RFC 2544 benchmark
+// space, guaranteed not to collide with simulated hosts).
+func routerAddr(a, b netip.Addr, i int) netip.Addr {
+	h := uint64(0xCBF29CE484222325)
+	for _, bb := range a.AsSlice() {
+		h = (h ^ uint64(bb)) * 0x100000001B3
+	}
+	for _, bb := range b.AsSlice() {
+		h = (h ^ uint64(bb)) * 0x100000001B3
+	}
+	h = (h ^ uint64(i)) * 0x100000001B3
+	return netip.AddrFrom4([4]byte{198, 18 + byte(h>>8&1), byte(h >> 16), byte(h >> 24)})
+}

@@ -1,0 +1,483 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"vpnscope/internal/capture"
+)
+
+// SendFunc delivers a raw IP packet out an interface and returns the
+// response packet (nil when the exchange has no response).
+type SendFunc func(pkt []byte) ([]byte, error)
+
+// Interface is one network interface of a Stack. The physical interface
+// ("en0") delivers straight onto the Network; tunnel interfaces
+// ("utun0") are installed by VPN clients with an encapsulating SendFunc.
+type Interface struct {
+	Name string
+	Addr netip.Addr
+	Sink *capture.Sink
+	send SendFunc
+}
+
+// Route maps a destination prefix to an egress interface. Longest
+// prefix wins; ties break toward the most recently added route.
+type Route struct {
+	Prefix netip.Prefix
+	Iface  string
+	// Blackhole drops matching packets instead of forwarding them —
+	// how a well-behaved VPN client disables IPv6 it cannot carry.
+	Blackhole bool
+}
+
+// PhysicalName and TunnelName are the conventional interface names,
+// mirroring macOS (the paper's test platform).
+const (
+	PhysicalName = "en0"
+	TunnelName   = "utun0"
+)
+
+// Stack is a client machine's network stack: interfaces, a routing
+// table, resolver configuration, IPv6 state, and an outbound firewall.
+// It is the layer VPN client software manipulates, and the layer whose
+// misconfigurations the paper's leak tests (§5.3.3) expose.
+type Stack struct {
+	Host *Host
+	Net  *Network
+
+	mu        sync.Mutex
+	ifaces    map[string]*Interface
+	routes    []Route
+	resolvers []netip.Addr
+	ipv6      bool
+	// allowOnly, when non-nil, drops any packet leaving the physical
+	// interface whose destination is not in the set (the tunnel-failure
+	// test harness and provider kill switches both use this).
+	allowOnly map[netip.Addr]bool
+	// webrtcMasked models the browser/extension setting that stops
+	// WebRTC ICE gathering from revealing local interface addresses;
+	// some VPN products toggle it, most cannot.
+	webrtcMasked bool
+}
+
+// NewStack builds a stack for host with its physical interface and
+// default routes installed.
+func NewStack(n *Network, host *Host) *Stack {
+	s := &Stack{
+		Host:   host,
+		Net:    n,
+		ifaces: make(map[string]*Interface),
+		ipv6:   host.HasIPv6(),
+	}
+	phys := &Interface{
+		Name: PhysicalName,
+		Addr: host.Addr,
+		Sink: capture.NewSink(),
+		send: func(pkt []byte) ([]byte, error) { return n.Exchange(host, pkt) },
+	}
+	s.ifaces[PhysicalName] = phys
+	s.routes = []Route{{Prefix: netip.MustParsePrefix("0.0.0.0/0"), Iface: PhysicalName}}
+	if host.HasIPv6() {
+		s.routes = append(s.routes, Route{Prefix: netip.MustParsePrefix("::/0"), Iface: PhysicalName})
+	}
+	return s
+}
+
+// Interface returns the named interface, or nil.
+func (s *Stack) Interface(name string) *Interface {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ifaces[name]
+}
+
+// AddInterface installs a new interface (a VPN tunnel device).
+func (s *Stack) AddInterface(name string, addr netip.Addr, send SendFunc) *Interface {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	iface := &Interface{Name: name, Addr: addr, Sink: capture.NewSink(), send: send}
+	s.ifaces[name] = iface
+	return iface
+}
+
+// RemoveInterface tears down the named interface and any routes through
+// it.
+func (s *Stack) RemoveInterface(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.ifaces, name)
+	kept := s.routes[:0]
+	for _, r := range s.routes {
+		if r.Iface != name || r.Blackhole {
+			kept = append(kept, r)
+		}
+	}
+	s.routes = kept
+}
+
+// AddRoute installs a route. Routes added later win ties.
+func (s *Stack) AddRoute(r Route) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.routes = append(s.routes, r)
+}
+
+// RemoveRoutes deletes all routes matching pred.
+func (s *Stack) RemoveRoutes(pred func(Route) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.routes[:0]
+	for _, r := range s.routes {
+		if !pred(r) {
+			kept = append(kept, r)
+		}
+	}
+	s.routes = kept
+}
+
+// Routes returns a copy of the routing table.
+func (s *Stack) Routes() []Route {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Route, len(s.routes))
+	copy(out, s.routes)
+	return out
+}
+
+// lookupRoute returns the best route for dst, or nil.
+func (s *Stack) lookupRoute(dst netip.Addr) *Route {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *Route
+	for i := range s.routes {
+		r := &s.routes[i]
+		if !r.Prefix.Contains(dst) {
+			continue
+		}
+		if best == nil ||
+			r.Prefix.Bits() > best.Prefix.Bits() ||
+			(r.Prefix.Bits() == best.Prefix.Bits() && i > 0) {
+			best = r
+		}
+	}
+	return best
+}
+
+// SetResolvers replaces the system DNS resolver list.
+func (s *Stack) SetResolvers(addrs ...netip.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resolvers = append([]netip.Addr(nil), addrs...)
+}
+
+// Resolvers returns the configured DNS resolvers.
+func (s *Stack) Resolvers() []netip.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]netip.Addr(nil), s.resolvers...)
+}
+
+// SetIPv6 toggles IPv6 on the stack.
+func (s *Stack) SetIPv6(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ipv6 = on
+}
+
+// IPv6Enabled reports whether the stack will emit IPv6 packets.
+func (s *Stack) IPv6Enabled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ipv6
+}
+
+// SetAllowOnly installs (or, with nil, removes) the physical-interface
+// outbound allowlist used to induce tunnel failures and to model kill
+// switches. The resulting firewall drops packets to any destination not
+// listed.
+func (s *Stack) SetAllowOnly(addrs []netip.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if addrs == nil {
+		s.allowOnly = nil
+		return
+	}
+	m := make(map[netip.Addr]bool, len(addrs))
+	for _, a := range addrs {
+		m[a] = true
+	}
+	s.allowOnly = m
+}
+
+// AllowAlso adds addresses to an existing allowlist (no-op when the
+// firewall is disabled).
+func (s *Stack) AllowAlso(addrs ...netip.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.allowOnly == nil {
+		return
+	}
+	for _, a := range addrs {
+		s.allowOnly[a] = true
+	}
+}
+
+func (s *Stack) blockedByFirewall(dst netip.Addr) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allowOnly != nil && !s.allowOnly[dst]
+}
+
+// Send routes a raw IP packet out the stack: route lookup, firewall,
+// capture, delivery, response capture. It returns the raw response
+// packet (nil for one-way traffic).
+func (s *Stack) Send(pkt []byte) ([]byte, error) {
+	dst, _, err := peekIP(pkt)
+	if err != nil {
+		return nil, err
+	}
+	if dst.Is6() && !s.IPv6Enabled() {
+		return nil, fmt.Errorf("%w: IPv6 disabled", ErrBlocked)
+	}
+	route := s.lookupRoute(dst)
+	if route == nil {
+		return nil, fmt.Errorf("%w: %v (no route)", ErrNoRoute, dst)
+	}
+	if route.Blackhole {
+		return nil, fmt.Errorf("%w: blackhole route %v", ErrBlocked, route.Prefix)
+	}
+	return s.SendVia(route.Iface, pkt)
+}
+
+// SendVia sends a raw IP packet out a specific interface, applying the
+// physical firewall and recording captures. VPN clients call this with
+// the physical interface to carry their encapsulated traffic.
+func (s *Stack) SendVia(ifaceName string, pkt []byte) ([]byte, error) {
+	s.mu.Lock()
+	iface := s.ifaces[ifaceName]
+	s.mu.Unlock()
+	if iface == nil {
+		return nil, fmt.Errorf("%w: interface %q gone", ErrNoRoute, ifaceName)
+	}
+	if ifaceName == PhysicalName {
+		dst, _, err := peekIP(pkt)
+		if err != nil {
+			return nil, err
+		}
+		if s.blockedByFirewall(dst) {
+			return nil, fmt.Errorf("%w: %v", ErrBlocked, dst)
+		}
+	}
+	iface.Sink.Capture(s.Net.Clock.Now(), ifaceName, capture.DirOut, pkt)
+	resp, err := iface.send(pkt)
+	if err != nil {
+		return nil, err
+	}
+	if resp != nil {
+		iface.Sink.Capture(s.Net.Clock.Now(), ifaceName, capture.DirIn, resp)
+	}
+	return resp, nil
+}
+
+// srcAddrFor picks the source address for a destination: the egress
+// interface's address, matching the destination's family.
+func (s *Stack) srcAddrFor(dst netip.Addr, route *Route) netip.Addr {
+	if dst.Is6() {
+		if s.Host.HasIPv6() {
+			return s.Host.Addr6
+		}
+		return netip.Addr{}
+	}
+	s.mu.Lock()
+	iface := s.ifaces[route.Iface]
+	s.mu.Unlock()
+	if iface != nil && iface.Addr.IsValid() {
+		return iface.Addr
+	}
+	return s.Host.Addr
+}
+
+// QueryUDP performs one UDP request/response with dst:port.
+func (s *Stack) QueryUDP(dst netip.Addr, port uint16, payload []byte) ([]byte, error) {
+	return s.exchange(dst, port, payload, false)
+}
+
+// ExchangeTCP performs one TCP request/response with dst:port.
+func (s *Stack) ExchangeTCP(dst netip.Addr, port uint16, payload []byte) ([]byte, error) {
+	return s.exchange(dst, port, payload, true)
+}
+
+func (s *Stack) exchange(dst netip.Addr, port uint16, payload []byte, tcp bool) ([]byte, error) {
+	route := s.lookupRoute(dst)
+	if route == nil {
+		return nil, fmt.Errorf("%w: %v (no route)", ErrNoRoute, dst)
+	}
+	src := s.srcAddrFor(dst, route)
+	if !src.IsValid() {
+		return nil, fmt.Errorf("%w: no %v source address", ErrNoRoute, dst)
+	}
+	var transport capture.SerializableLayer
+	srcPort := s.ephemeralPort()
+	if tcp {
+		transport = &capture.TCP{SrcPort: srcPort, DstPort: port, Flags: capture.FlagACK | capture.FlagPSH}
+	} else {
+		transport = &capture.UDP{SrcPort: srcPort, DstPort: port}
+	}
+	pkt, err := buildPacket(src, dst, transport, capture.Payload(payload))
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.Send(pkt)
+	if err != nil {
+		return nil, err
+	}
+	if resp == nil {
+		return nil, nil
+	}
+	p := capture.NewPacket(resp, firstLayerType(resp), capture.Default)
+	return p.ApplicationLayer(), nil
+}
+
+// Ping sends an ICMP echo to dst via the routing table and returns its
+// RTT as observed by the stack (virtual clock delta).
+func (s *Stack) Ping(dst netip.Addr) (rtt float64, err error) {
+	route := s.lookupRoute(dst)
+	if route == nil {
+		return 0, fmt.Errorf("%w: %v (no route)", ErrNoRoute, dst)
+	}
+	src := s.srcAddrFor(dst, route)
+	if !src.IsValid() {
+		return 0, fmt.Errorf("%w: no source address for %v", ErrNoRoute, dst)
+	}
+	pkt, err := buildPacket(src, dst, &capture.ICMP{TypeCode: capture.ICMPEchoRequest, ID: 9, Seq: 1})
+	if err != nil {
+		return 0, err
+	}
+	before := s.Net.Clock.Now()
+	resp, err := s.Send(pkt)
+	if err != nil {
+		return 0, err
+	}
+	if resp == nil {
+		return 0, fmt.Errorf("%w: no echo reply from %v", ErrTimeout, dst)
+	}
+	return float64(s.Net.Clock.Now()-before) / 1e6, nil // milliseconds
+}
+
+// SetWebRTCMasked toggles the browser's WebRTC local-address masking.
+func (s *Stack) SetWebRTCMasked(masked bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.webrtcMasked = masked
+}
+
+// WebRTCMasked reports whether ICE gathering hides local addresses.
+func (s *Stack) WebRTCMasked() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.webrtcMasked
+}
+
+// InterfaceAddrs returns every address configured on the stack's
+// interfaces (plus the host's IPv6 address) — the host-candidate set
+// WebRTC ICE gathering exposes to web pages.
+func (s *Stack) InterfaceAddrs() []netip.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []netip.Addr
+	for _, iface := range s.ifaces {
+		if iface.Addr.IsValid() {
+			out = append(out, iface.Addr)
+		}
+	}
+	if s.Host.HasIPv6() {
+		out = append(out, s.Host.Addr6)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// TracerouteHop is one hop discovered by Stack.Traceroute.
+type TracerouteHop struct {
+	Addr netip.Addr
+	// RTTms is the round trip to the hop in milliseconds.
+	RTTms float64
+	// Reached marks the final hop (echo reply from the destination).
+	Reached bool
+}
+
+// Traceroute runs a classic TTL ladder toward dst through the routing
+// table (so a tunnel default route produces the view from inside the
+// tunnel): ICMP echoes with increasing TTL, collecting the Time
+// Exceeded responders until the destination answers or maxHops is
+// exhausted.
+func (s *Stack) Traceroute(dst netip.Addr, maxHops int) ([]TracerouteHop, error) {
+	if maxHops <= 0 {
+		maxHops = 16
+	}
+	route := s.lookupRoute(dst)
+	if route == nil {
+		return nil, fmt.Errorf("%w: %v (no route)", ErrNoRoute, dst)
+	}
+	src := s.srcAddrFor(dst, route)
+	if !src.IsValid() {
+		return nil, fmt.Errorf("%w: no source address for %v", ErrNoRoute, dst)
+	}
+	var out []TracerouteHop
+	for ttl := 1; ttl <= maxHops; ttl++ {
+		pkt, err := buildPacketTTL(byte(ttl), src, dst,
+			&capture.ICMP{TypeCode: capture.ICMPEchoRequest, ID: 33, Seq: uint16(ttl)})
+		if err != nil {
+			return out, err
+		}
+		before := s.Net.Clock.Now()
+		resp, err := s.Send(pkt)
+		rtt := float64(s.Net.Clock.Now()-before) / 1e6
+		if err != nil || resp == nil {
+			// Silent hop: record an invalid address, keep probing.
+			out = append(out, TracerouteHop{RTTms: rtt})
+			continue
+		}
+		p := capture.NewPacket(resp, firstLayerType(resp), capture.Default)
+		nl := p.NetworkLayer()
+		ic, _ := p.Layer(capture.TypeICMP).(*capture.ICMP)
+		if nl == nil || ic == nil {
+			out = append(out, TracerouteHop{RTTms: rtt})
+			continue
+		}
+		hopAddr, _ := netip.AddrFromSlice(nl.NetworkFlow().Src())
+		hop := TracerouteHop{Addr: hopAddr, RTTms: rtt}
+		if ic.TypeCode == capture.ICMPEchoReply {
+			hop.Reached = true
+			out = append(out, hop)
+			return out, nil
+		}
+		out = append(out, hop)
+	}
+	return out, nil
+}
+
+// ephemeralPort returns a source port; deterministic but spread, derived
+// from the virtual clock.
+func (s *Stack) ephemeralPort() uint16 {
+	return uint16(49152 + (uint64(s.Net.Clock.Now())/1000)%16000)
+}
+
+// CaptureAll returns every record across all interfaces, ordered by
+// capture time (stable for equal times).
+func (s *Stack) CaptureAll() []capture.Record {
+	s.mu.Lock()
+	ifaces := make([]*Interface, 0, len(s.ifaces))
+	for _, i := range s.ifaces {
+		ifaces = append(ifaces, i)
+	}
+	s.mu.Unlock()
+	var out []capture.Record
+	for _, i := range ifaces {
+		out = append(out, i.Sink.Records()...)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Time < out[b].Time })
+	return out
+}

@@ -1,0 +1,181 @@
+package offline_test
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+
+	"vpnscope/internal/capture"
+	"vpnscope/internal/ecosystem"
+	"vpnscope/internal/netsim"
+	"vpnscope/internal/offline"
+	"vpnscope/internal/study"
+	"vpnscope/internal/vpn"
+	"vpnscope/internal/vpntest"
+)
+
+// collect runs the full suite with capture collection against the named
+// provider and returns the report.
+func collect(t *testing.T, provider string) (*study.World, *vpntest.VPReport) {
+	t.Helper()
+	all := ecosystem.TestedSpecs(5, 5)
+	var specs []vpn.ProviderSpec
+	for _, s := range all {
+		if s.Name == provider {
+			for i := range s.VantagePoints {
+				s.VantagePoints[i].Reliability = 1
+			}
+			specs = append(specs, s)
+		}
+	}
+	if len(specs) != 1 {
+		t.Fatalf("provider %q missing", provider)
+	}
+	w, err := study.Build(study.Options{
+		Seed: 5, ExtraTLSHosts: 10, Providers: specs, LandmarkCount: 10,
+		CollectCaptures: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.RunProvider(provider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Reports {
+		if len(r.Captures) > 0 && r.Leaks != nil {
+			return w, r
+		}
+	}
+	t.Fatal("no report with captures")
+	return nil, nil
+}
+
+func TestOfflineMatchesOnlineVerdictsLeaky(t *testing.T) {
+	// WorldVPN leaks both DNS and IPv6 online (Table 6); the offline
+	// trace analysis must reach the same verdicts from captures alone.
+	_, r := collect(t, "WorldVPN")
+	f := offline.Analyze(physOnly(r.Captures))
+	if f.DNSLeak() != r.Leaks.DNSLeak {
+		t.Errorf("offline DNS %v != online %v", f.DNSLeak(), r.Leaks.DNSLeak)
+	}
+	if f.IPv6Leak() != r.Leaks.IPv6Leak {
+		t.Errorf("offline IPv6 %v != online %v", f.IPv6Leak(), r.Leaks.IPv6Leak)
+	}
+	if !f.DNSLeak() || !f.IPv6Leak() {
+		t.Error("WorldVPN should leak both ways")
+	}
+	if f.TunnelPackets == 0 {
+		t.Error("no tunnel frames in trace")
+	}
+}
+
+func TestOfflineMatchesOnlineVerdictsClean(t *testing.T) {
+	_, r := collect(t, "Goose VPN")
+	f := offline.Analyze(physOnly(r.Captures))
+	if f.DNSLeak() != r.Leaks.DNSLeak {
+		t.Errorf("offline DNS %v != online %v", f.DNSLeak(), r.Leaks.DNSLeak)
+	}
+	if f.IPv6Leak() != r.Leaks.IPv6Leak {
+		t.Errorf("offline IPv6 %v != online %v", f.IPv6Leak(), r.Leaks.IPv6Leak)
+	}
+}
+
+// physOnly filters a combined capture to the physical interface — the
+// vantage point tcpdump watched.
+func physOnly(records []capture.Record) []capture.Record {
+	var out []capture.Record
+	for _, r := range records {
+		if r.Interface == netsim.PhysicalName {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestPcapRoundTripAnalysis(t *testing.T) {
+	_, r := collect(t, "WorldVPN")
+	records := physOnly(r.Captures)
+
+	var buf bytes.Buffer
+	if err := capture.WritePcap(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	// Local addresses: every source of an outbound record.
+	locals := map[netip.Addr]bool{}
+	for _, rec := range records {
+		if rec.Dir != capture.DirOut {
+			continue
+		}
+		p := capture.NewPacket(rec.Data, firstLayer(rec.Data), capture.Default)
+		if nl := p.NetworkLayer(); nl != nil {
+			a, _ := netip.AddrFromSlice(nl.NetworkFlow().Src())
+			locals[a] = true
+		}
+	}
+	var localList []netip.Addr
+	for a := range locals {
+		localList = append(localList, a)
+	}
+	fromPcap, err := offline.AnalyzePcap(&buf, localList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := offline.Analyze(records)
+	if fromPcap.DNSLeak() != direct.DNSLeak() || fromPcap.IPv6Leak() != direct.IPv6Leak() {
+		t.Errorf("pcap analysis diverged: dns %v/%v v6 %v/%v",
+			fromPcap.DNSLeak(), direct.DNSLeak(), fromPcap.IPv6Leak(), direct.IPv6Leak())
+	}
+	if fromPcap.Records != direct.Records {
+		t.Errorf("records %d != %d", fromPcap.Records, direct.Records)
+	}
+}
+
+func firstLayer(data []byte) capture.LayerType {
+	if len(data) > 0 && data[0]>>4 == 6 {
+		return capture.TypeIPv6
+	}
+	return capture.TypeIPv4
+}
+
+func TestFlowSummaries(t *testing.T) {
+	_, r := collect(t, "Goose VPN")
+	f := offline.Analyze(physOnly(r.Captures))
+	if len(f.Flows) == 0 {
+		t.Fatal("no flows")
+	}
+	tunnelFlows := 0
+	for _, fl := range f.Flows {
+		if fl.Packets <= 0 || fl.Bytes <= 0 {
+			t.Errorf("degenerate flow %+v", fl)
+		}
+		if fl.Proto == "tunnel" {
+			tunnelFlows++
+		}
+	}
+	if tunnelFlows == 0 {
+		t.Error("expected tunnel flows on the physical interface")
+	}
+	if len(f.PeersContacted) == 0 {
+		t.Error("no peers recorded")
+	}
+	if s := f.Summary(); s == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestUnexpectedDNSFilter(t *testing.T) {
+	f := offline.Analyze(nil)
+	if f.DNSLeak() || f.IPv6Leak() {
+		t.Error("empty trace must be clean")
+	}
+	f.CleartextDNSQueries["ok.example"] = 1
+	f.CleartextDNSQueries["peer.evil"] = 2
+	got := f.UnexpectedDNS(func(name string) bool { return name == "ok.example" })
+	if len(got) != 1 || got[0] != "peer.evil" {
+		t.Errorf("unexpected = %v", got)
+	}
+	if n := len(f.UnexpectedDNS(nil)); n != 2 {
+		t.Errorf("nil predicate should flag all: %d", n)
+	}
+}

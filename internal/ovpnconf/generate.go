@@ -1,0 +1,59 @@
+package ovpnconf
+
+import (
+	"fmt"
+	"strings"
+
+	"vpnscope/internal/vpn"
+)
+
+// Generate produces the .ovpn client config a provider would hand its
+// users for one vantage point. Providers shipping their own desktop
+// client express their DNS/IPv6 protections here; providers relying on
+// third-party OpenVPN clients publish bare configs — which is exactly
+// why the paper found those providers structurally unable to prevent
+// DNS and IPv6 leaks (§6.5).
+func Generate(spec *vpn.ProviderSpec, vpIndex int) (*Config, error) {
+	if vpIndex < 0 || vpIndex >= len(spec.VantagePoints) {
+		return nil, fmt.Errorf("ovpnconf: provider %s has no vantage point %d", spec.Name, vpIndex)
+	}
+	vps := spec.VantagePoints[vpIndex]
+	remoteHost := fmt.Sprintf("%s%d.%s",
+		strings.ToLower(string(vps.ClaimedCountry)), vpIndex, spec.Domain)
+
+	cfg := &Config{Blocks: map[string]string{}}
+	add := func(name string, args ...string) {
+		cfg.Directives = append(cfg.Directives, Directive{Name: name, Args: args})
+	}
+	add("client")
+	add("dev", "tun")
+	add("proto", "udp")
+	add("remote", remoteHost, "1194")
+	add("resolv-retry", "infinite")
+	add("nobind")
+	add("persist-key")
+	add("persist-tun")
+	add("cipher", "AES-256-CBC")
+	add("auth", "SHA256")
+	add("verb", "3")
+	add("redirect-gateway", "def1")
+
+	// Only providers that actually configure DNS in their own client
+	// publish the equivalent directives; the rest ship configs that
+	// leave the system resolver untouched.
+	if spec.SetsDNS {
+		add("dhcp-option", "DNS", vpn.TunnelInternalDNS.String())
+		add("block-outside-dns")
+	}
+	switch {
+	case spec.SupportsIPv6:
+		add("redirect-gateway", "ipv6")
+		add("ifconfig-ipv6", "fd00:8::2/64", "fd00:8::1")
+	case spec.BlocksIPv6:
+		// The conventional trick: route v6 into the tunnel and drop it.
+		add("redirect-gateway", "ipv6")
+		add("push-peer-info")
+	}
+	cfg.Blocks["ca"] = "-----BEGIN SIMULATED CA-----\n" + spec.Name + " root\n-----END SIMULATED CA-----\n"
+	return cfg, nil
+}

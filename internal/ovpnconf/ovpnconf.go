@@ -1,0 +1,282 @@
+// Package ovpnconf parses, generates, and statically audits
+// OpenVPN-style client configuration files.
+//
+// The paper's §6.5 observation motivating this package: 20 of the 62
+// evaluated providers hand users bare OpenVPN configs for third-party
+// clients (Tunnelblick, Viscosity), and "few VPN services provided
+// clear instructions to ensure that users' VPN clients did not leak DNS
+// and IPv6 traffic (as OpenVPN configuration files do not contain the
+// necessary configuration)". The static auditor here predicts, from a
+// config alone, the same DNS/IPv6 leak verdicts the dynamic measurement
+// suite reaches — and the study's cross-validation test asserts the two
+// agree.
+package ovpnconf
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Directive is one configuration line: a keyword plus arguments.
+type Directive struct {
+	Name string
+	Args []string
+}
+
+// String renders the directive back to config syntax.
+func (d Directive) String() string {
+	if len(d.Args) == 0 {
+		return d.Name
+	}
+	return d.Name + " " + strings.Join(d.Args, " ")
+}
+
+// Config is a parsed OpenVPN client configuration.
+type Config struct {
+	Directives []Directive
+	// Blocks holds inline <tag>...</tag> sections (ca, cert, key...).
+	Blocks map[string]string
+}
+
+// Parse errors.
+var (
+	ErrUnterminatedBlock = errors.New("ovpnconf: unterminated inline block")
+	ErrStrayBlockEnd     = errors.New("ovpnconf: block end without start")
+)
+
+// Parse reads an OpenVPN config: one directive per line, '#' and ';'
+// comments, and <tag>...</tag> inline blocks.
+func Parse(text string) (*Config, error) {
+	cfg := &Config{Blocks: map[string]string{}}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	var blockName string
+	var blockBody strings.Builder
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if blockName != "" {
+			if line == "</"+blockName+">" {
+				cfg.Blocks[blockName] = blockBody.String()
+				blockName = ""
+				blockBody.Reset()
+				continue
+			}
+			blockBody.WriteString(line)
+			blockBody.WriteByte('\n')
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		if strings.HasPrefix(line, "</") {
+			return nil, fmt.Errorf("%w: %q", ErrStrayBlockEnd, line)
+		}
+		if strings.HasPrefix(line, "<") && strings.HasSuffix(line, ">") {
+			blockName = strings.Trim(line, "<>")
+			continue
+		}
+		fields := strings.Fields(line)
+		cfg.Directives = append(cfg.Directives, Directive{Name: fields[0], Args: fields[1:]})
+	}
+	if blockName != "" {
+		return nil, fmt.Errorf("%w: <%s>", ErrUnterminatedBlock, blockName)
+	}
+	return cfg, nil
+}
+
+// Encode renders the config back to text.
+func (c *Config) Encode() string {
+	var b strings.Builder
+	for _, d := range c.Directives {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	// Blocks in deterministic order.
+	for _, tag := range []string{"ca", "cert", "key", "tls-auth"} {
+		if body, ok := c.Blocks[tag]; ok {
+			fmt.Fprintf(&b, "<%s>\n%s</%s>\n", tag, body, tag)
+		}
+	}
+	return b.String()
+}
+
+// lookup returns the first directive with the given name.
+func (c *Config) lookup(name string) (Directive, bool) {
+	for _, d := range c.Directives {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// all returns every directive with the given name.
+func (c *Config) all(name string) []Directive {
+	var out []Directive
+	for _, d := range c.Directives {
+		if d.Name == name {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Has reports whether a directive with the given name appears.
+func (c *Config) Has(name string) bool {
+	_, ok := c.lookup(name)
+	return ok
+}
+
+// Remote is one server endpoint declared by the config.
+type Remote struct {
+	Host  string
+	Port  string
+	Proto string
+}
+
+// Remotes lists the config's server endpoints.
+func (c *Config) Remotes() []Remote {
+	proto := "udp"
+	if d, ok := c.lookup("proto"); ok && len(d.Args) > 0 {
+		proto = d.Args[0]
+	}
+	var out []Remote
+	for _, d := range c.all("remote") {
+		r := Remote{Proto: proto, Port: "1194"}
+		if len(d.Args) > 0 {
+			r.Host = d.Args[0]
+		}
+		if len(d.Args) > 1 {
+			r.Port = d.Args[1]
+		}
+		if len(d.Args) > 2 {
+			r.Proto = d.Args[2]
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Cipher returns the data-channel cipher (empty if unset).
+func (c *Config) Cipher() string {
+	if d, ok := c.lookup("cipher"); ok && len(d.Args) > 0 {
+		return d.Args[0]
+	}
+	return ""
+}
+
+// PushesDNS reports whether the config sets resolver addresses
+// (dhcp-option DNS ...).
+func (c *Config) PushesDNS() bool {
+	for _, d := range c.all("dhcp-option") {
+		if len(d.Args) >= 2 && strings.EqualFold(d.Args[0], "DNS") {
+			return true
+		}
+	}
+	return false
+}
+
+// DNSServers returns the pushed resolver addresses.
+func (c *Config) DNSServers() []string {
+	var out []string
+	for _, d := range c.all("dhcp-option") {
+		if len(d.Args) >= 2 && strings.EqualFold(d.Args[0], "DNS") {
+			out = append(out, d.Args[1])
+		}
+	}
+	return out
+}
+
+// BlocksOutsideDNS reports the Windows-only block-outside-dns hardening.
+func (c *Config) BlocksOutsideDNS() bool { return c.Has("block-outside-dns") }
+
+// RedirectsGateway reports whether all IPv4 traffic is pulled into the
+// tunnel (redirect-gateway).
+func (c *Config) RedirectsGateway() bool { return len(c.all("redirect-gateway")) > 0 }
+
+// RedirectsIPv6 reports whether IPv6 is also pulled into (or blocked
+// around) the tunnel: redirect-gateway ipv6, or ifconfig-ipv6.
+func (c *Config) RedirectsIPv6() bool {
+	for _, d := range c.all("redirect-gateway") {
+		for _, a := range d.Args {
+			if strings.EqualFold(a, "ipv6") {
+				return true
+			}
+		}
+	}
+	return c.Has("ifconfig-ipv6")
+}
+
+// ---------------------------------------------------------------------
+// Static leak audit
+// ---------------------------------------------------------------------
+
+// Severity grades an audit finding.
+type Severity string
+
+// Severities.
+const (
+	SevLeak Severity = "LEAK"
+	SevWarn Severity = "WARN"
+	SevInfo Severity = "INFO"
+)
+
+// Finding is one static-audit observation.
+type Finding struct {
+	Severity Severity
+	Code     string
+	Message  string
+}
+
+// Prediction is the static leak forecast for a config.
+type Prediction struct {
+	DNSLeak  bool
+	IPv6Leak bool
+	Findings []Finding
+}
+
+// Audit statically predicts the §6.5 leak outcomes for a config.
+func Audit(c *Config) Prediction {
+	var p Prediction
+	add := func(sev Severity, code, msg string) {
+		p.Findings = append(p.Findings, Finding{sev, code, msg})
+	}
+
+	if len(c.Remotes()) == 0 {
+		add(SevWarn, "no-remote", "config declares no remote server")
+	}
+	if !c.RedirectsGateway() {
+		add(SevWarn, "no-redirect-gateway",
+			"default route is not pulled into the tunnel; only on-link VPN subnets are protected")
+	}
+	if !c.PushesDNS() {
+		p.DNSLeak = true
+		add(SevLeak, "dns-leak",
+			"no 'dhcp-option DNS': the system resolver keeps answering over the physical interface")
+	} else if !c.BlocksOutsideDNS() {
+		add(SevWarn, "dns-unpinned",
+			"resolvers are pushed but nothing prevents queries from escaping to other interfaces")
+	}
+	if !c.RedirectsIPv6() {
+		p.IPv6Leak = true
+		add(SevLeak, "ipv6-leak",
+			"IPv6 is neither tunneled nor blocked: traffic to AAAA destinations bypasses the VPN")
+	}
+	switch cipher := c.Cipher(); cipher {
+	case "":
+		add(SevWarn, "no-cipher", "no explicit cipher; client/server negotiation decides")
+	case "BF-CBC", "DES-CBC", "RC2-CBC", "none":
+		add(SevLeak, "weak-cipher", "cipher "+cipher+" is inadequate")
+	default:
+		add(SevInfo, "cipher", "data channel cipher "+cipher)
+	}
+	if !c.Has("persist-tun") {
+		add(SevWarn, "no-persist-tun",
+			"tunnel device closes on restart: traffic flows bare during reconnects (fail-open restarts)")
+	}
+	if _, hasCA := c.Blocks["ca"]; !hasCA && !c.Has("ca") {
+		add(SevWarn, "no-ca", "no CA pinned: server authentication depends on external state")
+	}
+	return p
+}

@@ -1,0 +1,261 @@
+package ovpnconf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vpnscope/internal/ecosystem"
+	"vpnscope/internal/vpn"
+)
+
+const sampleConfig = `
+# Sample third-party config
+client
+dev tun
+proto udp
+remote se1.example.net 1194
+remote se2.example.net 443 tcp
+resolv-retry infinite
+nobind
+persist-key
+cipher AES-256-CBC
+auth SHA256
+redirect-gateway def1
+; no dhcp-option, no ipv6 handling
+<ca>
+-----BEGIN SIMULATED CA-----
+root
+-----END SIMULATED CA-----
+</ca>
+verb 3
+`
+
+func TestParseBasics(t *testing.T) {
+	cfg, err := Parse(sampleConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Has("client") || !cfg.Has("nobind") {
+		t.Error("simple directives missing")
+	}
+	remotes := cfg.Remotes()
+	if len(remotes) != 2 {
+		t.Fatalf("remotes = %+v", remotes)
+	}
+	if remotes[0].Host != "se1.example.net" || remotes[0].Port != "1194" || remotes[0].Proto != "udp" {
+		t.Errorf("remote 0 = %+v", remotes[0])
+	}
+	if remotes[1].Port != "443" || remotes[1].Proto != "tcp" {
+		t.Errorf("remote 1 = %+v", remotes[1])
+	}
+	if cfg.Cipher() != "AES-256-CBC" {
+		t.Errorf("cipher = %q", cfg.Cipher())
+	}
+	if !strings.Contains(cfg.Blocks["ca"], "SIMULATED CA") {
+		t.Error("inline block lost")
+	}
+	// Comments are skipped.
+	if cfg.Has("#") || cfg.Has(";") {
+		t.Error("comments parsed as directives")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("<ca>\nunterminated"); err == nil {
+		t.Error("unterminated block must fail")
+	}
+	if _, err := Parse("</ca>"); err == nil {
+		t.Error("stray block end must fail")
+	}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	cfg, err := Parse(sampleConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(cfg.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Directives) != len(cfg.Directives) {
+		t.Fatalf("directives %d -> %d", len(cfg.Directives), len(back.Directives))
+	}
+	for i := range cfg.Directives {
+		if back.Directives[i].String() != cfg.Directives[i].String() {
+			t.Errorf("directive %d: %q -> %q", i, cfg.Directives[i], back.Directives[i])
+		}
+	}
+	if back.Blocks["ca"] != cfg.Blocks["ca"] {
+		t.Error("block content changed")
+	}
+}
+
+func TestSemanticAccessors(t *testing.T) {
+	full, err := Parse(`
+remote x.test 1194
+dhcp-option DNS 10.8.0.1
+dhcp-option DNS 10.8.0.2
+block-outside-dns
+redirect-gateway def1 ipv6
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.PushesDNS() || len(full.DNSServers()) != 2 {
+		t.Error("DNS accessors wrong")
+	}
+	if !full.BlocksOutsideDNS() || !full.RedirectsGateway() || !full.RedirectsIPv6() {
+		t.Error("hardening accessors wrong")
+	}
+	bare, _ := Parse("remote x.test 1194\nredirect-gateway def1\n")
+	if bare.PushesDNS() || bare.RedirectsIPv6() {
+		t.Error("bare config misread")
+	}
+}
+
+func TestAuditLeakPredictions(t *testing.T) {
+	bare, _ := Parse(sampleConfig)
+	p := Audit(bare)
+	if !p.DNSLeak {
+		t.Error("bare config must predict DNS leak")
+	}
+	if !p.IPv6Leak {
+		t.Error("bare config must predict IPv6 leak")
+	}
+	var codes []string
+	for _, f := range p.Findings {
+		codes = append(codes, f.Code)
+	}
+	joined := strings.Join(codes, ",")
+	for _, want := range []string{"dns-leak", "ipv6-leak"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing finding %q in %v", want, codes)
+		}
+	}
+
+	hardened, _ := Parse(`
+remote x.test 1194
+redirect-gateway def1 ipv6
+dhcp-option DNS 10.8.0.1
+block-outside-dns
+cipher AES-256-GCM
+persist-tun
+ca inline
+`)
+	p = Audit(hardened)
+	if p.DNSLeak || p.IPv6Leak {
+		t.Errorf("hardened config predicted leaks: %+v", p)
+	}
+	for _, f := range p.Findings {
+		if f.Severity == SevLeak {
+			t.Errorf("hardened config has leak finding %+v", f)
+		}
+	}
+}
+
+func TestAuditWeakCipher(t *testing.T) {
+	cfg, _ := Parse("remote x.test 1194\ncipher BF-CBC\n")
+	p := Audit(cfg)
+	found := false
+	for _, f := range p.Findings {
+		if f.Code == "weak-cipher" && f.Severity == SevLeak {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("BF-CBC must be flagged")
+	}
+}
+
+func TestGenerateMatchesProviderBehavior(t *testing.T) {
+	specs := ecosystem.TestedSpecs(1, 5)
+	for _, spec := range specs {
+		spec := spec
+		cfg, err := Generate(&spec, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if len(cfg.Remotes()) == 0 {
+			t.Fatalf("%s: no remotes", spec.Name)
+		}
+		if cfg.PushesDNS() != spec.SetsDNS {
+			t.Errorf("%s: config DNS %v != behavior %v", spec.Name, cfg.PushesDNS(), spec.SetsDNS)
+		}
+		v6Handled := spec.SupportsIPv6 || spec.BlocksIPv6
+		if cfg.RedirectsIPv6() != v6Handled {
+			t.Errorf("%s: config v6 %v != behavior %v", spec.Name, cfg.RedirectsIPv6(), v6Handled)
+		}
+	}
+	// Index errors.
+	if _, err := Generate(&specs[0], 999); err == nil {
+		t.Error("bad index must fail")
+	}
+}
+
+// TestStaticPredictionMatchesGroundTruth is the cross-validation the
+// package exists for: auditing a provider's published config predicts
+// the same Table 6 leak verdicts the dynamic suite measures.
+func TestStaticPredictionMatchesGroundTruth(t *testing.T) {
+	for _, spec := range ecosystem.TestedSpecs(1, 5) {
+		spec := spec
+		cfg, err := Generate(&spec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := Audit(cfg)
+		wantDNS := !spec.SetsDNS
+		wantV6 := !spec.SupportsIPv6 && !spec.BlocksIPv6
+		if p.DNSLeak != wantDNS {
+			t.Errorf("%s: static DNS prediction %v, ground truth %v", spec.Name, p.DNSLeak, wantDNS)
+		}
+		if p.IPv6Leak != wantV6 {
+			t.Errorf("%s: static IPv6 prediction %v, ground truth %v", spec.Name, p.IPv6Leak, wantV6)
+		}
+	}
+}
+
+func TestGeneratedConfigsForThirdPartyProvidersAreBare(t *testing.T) {
+	for _, spec := range ecosystem.TestedSpecs(1, 5) {
+		if spec.Client != vpn.ThirdPartyOpenVPN {
+			continue
+		}
+		spec := spec
+		cfg, err := Generate(&spec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.PushesDNS() || cfg.RedirectsIPv6() {
+			t.Errorf("%s: third-party config should be bare (the §6.5 structural problem)", spec.Name)
+		}
+	}
+}
+
+func TestParseArbitraryTextNeverPanics(t *testing.T) {
+	if err := quick.Check(func(text string) bool {
+		cfg, err := Parse(text)
+		if err == nil {
+			_ = Audit(cfg)
+			_ = cfg.Encode()
+		}
+		return true
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(sampleConfig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAudit(b *testing.B) {
+	cfg, _ := Parse(sampleConfig)
+	for i := 0; i < b.N; i++ {
+		_ = Audit(cfg)
+	}
+}

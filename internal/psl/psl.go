@@ -1,0 +1,214 @@
+// Package psl implements the small slice of public-suffix-list semantics
+// the redirect classifier needs (§6.1.1 of the paper): finding a
+// hostname's public suffix and registered domain, and deciding whether
+// two hostnames are "related".
+//
+// Two hostnames are related when they share a registered domain, or when
+// their registered domains differ only by public suffix (the paper's
+// example: a.example.com vs. b.example.org), or when an explicit manual
+// override pairs them.
+package psl
+
+import (
+	"strings"
+)
+
+// suffixes is the embedded rule set: a compact subset of the Mozilla
+// public suffix list covering the TLDs and multi-label suffixes that
+// appear in the simulated web. Wildcard and exception rules follow PSL
+// semantics ("*." prefix, "!" prefix).
+var suffixes = []string{
+	"com", "org", "net", "edu", "gov", "mil", "int", "info", "biz",
+	"io", "me", "tv", "cc", "ws", "guide",
+	"co", "ru", "de", "uk", "fr", "nl", "se", "no", "fi", "dk", "ch",
+	"at", "it", "es", "pt", "pl", "cz", "tr", "kr", "jp", "cn", "hk",
+	"tw", "sg", "my", "th", "vn", "id", "ph", "au", "nz", "ca", "mx",
+	"br", "ar", "cl", "ve", "pa", "bz", "sc", "in", "pk", "il", "sa",
+	"ae", "ir", "eg", "za", "ng", "ke", "ee", "lv", "lt", "md", "ua",
+	"rs", "gr", "bg", "ro", "hu", "sk", "lu", "be", "ie", "is", "sy",
+	"kp", "ht",
+	// Multi-label suffixes.
+	"co.uk", "org.uk", "ac.uk", "gov.uk",
+	"com.au", "net.au", "org.au",
+	"co.kr", "or.kr", "go.kr",
+	"co.jp", "or.jp", "ne.jp",
+	"com.cn", "net.cn", "org.cn",
+	"com.tr", "net.tr", "org.tr", "gov.tr",
+	"com.ru", "net.ru", "org.ru",
+	"com.br", "net.br",
+	"co.in", "net.in",
+	"com.sg", "com.my", "co.th", "in.th", "com.hk",
+	"co.za", "org.za",
+	"com.mx", "com.ar",
+	// Wildcard rule example per PSL semantics.
+	"*.ck",
+	"!www.ck",
+}
+
+type ruleSet struct {
+	exact     map[string]bool
+	wildcard  map[string]bool // "ck" for "*.ck"
+	exception map[string]bool // "www.ck" for "!www.ck"
+}
+
+var rules = func() *ruleSet {
+	rs := &ruleSet{
+		exact:     make(map[string]bool),
+		wildcard:  make(map[string]bool),
+		exception: make(map[string]bool),
+	}
+	for _, s := range suffixes {
+		switch {
+		case strings.HasPrefix(s, "*."):
+			rs.wildcard[s[2:]] = true
+		case strings.HasPrefix(s, "!"):
+			rs.exception[s[1:]] = true
+		default:
+			rs.exact[s] = true
+		}
+	}
+	return rs
+}()
+
+// normalize lowercases and strips a trailing dot.
+func normalize(host string) string {
+	host = strings.ToLower(strings.TrimSpace(host))
+	host = strings.TrimSuffix(host, ".")
+	return host
+}
+
+// IsIPLiteral reports whether host looks like an IPv4 or IPv6 literal;
+// such "hostnames" have no public suffix.
+func IsIPLiteral(host string) bool {
+	host = strings.Trim(host, "[]")
+	if strings.Contains(host, ":") {
+		return true // IPv6-ish
+	}
+	parts := strings.Split(host, ".")
+	if len(parts) != 4 {
+		return false
+	}
+	for _, p := range parts {
+		if p == "" || len(p) > 3 {
+			return false
+		}
+		for _, r := range p {
+			if r < '0' || r > '9' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PublicSuffix returns the public suffix of host per the embedded rules.
+// Hosts with no matching rule use the last label (PSL's implicit "*"
+// rule). IP literals and empty hosts return "".
+func PublicSuffix(host string) string {
+	host = normalize(host)
+	if host == "" || IsIPLiteral(host) {
+		return ""
+	}
+	labels := strings.Split(host, ".")
+	// Walk suffixes longest-first.
+	for i := 0; i < len(labels); i++ {
+		candidate := strings.Join(labels[i:], ".")
+		if rules.exception[candidate] {
+			// Exception rules cancel the wildcard: suffix is one label
+			// shorter.
+			return strings.Join(labels[i+1:], ".")
+		}
+		if rules.exact[candidate] {
+			return candidate
+		}
+		// Wildcard: "*.ck" matches "foo.ck" as a suffix when the parent
+		// matches.
+		if i+1 < len(labels) {
+			parent := strings.Join(labels[i+1:], ".")
+			if rules.wildcard[parent] {
+				return candidate
+			}
+		}
+	}
+	// Implicit rule: the TLD itself.
+	return labels[len(labels)-1]
+}
+
+// RegisteredDomain returns the registered (registrable) domain of host:
+// the public suffix plus one label. It returns "" when host is itself a
+// public suffix, an IP literal, or empty.
+func RegisteredDomain(host string) string {
+	host = normalize(host)
+	if host == "" || IsIPLiteral(host) {
+		return ""
+	}
+	suffix := PublicSuffix(host)
+	if suffix == "" || host == suffix {
+		return ""
+	}
+	rest := strings.TrimSuffix(host, "."+suffix)
+	if rest == host {
+		return "" // host did not actually end with suffix
+	}
+	labels := strings.Split(rest, ".")
+	return labels[len(labels)-1] + "." + suffix
+}
+
+// RelatedOverride records hostname pairs manually determined to be
+// related (the paper allowed a manual escape hatch for rebrands, CDN
+// hosts, etc.).
+type RelatedOverride struct {
+	pairs map[[2]string]bool
+}
+
+// NewRelatedOverride builds an override set from hostname pairs.
+func NewRelatedOverride(pairs [][2]string) *RelatedOverride {
+	ro := &RelatedOverride{pairs: make(map[[2]string]bool, len(pairs))}
+	for _, p := range pairs {
+		a, b := normalize(p[0]), normalize(p[1])
+		ro.pairs[[2]string{a, b}] = true
+		ro.pairs[[2]string{b, a}] = true
+	}
+	return ro
+}
+
+// Contains reports whether the pair (a, b) was manually marked related.
+func (ro *RelatedOverride) Contains(a, b string) bool {
+	if ro == nil {
+		return false
+	}
+	return ro.pairs[[2]string{normalize(a), normalize(b)}]
+}
+
+// Related implements the paper's §6.1.1 relatedness test. Hostnames are
+// related if:
+//  1. they share a registered domain, or
+//  2. their registered domains differ only by public suffix
+//     (example.com vs example.org), or
+//  3. an explicit override pairs them.
+//
+// IP-literal destinations are never related to hostnames (they are the
+// signature of censorship block pages such as http://195.175.254.2).
+func Related(a, b string, overrides *RelatedOverride) bool {
+	a, b = normalize(a), normalize(b)
+	if a == b && a != "" {
+		return true
+	}
+	if overrides.Contains(a, b) {
+		return true
+	}
+	if IsIPLiteral(a) || IsIPLiteral(b) {
+		return false
+	}
+	ra, rb := RegisteredDomain(a), RegisteredDomain(b)
+	if ra == "" || rb == "" {
+		return false
+	}
+	if ra == rb {
+		return true
+	}
+	// Same registrable label, different public suffix.
+	la := strings.TrimSuffix(ra, "."+PublicSuffix(ra))
+	lb := strings.TrimSuffix(rb, "."+PublicSuffix(rb))
+	return la != "" && la == lb
+}

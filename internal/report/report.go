@@ -1,0 +1,191 @@
+// Package report renders the study's tables and figures as aligned text,
+// in the spirit of the paper's tables (Table 1-7) and figures (1-9). The
+// renderers are deliberately plain: every artifact regenerates on stdout
+// so paper-vs-measured comparisons in EXPERIMENTS.md are one diff away.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table writes an aligned text table with a title, header row, and rows.
+func Table(w io.Writer, title string, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(headers))
+		for i := range headers {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			parts[i] = pad(cell, widths[i])
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+		fmt.Fprintf(w, "%s\n", strings.Repeat("=", len(title)))
+	}
+	fmt.Fprintln(w, line(headers))
+	total := len(headers)*2 - 2
+	for _, width := range widths {
+		total += width
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range rows {
+		fmt.Fprintln(w, line(row))
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// Bar renders a horizontal bar chart (Figure 4/5 style): one labeled bar
+// per entry, scaled to maxWidth columns.
+func Bar(w io.Writer, title string, entries []BarEntry, maxWidth int) {
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	max := 0
+	labelW := 0
+	for _, e := range entries {
+		if e.Value > max {
+			max = e.Value
+		}
+		if len(e.Label) > labelW {
+			labelW = len(e.Label)
+		}
+	}
+	if title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	}
+	for _, e := range entries {
+		n := 0
+		if max > 0 {
+			n = e.Value * maxWidth / max
+		}
+		fmt.Fprintf(w, "%s  %s %d\n", pad(e.Label, labelW), strings.Repeat("#", n), e.Value)
+	}
+	fmt.Fprintln(w)
+}
+
+// BarEntry is one bar of a Bar chart.
+type BarEntry struct {
+	Label string
+	Value int
+}
+
+// CDF renders an empirical CDF (Figure 2 style) as a fixed set of
+// quantile rows.
+func CDF(w io.Writer, title string, xs, ps []float64, xLabel string) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	}
+	fmt.Fprintf(w, "%-12s  P(X<=x)\n", xLabel)
+	// Sample the curve at deciles of probability.
+	targets := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	j := 0
+	for _, t := range targets {
+		for j < len(ps)-1 && ps[j] < t {
+			j++
+		}
+		fmt.Fprintf(w, "%-12.0f  %.2f\n", xs[j], ps[j])
+	}
+	fmt.Fprintln(w)
+}
+
+// Series renders Figure 9-style sorted-RTT series: one row per series
+// with min/median/max plus a compact sparkline.
+func Series(w io.Writer, title string, series []LabeledSeries) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	}
+	labelW := 0
+	for _, s := range series {
+		if len(s.Label) > labelW {
+			labelW = len(s.Label)
+		}
+	}
+	for _, s := range series {
+		if len(s.Values) == 0 {
+			continue
+		}
+		sorted := append([]float64(nil), s.Values...)
+		sort.Float64s(sorted)
+		min := sorted[0]
+		med := sorted[len(sorted)/2]
+		max := sorted[len(sorted)-1]
+		fmt.Fprintf(w, "%s  min %7.1f  med %7.1f  max %7.1f  %s\n",
+			pad(s.Label, labelW), min, med, max, sparkline(sorted, 24))
+	}
+	fmt.Fprintln(w)
+}
+
+// LabeledSeries is one line of a Series chart.
+type LabeledSeries struct {
+	Label  string
+	Values []float64
+}
+
+// sparkline compresses a sorted series into width buckets of 0-9 glyphs.
+func sparkline(sorted []float64, width int) string {
+	if len(sorted) == 0 || width <= 0 {
+		return ""
+	}
+	min, max := sorted[0], sorted[len(sorted)-1]
+	span := max - min
+	glyphs := []byte("0123456789")
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		idx := i * len(sorted) / width
+		v := sorted[idx]
+		g := 0
+		if span > 0 {
+			g = int((v - min) / span * 9)
+		}
+		b.WriteByte(glyphs[g])
+	}
+	return b.String()
+}
+
+// WorldMap renders a country histogram (Figure 1/3 style) as sorted
+// country rows — the textual equivalent of the paper's heat maps.
+func WorldMap(w io.Writer, title string, counts map[string]int) {
+	type row struct {
+		c string
+		n int
+	}
+	rows := make([]row, 0, len(counts))
+	for c, n := range counts {
+		rows = append(rows, row{c, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].c < rows[j].c
+	})
+	entries := make([]BarEntry, len(rows))
+	for i, r := range rows {
+		entries[i] = BarEntry{Label: r.c, Value: r.n}
+	}
+	Bar(w, title, entries, 40)
+}

@@ -1,0 +1,132 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, "Test Table", []string{"Name", "Count"}, [][]string{
+		{"short", "1"},
+		{"much-longer-name", "22"},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "Test Table") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(out, "\n")
+	// Header and rows align: "Count" column starts at the same offset.
+	var headerIdx, rowIdx int
+	for i, l := range lines {
+		if strings.HasPrefix(l, "Name") {
+			headerIdx = i
+		}
+		if strings.HasPrefix(l, "much-longer-name") {
+			rowIdx = i
+		}
+	}
+	hCol := strings.Index(lines[headerIdx], "Count")
+	rCol := strings.Index(lines[rowIdx], "22")
+	if hCol != rCol {
+		t.Errorf("columns misaligned: header at %d, row at %d\n%s", hCol, rCol, out)
+	}
+}
+
+func TestTableHandlesShortRows(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, "", []string{"A", "B", "C"}, [][]string{{"x"}})
+	if !strings.Contains(buf.String(), "x") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestBar(t *testing.T) {
+	var buf bytes.Buffer
+	Bar(&buf, "Methods", []BarEntry{{"Bitcoin", 90}, {"ETH", 30}}, 30)
+	out := buf.String()
+	btc := strings.Count(lineWith(out, "Bitcoin"), "#")
+	eth := strings.Count(lineWith(out, "ETH"), "#")
+	if btc != 30 {
+		t.Errorf("max bar = %d, want full width 30", btc)
+	}
+	if eth != 10 {
+		t.Errorf("scaled bar = %d, want 10", eth)
+	}
+}
+
+func TestBarZeroValues(t *testing.T) {
+	var buf bytes.Buffer
+	Bar(&buf, "", []BarEntry{{"none", 0}}, 10)
+	if !strings.Contains(buf.String(), "none") {
+		t.Error("zero bar missing label")
+	}
+}
+
+func lineWith(out, substr string) string {
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, substr) {
+			return l
+		}
+	}
+	return ""
+}
+
+func TestCDF(t *testing.T) {
+	var buf bytes.Buffer
+	xs := []float64{10, 20, 750, 4000}
+	ps := []float64{0.25, 0.5, 0.8, 1.0}
+	CDF(&buf, "Server Counts", xs, ps, "servers")
+	out := buf.String()
+	if !strings.Contains(out, "750") || !strings.Contains(out, "0.80") {
+		t.Errorf("CDF rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "4000") {
+		t.Errorf("final value missing:\n%s", out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var buf bytes.Buffer
+	Series(&buf, "Fig 9", []LabeledSeries{
+		{"VP-A", []float64{10, 50, 200}},
+		{"VP-B", nil}, // skipped
+	})
+	out := buf.String()
+	if !strings.Contains(out, "min    10.0") {
+		t.Errorf("min missing:\n%s", out)
+	}
+	if strings.Contains(out, "VP-B") {
+		t.Error("empty series should be skipped")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 10)
+	if len(s) != 10 {
+		t.Fatalf("width = %d", len(s))
+	}
+	if s[0] != '0' || s[9] != '9' {
+		t.Errorf("sparkline = %q, want 0..9 ramp", s)
+	}
+	if sparkline(nil, 5) != "" {
+		t.Error("empty input should render empty")
+	}
+	// Flat series renders all zeros, no divide-by-zero.
+	flat := sparkline([]float64{5, 5, 5}, 3)
+	if flat != "000" {
+		t.Errorf("flat = %q", flat)
+	}
+}
+
+func TestWorldMap(t *testing.T) {
+	var buf bytes.Buffer
+	WorldMap(&buf, "Business Locations", map[string]int{"US": 24, "GB": 12, "DE": 6})
+	out := buf.String()
+	usIdx := strings.Index(out, "US")
+	gbIdx := strings.Index(out, "GB")
+	if usIdx < 0 || gbIdx < 0 || usIdx > gbIdx {
+		t.Errorf("countries not sorted by count:\n%s", out)
+	}
+}

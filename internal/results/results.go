@@ -1,0 +1,100 @@
+// Package results persists completed studies: vantage-point reports and
+// connection failures serialize to a versioned JSON envelope, load back,
+// and feed the same analysis functions — so a campaign can be measured
+// once and re-analyzed offline, shared, or diffed across seeds ("Data
+// from our evaluations are also available upon request", §8).
+//
+// Packet captures are omitted by default (they dominate the size); pass
+// IncludeCaptures to keep them.
+package results
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"vpnscope/internal/study"
+	"vpnscope/internal/vpntest"
+)
+
+// SchemaVersion identifies the envelope layout.
+const SchemaVersion = 1
+
+// Envelope is the serialized form of a study result.
+type Envelope struct {
+	Schema          int                     `json:"schema"`
+	Seed            uint64                  `json:"seed"`
+	VPsAttempted    int                     `json:"vps_attempted"`
+	ConnectFailures []study.ConnectFailure  `json:"connect_failures,omitempty"`
+	Reports         []*vpntest.VPReport     `json:"reports"`
+}
+
+// Option adjusts serialization.
+type Option func(*options)
+
+type options struct {
+	includeCaptures bool
+	seed            uint64
+}
+
+// IncludeCaptures keeps per-report packet traces in the envelope.
+func IncludeCaptures() Option {
+	return func(o *options) { o.includeCaptures = true }
+}
+
+// WithSeed records the seed the study ran with.
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// Save writes a study result as JSON.
+func Save(w io.Writer, res *study.Result, opts ...Option) error {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	env := Envelope{
+		Schema:          SchemaVersion,
+		Seed:            o.seed,
+		VPsAttempted:    res.VPsAttempted,
+		ConnectFailures: res.ConnectFailures,
+	}
+	for _, r := range res.Reports {
+		if o.includeCaptures {
+			env.Reports = append(env.Reports, r)
+			continue
+		}
+		cp := *r
+		cp.Captures = nil
+		env.Reports = append(env.Reports, &cp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&env); err != nil {
+		return fmt.Errorf("results: encoding: %w", err)
+	}
+	return nil
+}
+
+// Load errors.
+var (
+	ErrBadSchema = errors.New("results: unsupported schema version")
+)
+
+// Load reads an envelope back into a study result.
+func Load(r io.Reader) (*study.Result, *Envelope, error) {
+	var env Envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, nil, fmt.Errorf("results: decoding: %w", err)
+	}
+	if env.Schema != SchemaVersion {
+		return nil, nil, fmt.Errorf("%w: %d (want %d)", ErrBadSchema, env.Schema, SchemaVersion)
+	}
+	res := &study.Result{
+		Reports:         env.Reports,
+		ConnectFailures: env.ConnectFailures,
+		VPsAttempted:    env.VPsAttempted,
+	}
+	return res, &env, nil
+}

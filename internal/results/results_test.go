@@ -1,0 +1,138 @@
+package results_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vpnscope/internal/analysis"
+	"vpnscope/internal/capture"
+	"vpnscope/internal/ecosystem"
+	"vpnscope/internal/results"
+	"vpnscope/internal/study"
+	"vpnscope/internal/vpn"
+)
+
+// smallStudy runs one leaky provider with captures on.
+func smallStudy(t *testing.T) *study.Result {
+	t.Helper()
+	all := ecosystem.TestedSpecs(5, 5)
+	var specs []vpn.ProviderSpec
+	for _, s := range all {
+		if s.Name == "WorldVPN" || s.Name == "CyberGhost" {
+			for i := range s.VantagePoints {
+				s.VantagePoints[i].Reliability = 1
+			}
+			specs = append(specs, s)
+		}
+	}
+	w, err := study.Build(study.Options{
+		Seed: 5, ExtraTLSHosts: 5, Providers: specs, LandmarkCount: 8,
+		CollectCaptures: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	res := smallStudy(t)
+	var buf bytes.Buffer
+	if err := results.Save(&buf, res, results.WithSeed(5)); err != nil {
+		t.Fatal(err)
+	}
+	back, env, err := results.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Schema != results.SchemaVersion || env.Seed != 5 {
+		t.Errorf("envelope = %+v", env)
+	}
+	if len(back.Reports) != len(res.Reports) || back.VPsAttempted != res.VPsAttempted {
+		t.Fatalf("shape changed: %d/%d reports", len(back.Reports), len(res.Reports))
+	}
+	// The loaded reports drive the same analyses to the same verdicts.
+	origLeaks := analysis.Leaks(res.Reports)
+	backLeaks := analysis.Leaks(back.Reports)
+	if strings.Join(origLeaks.DNSLeakers, ",") != strings.Join(backLeaks.DNSLeakers, ",") {
+		t.Errorf("DNS leakers diverged: %v vs %v", origLeaks.DNSLeakers, backLeaks.DNSLeakers)
+	}
+	if strings.Join(origLeaks.IPv6Leakers, ",") != strings.Join(backLeaks.IPv6Leakers, ",") {
+		t.Errorf("IPv6 leakers diverged: %v vs %v", origLeaks.IPv6Leakers, backLeaks.IPv6Leakers)
+	}
+	origProx := analysis.TransparentProxies(res.Reports)
+	backProx := analysis.TransparentProxies(back.Reports)
+	if strings.Join(origProx, ",") != strings.Join(backProx, ",") {
+		t.Errorf("proxies diverged: %v vs %v", origProx, backProx)
+	}
+	// Per-report scalar fields survive.
+	for i := range res.Reports {
+		if res.Reports[i].Provider != back.Reports[i].Provider ||
+			res.Reports[i].VPLabel != back.Reports[i].VPLabel ||
+			res.Reports[i].ClaimedCountry != back.Reports[i].ClaimedCountry {
+			t.Fatalf("report %d identity changed", i)
+		}
+		if res.Reports[i].EgressIP() != back.Reports[i].EgressIP() {
+			t.Errorf("report %d egress changed", i)
+		}
+	}
+}
+
+func TestCapturesExcludedByDefault(t *testing.T) {
+	res := smallStudy(t)
+	hasCaptures := false
+	for _, r := range res.Reports {
+		if len(r.Captures) > 0 {
+			hasCaptures = true
+		}
+	}
+	if !hasCaptures {
+		t.Fatal("study should have collected captures")
+	}
+	var lean, fat bytes.Buffer
+	if err := results.Save(&lean, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := results.Save(&fat, res, results.IncludeCaptures()); err != nil {
+		t.Fatal(err)
+	}
+	if lean.Len() >= fat.Len() {
+		t.Errorf("lean %d bytes should be smaller than fat %d", lean.Len(), fat.Len())
+	}
+	// Saving must not mutate the in-memory reports.
+	still := false
+	for _, r := range res.Reports {
+		if len(r.Captures) > 0 {
+			still = true
+		}
+	}
+	if !still {
+		t.Error("Save stripped captures from the live result")
+	}
+	// Captures survive the fat round trip.
+	back, _, err := results.Load(&fat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec []capture.Record
+	for _, r := range back.Reports {
+		rec = append(rec, r.Captures...)
+	}
+	if len(rec) == 0 {
+		t.Error("captures lost in IncludeCaptures round trip")
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	if _, _, err := results.Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage must fail")
+	}
+	if _, _, err := results.Load(strings.NewReader(`{"schema": 99}`)); err == nil {
+		t.Error("future schema must fail")
+	}
+}

@@ -1,0 +1,173 @@
+// Package simrand provides a small, deterministic pseudo-random number
+// generator used throughout the simulator.
+//
+// Every stochastic decision in vpnscope — geo-database error models,
+// latency jitter, catalog field synthesis — flows from a Source seeded
+// explicitly by the caller, so a whole simulated study reproduces
+// bit-for-bit. The generator is a SplitMix64 core feeding a xorshift-style
+// mixer; it is not cryptographically secure and is not meant to be.
+//
+// The package deliberately mirrors a subset of math/rand's method set so
+// call sites read idiomatically, but unlike math/rand there is no global
+// source: determinism requires explicit plumbing.
+package simrand
+
+import "math"
+
+// Source is a deterministic PRNG. The zero value is NOT valid; construct
+// with New. A Source is not safe for concurrent use; derive independent
+// streams with Fork instead of sharing.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed. Two Sources with the same seed
+// produce identical streams.
+func New(seed uint64) *Source {
+	return &Source{state: seed + 0x9E3779B97F4A7C15}
+}
+
+// Fork derives an independent child stream labeled by name. Forking the
+// same parent seed with the same label always yields the same child, so
+// subsystems can be added or reordered without perturbing each other's
+// streams.
+func (s *Source) Fork(label string) *Source {
+	h := s.state
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 0x100000001B3
+	}
+	return New(h)
+}
+
+// Uint64 returns the next 64 random bits (SplitMix64).
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int64 returns a non-negative random int64.
+func (s *Source) Int64() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("simrand: Intn with n <= 0")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded ints.
+	bound := uint64(n)
+	for {
+		v := s.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xFFFFFFFF
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p (clamped to [0, 1]).
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the Marsaglia polar method.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1.
+func (s *Source) ExpFloat64() float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Pick returns a uniformly random element of items. It panics on an empty
+// slice, matching Intn's contract.
+func Pick[T any](s *Source, items []T) T {
+	return items[s.Intn(len(items))]
+}
+
+// Weighted returns an index in [0, len(weights)) with probability
+// proportional to weights[i]. Non-positive weights are treated as zero;
+// if all weights are zero it returns 0.
+func (s *Source) Weighted(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}

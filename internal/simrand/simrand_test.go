@@ -1,0 +1,231 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Fork("geo")
+	c2 := parent.Fork("dns")
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("forked streams with different labels should differ")
+	}
+	// Same label from a fresh parent with same seed reproduces the child.
+	p2 := New(7)
+	c3 := p2.Fork("geo")
+	c4 := New(7).Fork("geo")
+	if c3.Uint64() != c4.Uint64() {
+		t.Fatal("fork is not deterministic")
+	}
+}
+
+func TestForkDoesNotAdvanceParent(t *testing.T) {
+	a, b := New(99), New(99)
+	a.Fork("x")
+	a.Fork("y")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Fork must not consume parent state")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	if err := quick.Check(func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := trials / n
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d: got %d, want ~%d", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(8)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("mean = %v, want ~1", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(21)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.02 {
+		t.Errorf("P(true) = %v, want ~0.3", p)
+	}
+	if s.Bool(0) {
+		t.Error("Bool(0) must be false")
+	}
+	if !s.Bool(1) {
+		t.Error("Bool(1) must be true")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(17)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	s := New(23)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: %v", xs)
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	s := New(31)
+	const n = 100000
+	counts := [3]int{}
+	for i := 0; i < n; i++ {
+		counts[s.Weighted([]float64{1, 2, 1})]++
+	}
+	// Expect roughly 25% / 50% / 25%.
+	if p := float64(counts[1]) / n; math.Abs(p-0.5) > 0.02 {
+		t.Errorf("middle bucket %v, want ~0.5", p)
+	}
+	// Degenerate cases.
+	if s.Weighted([]float64{0, 0}) != 0 {
+		t.Error("all-zero weights should return 0")
+	}
+	if s.Weighted([]float64{-1, 5}) != 1 {
+		t.Error("negative weights should be skipped")
+	}
+}
+
+func TestPick(t *testing.T) {
+	s := New(37)
+	items := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Pick(s, items)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("Pick over 100 draws hit %d/3 items", len(seen))
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Intn(1000)
+	}
+}

@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Fatalf("Mean = %v, %v", m, err)
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Fatal("expected ErrEmpty")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	s, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil || !almost(s, 2, 1e-9) {
+		t.Fatalf("StdDev = %v, %v (want 2)", s, err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || min != -1 || max != 7 {
+		t.Fatalf("MinMax = %v, %v, %v", min, max, err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Fatal("expected ErrEmpty")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	for _, c := range []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20},
+	} {
+		got, err := Percentile(xs, c.p)
+		if err != nil || !almost(got, c.want, 1e-9) {
+			t.Errorf("P%.0f = %v, want %v (err %v)", c.p, got, c.want, err)
+		}
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("expected range error")
+	}
+	if v, err := Percentile([]float64{7}, 50); err != nil || v != 7 {
+		t.Errorf("single-sample percentile = %v, %v", v, err)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{10, 20}
+	got, _ := Percentile(xs, 50)
+	if !almost(got, 15, 1e-9) {
+		t.Errorf("interpolated median = %v, want 15", got)
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 4 {
+		t.Errorf("N = %d", c.N())
+	}
+	for _, tc := range []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	} {
+		if got := c.At(tc.x); !almost(got, tc.want, 1e-9) {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if q := c.Quantile(0.8); q != 3 {
+		t.Errorf("Quantile(0.8) = %v, want 3", q)
+	}
+	if _, err := NewCDF(nil); err != ErrEmpty {
+		t.Error("expected ErrEmpty")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c, err := NewCDF(xs)
+		if err != nil {
+			return false
+		}
+		vals, ps := c.Points()
+		if !sort.Float64sAreSorted(vals) {
+			return false
+		}
+		prev := 0.0
+		for _, p := range ps {
+			if p < prev || p > 1+1e-12 {
+				return false
+			}
+			prev = p
+		}
+		return almost(ps[len(ps)-1], 1, 1e-12)
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almost(r, 1, 1e-9) {
+		t.Fatalf("perfect correlation r = %v, %v", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if !almost(r, -1, 1e-9) {
+		t.Fatalf("perfect anticorrelation r = %v", r)
+	}
+	r, err = Pearson(xs, []float64{3, 3, 3, 3, 3})
+	if err != nil || r != 0 {
+		t.Fatalf("zero-variance r = %v, %v", r, err)
+	}
+	if _, err := Pearson(xs, ys[:3]); err != ErrLengthMismatch {
+		t.Fatal("expected ErrLengthMismatch")
+	}
+}
+
+func TestPearsonBoundedProperty(t *testing.T) {
+	if err := quick.Check(func(pairs [][2]float64) bool {
+		xs := make([]float64, 0, len(pairs))
+		ys := make([]float64, 0, len(pairs))
+		for _, p := range pairs {
+			if math.IsNaN(p[0]) || math.IsInf(p[0], 0) || math.IsNaN(p[1]) || math.IsInf(p[1], 0) {
+				continue
+			}
+			// Fold into a bounded range so the sum of squares cannot
+			// overflow; correlation magnitude is scale-invariant anyway.
+			xs = append(xs, math.Mod(p[0], 1e6))
+			ys = append(ys, math.Mod(p[1], 1e6))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		r, err := Pearson(xs, ys)
+		return err == nil && r >= -1-1e-9 && r <= 1+1e-9
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankOrder(t *testing.T) {
+	got := RankOrder([]float64{30, 10, 20})
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RankOrder = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRankAgreement(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{10, 20, 30, 40} // same ordering
+	r, err := RankAgreement(a, b)
+	if err != nil || r != 1 {
+		t.Fatalf("identical order agreement = %v, %v", r, err)
+	}
+	c := []float64{40, 30, 20, 10} // reversed
+	r, _ = RankAgreement(a, c)
+	if r != 0 {
+		t.Fatalf("reversed order agreement = %v, want 0", r)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add("US")
+	h.Add("US")
+	h.Add("DE")
+	h.AddN("GB", 3)
+	if h.Count("US") != 2 || h.Count("GB") != 3 || h.Total() != 6 {
+		t.Fatalf("counts wrong: US=%d GB=%d total=%d", h.Count("US"), h.Count("GB"), h.Total())
+	}
+	bins := h.Sorted()
+	if bins[0].Key != "GB" || bins[1].Key != "US" || bins[2].Key != "DE" {
+		t.Fatalf("sort order wrong: %v", bins)
+	}
+}
+
+func TestHistogramDeterministicTies(t *testing.T) {
+	h := NewHistogram()
+	h.Add("b")
+	h.Add("a")
+	h.Add("c")
+	bins := h.Sorted()
+	if bins[0].Key != "a" || bins[1].Key != "b" || bins[2].Key != "c" {
+		t.Fatalf("ties must sort by key: %v", bins)
+	}
+}
+
+func BenchmarkNewCDF(b *testing.B) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i * 7 % 311)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = NewCDF(xs)
+	}
+}
+
+func BenchmarkPearson(b *testing.B) {
+	xs := make([]float64, 148)
+	ys := make([]float64, 148)
+	for i := range xs {
+		xs[i] = float64(i % 37)
+		ys[i] = float64((i * 3) % 41)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Pearson(xs, ys)
+	}
+}

@@ -1,0 +1,116 @@
+package study
+
+import (
+	"fmt"
+
+	"vpnscope/internal/vpn"
+	"vpnscope/internal/vpntest"
+)
+
+// ConnectFailure records a vantage point that could not be tested.
+type ConnectFailure struct {
+	Provider string
+	VPLabel  string
+	Err      string
+}
+
+// Result is a completed study: every vantage-point report plus the
+// connection failures (§5.2's flaky-endpoint reality).
+type Result struct {
+	Reports         []*vpntest.VPReport
+	ConnectFailures []ConnectFailure
+	// VPsAttempted counts vantage points we tried to measure.
+	VPsAttempted int
+}
+
+// ReportsFor returns one provider's reports.
+func (r *Result) ReportsFor(provider string) []*vpntest.VPReport {
+	var out []*vpntest.VPReport
+	for _, rep := range r.Reports {
+		if rep.Provider == provider {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// Providers returns the distinct provider names in report order.
+func (r *Result) Providers() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, rep := range r.Reports {
+		if !seen[rep.Provider] {
+			seen[rep.Provider] = true
+			out = append(out, rep.Provider)
+		}
+	}
+	return out
+}
+
+// Run executes the full campaign: for every provider, a fresh client
+// machine per vantage point, the full suite on up to MaxFullSuiteVPs
+// vantage points, and the ping-only sweep on the rest.
+func (w *World) Run() (*Result, error) {
+	res := &Result{}
+	for _, p := range w.Providers {
+		if err := w.runProvider(p, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// RunProvider measures a single provider (used by cmd/vpnaudit).
+func (w *World) RunProvider(name string) (*Result, error) {
+	for _, p := range w.Providers {
+		if p.Name() == name {
+			res := &Result{}
+			if err := w.runProvider(p, res); err != nil {
+				return nil, err
+			}
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("study: unknown provider %q", name)
+}
+
+func (w *World) runProvider(p *vpn.Provider, res *Result) error {
+	if p.Spec.Client == vpn.BrowserExtension {
+		return nil // excluded from active testing (§4)
+	}
+	for i, vp := range p.VPs {
+		res.VPsAttempted++
+		label := fmt.Sprintf("%s (%s)", vp.ID(), vp.ClaimedCountry)
+		stack, err := w.NewClientStack()
+		if err != nil {
+			return err
+		}
+		client, err := vpn.Connect(stack, vp)
+		if err != nil {
+			// One retry, then move on — mirroring the paper's partial
+			// re-collection workflow.
+			client, err = vpn.Connect(stack, vp)
+			if err != nil {
+				res.ConnectFailures = append(res.ConnectFailures, ConnectFailure{
+					Provider: p.Name(), VPLabel: label, Err: err.Error(),
+				})
+				continue
+			}
+		}
+		opts := vpntest.SuiteOptions{CollectCaptures: w.Opts.CollectCaptures}
+		if i >= w.Opts.MaxFullSuiteVPs {
+			opts.PingOnly = true
+		}
+		if p.Spec.Client == vpn.ThirdPartyOpenVPN {
+			// §6.5: DNS/IPv6 leak and failure tests ran only against
+			// providers shipping their own client software.
+			opts.SkipLeaks = true
+			opts.SkipFailure = true
+		}
+		env := vpntest.NewEnv(w.Config, w.Baseline, stack, p.Name(), label, vp.ClaimedCountry)
+		report := vpntest.RunSuite(env, opts)
+		res.Reports = append(res.Reports, report)
+		client.Disconnect()
+	}
+	return nil
+}

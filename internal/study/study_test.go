@@ -1,0 +1,411 @@
+package study
+
+import (
+	"strings"
+	"testing"
+
+	"vpnscope/internal/ecosystem"
+	"vpnscope/internal/vpn"
+)
+
+// smallOptions builds a reduced world for fast tests: fewer extra TLS
+// hosts and a subset of providers exercising each planted behavior.
+func smallOptions(t testing.TB, providerNames ...string) Options {
+	t.Helper()
+	all := ecosystem.TestedSpecs(7, 5)
+	var specs []vpn.ProviderSpec
+	for _, s := range all {
+		for _, want := range providerNames {
+			if s.Name == want {
+				specs = append(specs, s)
+			}
+		}
+	}
+	if len(specs) != len(providerNames) {
+		t.Fatalf("resolved %d of %d providers", len(specs), len(providerNames))
+	}
+	return Options{Seed: 7, ExtraTLSHosts: 10, Providers: specs, LandmarkCount: 20}
+}
+
+func TestBuildWorld(t *testing.T) {
+	w, err := Build(smallOptions(t, "NordVPN", "Seed4.me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Providers) != 2 {
+		t.Fatalf("providers = %d", len(w.Providers))
+	}
+	if len(w.Config.DOMSiteURLs) != 55 {
+		t.Errorf("DOM URLs = %d", len(w.Config.DOMSiteURLs))
+	}
+	if len(w.Config.TLSHosts) != 65 {
+		t.Errorf("TLS hosts = %d", len(w.Config.TLSHosts))
+	}
+	if len(w.Config.Landmarks) != 25 { // 20 anchors + 5 roots
+		t.Errorf("landmarks = %d", len(w.Config.Landmarks))
+	}
+	if w.Baseline == nil || len(w.Baseline.DOM) != 55 {
+		t.Error("baseline incomplete")
+	}
+	// WHOIS resolves a vantage point to its block.
+	vp := w.Providers[0].VPs[0]
+	blk, ok := w.Whois(vp.Addr())
+	if !ok || !blk.Prefix.Contains(vp.Addr()) {
+		t.Errorf("whois(%v) = %v, %v", vp.Addr(), blk, ok)
+	}
+}
+
+func TestRunSingleCleanProvider(t *testing.T) {
+	w, err := Build(smallOptions(t, "Mullvad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.RunProvider("Mullvad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports)+len(res.ConnectFailures) != res.VPsAttempted {
+		t.Errorf("reports %d + failures %d != attempted %d",
+			len(res.Reports), len(res.ConnectFailures), res.VPsAttempted)
+	}
+	if len(res.Reports) == 0 {
+		t.Fatal("no reports")
+	}
+	r := res.Reports[0]
+	if r.Geo == nil || !r.Geo.EgressIP.IsValid() {
+		t.Fatal("no egress IP discovered")
+	}
+	if r.Pings == nil || len(r.Pings.Samples) < 15 {
+		t.Fatalf("ping samples = %v", r.Pings)
+	}
+	// Mullvad is a third-party-OpenVPN provider: leak/failure skipped.
+	if r.Leaks != nil || r.Failure != nil {
+		t.Error("third-party provider should skip leak/failure tests")
+	}
+	// No manipulation found for an honest provider.
+	if r.DNS.Manipulated() {
+		t.Error("false-positive DNS manipulation")
+	}
+	if len(r.DOM.Injections) != 0 {
+		t.Errorf("false-positive injections: %+v", r.DOM.Injections)
+	}
+	if r.Proxy.Modified {
+		t.Error("false-positive proxy detection")
+	}
+	if len(r.TLS.Intercepted) != 0 {
+		t.Errorf("false-positive TLS interception: %+v", r.TLS.Intercepted)
+	}
+}
+
+func TestDetectInjector(t *testing.T) {
+	w, err := Build(smallOptions(t, "Seed4.me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.RunProvider("Seed4.me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res.Reports {
+		if r.DOM == nil {
+			continue
+		}
+		for _, inj := range r.DOM.Injections {
+			found = true
+			joined := strings.Join(inj.InjectedHosts, ",")
+			if !strings.Contains(joined, "seed4-me.example") {
+				t.Errorf("injected hosts = %v, want provider domain", inj.InjectedHosts)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("injection not detected")
+	}
+}
+
+func TestDetectTransparentProxy(t *testing.T) {
+	w, err := Build(smallOptions(t, "CyberGhost", "NordVPN"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxied := map[string]bool{}
+	for _, r := range res.Reports {
+		if r.Proxy != nil && r.Proxy.Modified {
+			proxied[r.Provider] = true
+			if !r.Proxy.Regenerated || len(r.Proxy.HeadersAdded) != 0 {
+				t.Errorf("%s: proxy should regenerate, not add: %+v", r.Provider, r.Proxy)
+			}
+		}
+	}
+	if !proxied["CyberGhost"] {
+		t.Error("CyberGhost proxy not detected")
+	}
+	if proxied["NordVPN"] {
+		t.Error("NordVPN false positive")
+	}
+}
+
+func TestDetectLeaks(t *testing.T) {
+	w, err := Build(smallOptions(t, "Freedome VPN", "Buffered VPN", "Windscribe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dnsLeak := map[string]bool{}
+	v6Leak := map[string]bool{}
+	for _, r := range res.Reports {
+		if r.Leaks == nil {
+			continue
+		}
+		if r.Leaks.DNSLeak {
+			dnsLeak[r.Provider] = true
+		}
+		if r.Leaks.IPv6Leak {
+			v6Leak[r.Provider] = true
+		}
+	}
+	if !dnsLeak["Freedome VPN"] {
+		t.Error("Freedome DNS leak not detected")
+	}
+	if dnsLeak["Windscribe"] {
+		t.Error("Windscribe DNS false positive")
+	}
+	if !v6Leak["Buffered VPN"] {
+		t.Error("Buffered VPN IPv6 leak not detected")
+	}
+	if v6Leak["Windscribe"] {
+		t.Error("Windscribe IPv6 false positive")
+	}
+}
+
+func TestDetectTunnelFailureLeak(t *testing.T) {
+	w, err := Build(smallOptions(t, "NordVPN"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.RunProvider("NordVPN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaked := false
+	for _, r := range res.Reports {
+		if r.Failure != nil && r.Failure.Leaked {
+			leaked = true
+		}
+	}
+	if !leaked {
+		t.Fatal("NordVPN (fail-open, per-app kill switch) should leak on tunnel failure")
+	}
+}
+
+func TestCensorshipObservedFromRussianVP(t *testing.T) {
+	// Windscribe has a planted RU vantage point (TTK block).
+	w, err := Build(smallOptions(t, "Windscribe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.RunProvider("Windscribe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundRedirect := false
+	for _, r := range res.Reports {
+		if r.ClaimedCountry != "RU" || r.DOM == nil {
+			continue
+		}
+		for _, red := range r.DOM.Redirections {
+			foundRedirect = true
+			if !strings.Contains(red.Destination, "ttk.ru") {
+				t.Errorf("RU redirect destination = %q, want the TTK page", red.Destination)
+			}
+		}
+	}
+	if !foundRedirect {
+		t.Fatal("no censorship redirection observed from the RU vantage point")
+	}
+}
+
+func TestRecursiveOriginIdentifiesEgress(t *testing.T) {
+	w, err := Build(smallOptions(t, "Windscribe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.RunProvider("Windscribe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, r := range res.Reports {
+		if r.Origin == nil || !r.EgressIP().IsValid() {
+			continue // flaky vantage point: geo or origin step failed
+		}
+		checked++
+		if len(r.Origin.Origins) != 1 {
+			t.Fatalf("origins = %v", r.Origin.Origins)
+		}
+		if r.Origin.Origins[0] != r.EgressIP() {
+			t.Errorf("recursion origin %v != egress %v", r.Origin.Origins[0], r.EgressIP())
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no vantage point completed both geo and origin steps")
+	}
+}
+
+func TestDeterministicStudy(t *testing.T) {
+	run := func() int {
+		w, err := Build(smallOptions(t, "Seed4.me"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, r := range res.Reports {
+			total += len(r.Errors) + len(r.Pings.Samples)
+			if r.DOM != nil {
+				total += 1000 * len(r.DOM.Injections)
+			}
+		}
+		return total
+	}
+	if run() != run() {
+		t.Fatal("study not deterministic")
+	}
+}
+
+func TestP2PDetectionNegativeOn62(t *testing.T) {
+	// §6.6: none of the paper's providers routed traffic through
+	// clients; a normal provider must audit clean.
+	w, err := Build(smallOptions(t, "Windscribe", "Seed4.me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Reports {
+		if r.P2P != nil && r.P2P.PeerExit() {
+			t.Errorf("%s: false-positive peer exit: %v", r.VPLabel, r.P2P.UnexpectedQueries)
+		}
+	}
+}
+
+func TestP2PDetectionPositiveOnPeerExitProvider(t *testing.T) {
+	// The future-work extension: a Hola-style provider whose client
+	// routes peers' traffic out of the member's link is caught via
+	// unexpected DNS requests.
+	opts := Options{Seed: 7, ExtraTLSHosts: 10, LandmarkCount: 15,
+		Providers: []vpn.ProviderSpec{ecosystem.P2PDemoSpec()}}
+	w, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.RunProvider("HolaSim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := false
+	for _, r := range res.Reports {
+		if r.P2P == nil {
+			continue
+		}
+		if r.P2P.PeerExit() {
+			caught = true
+			for _, q := range r.P2P.UnexpectedQueries {
+				if !strings.Contains(q, "peer-traffic.example") {
+					t.Errorf("unexpected query %q not peer traffic", q)
+				}
+			}
+		}
+	}
+	if !caught {
+		t.Fatal("peer-exit provider not detected")
+	}
+}
+
+func TestTracerouteThroughTunnel(t *testing.T) {
+	w, err := Build(smallOptions(t, "Windscribe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.RunProvider("Windscribe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawGateway, sawBeyond := false, false
+	for _, r := range res.Reports {
+		if r.Traces == nil {
+			continue
+		}
+		for lm, hops := range r.Traces.Paths {
+			if len(hops) == 0 {
+				t.Errorf("empty path to %s", lm)
+				continue
+			}
+			// First hop is the tunnel gateway (10.8.0.1).
+			if hops[0].Addr == vpn.TunnelInternalDNS {
+				sawGateway = true
+			}
+			if _, ok := r.Traces.FirstHopBeyondGateway(lm); ok {
+				sawBeyond = true
+			}
+			// The ladder terminates at the landmark.
+			last := hops[len(hops)-1]
+			if last.Reached && !last.Addr.IsValid() {
+				t.Error("reached hop without address")
+			}
+		}
+	}
+	if !sawGateway {
+		t.Error("no traceroute showed the tunnel gateway as first hop")
+	}
+	if !sawBeyond {
+		t.Error("no traceroute revealed hops beyond the gateway")
+	}
+}
+
+func TestWebRTCLeakAudit(t *testing.T) {
+	// CyberGhost ships a masking extension (planted); Seed4.me does
+	// not — the probe page learns its client's real address.
+	w, err := Build(smallOptions(t, "CyberGhost", "Seed4.me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposed := map[string]bool{}
+	masked := map[string]bool{}
+	for _, r := range res.Reports {
+		if r.WebRTC == nil {
+			continue
+		}
+		if r.WebRTC.RealAddressExposed {
+			exposed[r.Provider] = true
+		} else if r.WebRTC.EgressOnly {
+			masked[r.Provider] = true
+		}
+	}
+	if !exposed["Seed4.me"] {
+		t.Error("Seed4.me should expose the real address via WebRTC")
+	}
+	if exposed["CyberGhost"] {
+		t.Error("CyberGhost masks WebRTC; no exposure expected")
+	}
+	if !masked["CyberGhost"] {
+		t.Error("CyberGhost should be recorded as masked")
+	}
+}

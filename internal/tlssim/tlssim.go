@@ -1,0 +1,199 @@
+// Package tlssim models just enough of TLS for the paper's interception
+// and downgrade tests (§5.3.1): certificates issued by CAs, a trust
+// pool, and a simple handshake framing carried over the simulator's TCP
+// exchanges. There is no real cryptography — the security property the
+// tests need is only that a man-in-the-middle cannot present a
+// certificate chaining to a trusted root, which the model guarantees by
+// construction (signatures bind to a CA secret the MITM does not have).
+package tlssim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Certificate is a simulated X.509 leaf or root certificate.
+type Certificate struct {
+	Subject string `json:"subject"` // hostname (leaf) or CA name (root)
+	Issuer  string `json:"issuer"`
+	Serial  uint64 `json:"serial"`
+	// Sig binds (Subject, Issuer, Serial) to the issuing CA's secret.
+	Sig uint64 `json:"sig"`
+}
+
+// Fingerprint returns a stable identifier for the certificate, used by
+// the measurement suite to compare ground-truth and observed certs.
+func (c Certificate) Fingerprint() uint64 {
+	return fnv(fmt.Sprintf("%s|%s|%d|%d", c.Subject, c.Issuer, c.Serial, c.Sig))
+}
+
+// MatchesHost reports whether the certificate is valid for host,
+// honoring a single leading wildcard label.
+func (c Certificate) MatchesHost(host string) bool {
+	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	subj := strings.ToLower(c.Subject)
+	if subj == host {
+		return true
+	}
+	if rest, ok := strings.CutPrefix(subj, "*."); ok {
+		if i := strings.IndexByte(host, '.'); i > 0 && host[i+1:] == rest {
+			return true
+		}
+	}
+	return false
+}
+
+// CA is a simulated certificate authority.
+type CA struct {
+	Name   string
+	secret uint64
+	serial uint64
+}
+
+// NewCA creates a CA whose signing secret derives from seed.
+func NewCA(name string, seed uint64) *CA {
+	return &CA{Name: name, secret: fnv(fmt.Sprintf("ca|%s|%d", name, seed))}
+}
+
+// Issue signs a leaf certificate for subject.
+func (ca *CA) Issue(subject string) Certificate {
+	ca.serial++
+	c := Certificate{Subject: subject, Issuer: ca.Name, Serial: ca.serial}
+	c.Sig = ca.sign(c)
+	return c
+}
+
+// sign computes the signature over the certificate's identity fields.
+func (ca *CA) sign(c Certificate) uint64 {
+	return fnv(fmt.Sprintf("%d|%s|%s|%d", ca.secret, c.Subject, c.Issuer, c.Serial))
+}
+
+// Pool is a set of trusted CAs, playing the role of the client's root
+// store. Verification succeeds only for certificates signed by a pooled
+// CA — the pool holds the CA objects themselves, standing in for the
+// asymmetric-verification property of real PKI.
+type Pool struct {
+	cas map[string]*CA
+}
+
+// NewPool builds a trust pool over the given CAs.
+func NewPool(cas ...*CA) *Pool {
+	p := &Pool{cas: make(map[string]*CA, len(cas))}
+	for _, ca := range cas {
+		p.cas[ca.Name] = ca
+	}
+	return p
+}
+
+// Verification errors.
+var (
+	ErrUntrustedIssuer = errors.New("tlssim: certificate issuer not trusted")
+	ErrBadSignature    = errors.New("tlssim: certificate signature invalid")
+	ErrHostMismatch    = errors.New("tlssim: certificate does not match host")
+)
+
+// Verify checks that cert chains to a trusted CA and matches host.
+func (p *Pool) Verify(cert Certificate, host string) error {
+	ca, ok := p.cas[cert.Issuer]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUntrustedIssuer, cert.Issuer)
+	}
+	if ca.sign(cert) != cert.Sig {
+		return fmt.Errorf("%w: subject %q", ErrBadSignature, cert.Subject)
+	}
+	if !cert.MatchesHost(host) {
+		return fmt.Errorf("%w: %q for host %q", ErrHostMismatch, cert.Subject, host)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Handshake framing
+// ---------------------------------------------------------------------
+
+// Wire framing constants. A ClientHello is a text preamble followed by
+// the application request; a ServerHello is a JSON certificate followed
+// by the application response. A server that answers a ClientHello with
+// anything not starting with helloRespMagic has "stripped" TLS — the
+// downgrade signature the test suite looks for.
+const (
+	helloMagic     = "TLSSIM-HELLO "
+	helloRespMagic = "TLSSIM-CERT "
+)
+
+// EncodeClientHello frames an application request for host over TLS.
+func EncodeClientHello(host string, inner []byte) []byte {
+	var b bytes.Buffer
+	b.WriteString(helloMagic)
+	b.WriteString(host)
+	b.WriteByte('\n')
+	b.Write(inner)
+	return b.Bytes()
+}
+
+// ParseClientHello splits a framed hello into SNI and inner request.
+func ParseClientHello(data []byte) (host string, inner []byte, err error) {
+	rest, ok := bytes.CutPrefix(data, []byte(helloMagic))
+	if !ok {
+		return "", nil, errors.New("tlssim: not a client hello")
+	}
+	line, inner, ok := bytes.Cut(rest, []byte{'\n'})
+	if !ok {
+		return "", nil, errors.New("tlssim: truncated client hello")
+	}
+	return string(line), inner, nil
+}
+
+// IsClientHello reports whether data is framed as a ClientHello.
+func IsClientHello(data []byte) bool {
+	return bytes.HasPrefix(data, []byte(helloMagic))
+}
+
+// EncodeServerHello frames a response: certificate then payload.
+func EncodeServerHello(cert Certificate, inner []byte) []byte {
+	cj, err := json.Marshal(cert)
+	if err != nil {
+		// Certificate is a plain struct; Marshal cannot fail.
+		panic(err)
+	}
+	var b bytes.Buffer
+	b.WriteString(helloRespMagic)
+	b.Write(cj)
+	b.WriteByte('\n')
+	b.Write(inner)
+	return b.Bytes()
+}
+
+// ParseServerHello splits a framed server hello. A parse failure on
+// bytes that do not carry the magic indicates a TLS downgrade (the
+// server or a middlebox answered in cleartext).
+func ParseServerHello(data []byte) (Certificate, []byte, error) {
+	rest, ok := bytes.CutPrefix(data, []byte(helloRespMagic))
+	if !ok {
+		return Certificate{}, nil, ErrDowngraded
+	}
+	line, inner, ok := bytes.Cut(rest, []byte{'\n'})
+	if !ok {
+		return Certificate{}, nil, errors.New("tlssim: truncated server hello")
+	}
+	var cert Certificate
+	if err := json.Unmarshal(line, &cert); err != nil {
+		return Certificate{}, nil, fmt.Errorf("tlssim: bad certificate frame: %w", err)
+	}
+	return cert, inner, nil
+}
+
+// ErrDowngraded marks a response that should have been TLS but was not.
+var ErrDowngraded = errors.New("tlssim: connection downgraded to cleartext")
+
+func fnv(s string) uint64 {
+	var h uint64 = 0xCBF29CE484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001B3
+	}
+	return h
+}

@@ -1,0 +1,162 @@
+package tlssim
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestIssueAndVerify(t *testing.T) {
+	ca := NewCA("SimTrust Root", 1)
+	pool := NewPool(ca)
+	cert := ca.Issue("www.example.com")
+	if err := pool.Verify(cert, "www.example.com"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsUntrustedIssuer(t *testing.T) {
+	trusted := NewCA("SimTrust Root", 1)
+	mitm := NewCA("EvilProxy CA", 2)
+	pool := NewPool(trusted)
+	cert := mitm.Issue("www.example.com")
+	if err := pool.Verify(cert, "www.example.com"); err == nil {
+		t.Fatal("MITM cert must not verify")
+	}
+}
+
+func TestVerifyRejectsTamperedCert(t *testing.T) {
+	ca := NewCA("SimTrust Root", 1)
+	pool := NewPool(ca)
+	cert := ca.Issue("www.example.com")
+	cert.Subject = "www.evil.com" // resign not possible without secret
+	if err := pool.Verify(cert, "www.evil.com"); err == nil {
+		t.Fatal("tampered cert must not verify")
+	}
+}
+
+func TestVerifyRejectsHostMismatch(t *testing.T) {
+	ca := NewCA("SimTrust Root", 1)
+	pool := NewPool(ca)
+	cert := ca.Issue("www.example.com")
+	if err := pool.Verify(cert, "other.example.com"); err == nil {
+		t.Fatal("host mismatch must fail")
+	}
+}
+
+func TestImpersonationAcrossCASeeds(t *testing.T) {
+	// A CA with the same name but a different seed cannot satisfy the
+	// pool holding the original.
+	real := NewCA("SimTrust Root", 1)
+	fake := NewCA("SimTrust Root", 999)
+	pool := NewPool(real)
+	cert := fake.Issue("www.example.com")
+	if err := pool.Verify(cert, "www.example.com"); err == nil {
+		t.Fatal("name-colliding CA must not verify")
+	}
+}
+
+func TestWildcardMatching(t *testing.T) {
+	ca := NewCA("SimTrust Root", 1)
+	cert := ca.Issue("*.example.com")
+	cases := []struct {
+		host string
+		want bool
+	}{
+		{"www.example.com", true},
+		{"api.example.com", true},
+		{"example.com", false},
+		{"a.b.example.com", false},
+		{"www.other.com", false},
+	}
+	for _, c := range cases {
+		if got := cert.MatchesHost(c.host); got != c.want {
+			t.Errorf("MatchesHost(%q) = %v, want %v", c.host, got, c.want)
+		}
+	}
+}
+
+func TestFingerprintDistinguishesCerts(t *testing.T) {
+	ca := NewCA("SimTrust Root", 1)
+	a := ca.Issue("www.example.com")
+	b := ca.Issue("www.example.com") // new serial
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("distinct serials must have distinct fingerprints")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint must be stable")
+	}
+}
+
+func TestClientHelloRoundTrip(t *testing.T) {
+	inner := []byte("GET / HTTP/1.1\r\nHost: www.example.com\r\n\r\n")
+	hello := EncodeClientHello("www.example.com", inner)
+	if !IsClientHello(hello) {
+		t.Fatal("framing not recognized")
+	}
+	host, got, err := ParseClientHello(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host != "www.example.com" || !bytes.Equal(got, inner) {
+		t.Fatalf("host=%q inner=%q", host, got)
+	}
+	if _, _, err := ParseClientHello([]byte("nonsense")); err == nil {
+		t.Fatal("garbage must not parse")
+	}
+}
+
+func TestServerHelloRoundTrip(t *testing.T) {
+	ca := NewCA("SimTrust Root", 1)
+	cert := ca.Issue("www.example.com")
+	inner := []byte("HTTP/1.1 200 OK\r\n\r\nhello")
+	resp := EncodeServerHello(cert, inner)
+	back, got, err := ParseServerHello(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != cert || !bytes.Equal(got, inner) {
+		t.Fatalf("cert=%+v inner=%q", back, got)
+	}
+}
+
+func TestDowngradeDetection(t *testing.T) {
+	// A cleartext HTTP response where a ServerHello was expected parses
+	// as ErrDowngraded — the TLS-stripping signal.
+	_, _, err := ParseServerHello([]byte("HTTP/1.1 200 OK\r\n\r\nplain"))
+	if err != ErrDowngraded {
+		t.Fatalf("err = %v, want ErrDowngraded", err)
+	}
+}
+
+func TestHelloPayloadProperty(t *testing.T) {
+	if err := quick.Check(func(inner []byte) bool {
+		hello := EncodeClientHello("h.test", inner)
+		_, got, err := ParseClientHello(hello)
+		return err == nil && bytes.Equal(got, inner)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIssueVerify(b *testing.B) {
+	ca := NewCA("SimTrust Root", 1)
+	pool := NewPool(ca)
+	for i := 0; i < b.N; i++ {
+		cert := ca.Issue("www.example.com")
+		if err := pool.Verify(cert, "www.example.com"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestParsersArbitraryBytesNeverPanic(t *testing.T) {
+	if err := quick.Check(func(data []byte) bool {
+		_, _, _ = ParseClientHello(data)
+		_, _, _ = ParseServerHello(data)
+		_ = IsClientHello(data)
+		return true
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,314 @@
+package vpn
+
+import (
+	"net/netip"
+
+	"vpnscope/internal/capture"
+	"vpnscope/internal/dnssim"
+	"vpnscope/internal/netsim"
+	"vpnscope/internal/tlssim"
+	"vpnscope/internal/websim"
+)
+
+// ServerEnv supplies the world context a vantage point needs to forward
+// traffic: the DNS directory (for its resolver), the web (to classify
+// hosts for censorship), and the trusted CA whose leaves an intercepting
+// provider swaps out.
+type ServerEnv struct {
+	Dir *dnssim.Directory
+	Web *websim.Web
+}
+
+// installDemuxed builds the vantage point's tunnel-internal resolver
+// and registers it with the host's session demultiplexer.
+func (vp *VantagePoint) installDemuxed(d *tunnelDemux) {
+	resolver := &dnssim.Resolver{
+		Name: vp.Provider.Name() + "-dns",
+		Addr: vp.Addr(),
+		Dir:  d.env.Dir,
+	}
+	if vp.Provider.Spec.ManipulateDNS && len(vp.Provider.Spec.ManipulatedDomains) > 0 {
+		hijacked := make(map[string]bool)
+		for _, dom := range vp.Provider.Spec.ManipulatedDomains {
+			hijacked[dom] = true
+		}
+		// Hijacked answers point into the provider's own block so a
+		// WHOIS lookup attributes them to the provider (the paper's
+		// manual verification step).
+		target := vp.Addr()
+		resolver.Manipulate = func(name string, qtype uint16, addrs []netip.Addr) []netip.Addr {
+			if qtype == dnssim.TypeA && hijacked[name] {
+				return []netip.Addr{target}
+			}
+			return addrs
+		}
+	}
+	vp.resolver = resolver
+	d.mu.Lock()
+	d.vps[vp.sessionKey] = vp
+	d.mu.Unlock()
+}
+
+// serveTunnel terminates one encapsulated packet: unscramble, apply
+// provider behaviors, forward from the egress address, and wrap the
+// response back toward the client.
+func (vp *VantagePoint) serveTunnel(n *netsim.Network, env *ServerEnv, pkt []byte) [][]byte {
+	resolver := vp.resolver
+	outer := capture.NewPacket(pkt, capture.TypeIPv4, capture.NoCopy)
+	tun, ok := outer.Layer(capture.TypeTunnel).(*capture.Tunnel)
+	if !ok {
+		return nil // not tunnel traffic; fall through to refusal upstream
+	}
+	if tun.SessionID != vp.sessionKey {
+		return nil // unknown session
+	}
+	onl := outer.NetworkLayer()
+	if onl == nil {
+		return nil
+	}
+	clientAddr, _ := netip.AddrFromSlice(onl.NetworkFlow().Src())
+
+	inner := make([]byte, len(tun.LayerPayload()))
+	copy(inner, tun.LayerPayload())
+	capture.Scramble(vp.sessionKey, inner)
+
+	respInner := vp.serveInner(n, env, resolver, inner)
+	if respInner == nil {
+		return nil
+	}
+	capture.Scramble(vp.sessionKey, respInner)
+	wrapped, err := netsim.BuildPacket(vp.Addr(), clientAddr,
+		&capture.Tunnel{SessionID: vp.sessionKey},
+		capture.Payload(respInner))
+	if err != nil {
+		return nil
+	}
+	return [][]byte{wrapped}
+}
+
+// serveInner processes one decapsulated client packet and returns the
+// raw inner response packet (addressed back to the tunnel-internal
+// client), or nil.
+func (vp *VantagePoint) serveInner(n *netsim.Network, env *ServerEnv, resolver *dnssim.Resolver, inner []byte) []byte {
+	p := capture.NewPacket(inner, innerFirstLayer(inner), capture.NoCopy)
+	nl := p.NetworkLayer()
+	if nl == nil {
+		return nil
+	}
+	src, _ := netip.AddrFromSlice(nl.NetworkFlow().Src())
+	dst, _ := netip.AddrFromSlice(nl.NetworkFlow().Dst())
+
+	// IPv6 through a tunnel the provider cannot carry is dropped.
+	if dst.Is6() && !vp.Provider.Spec.SupportsIPv6 {
+		return nil
+	}
+	egress := vp.Addr()
+	if dst.Is6() {
+		if !vp.Host.HasIPv6() {
+			return nil
+		}
+		egress = vp.Host.Addr6
+	}
+
+	// Tunnel-internal DNS service.
+	if dst == TunnelInternalDNS {
+		if u, ok := p.Layer(capture.TypeUDP).(*capture.UDP); ok && u.DstPort == 53 {
+			answer := resolver.HandleQuery(u.LayerPayload())
+			if answer == nil {
+				return nil
+			}
+			resp, err := netsim.BuildPacket(TunnelInternalDNS, src,
+				&capture.UDP{SrcPort: 53, DstPort: u.SrcPort},
+				capture.Payload(answer))
+			if err != nil {
+				return nil
+			}
+			return resp
+		}
+		return nil
+	}
+
+	// ICMP: forward the echo from the egress. The vantage point acts
+	// as a router: it decrements the inner TTL, answers Time Exceeded
+	// as the tunnel gateway when the TTL dies here, and preserves the
+	// responder's address so traceroute through the tunnel shows the
+	// hops beyond the vantage point.
+	if ic, ok := p.Layer(capture.TypeICMP).(*capture.ICMP); ok {
+		ttl := innerTTL(inner)
+		if ttl <= 1 {
+			out, err := netsim.BuildPacket(TunnelInternalDNS, src,
+				&capture.ICMP{TypeCode: capture.ICMPTimeExceeded})
+			if err != nil {
+				return nil
+			}
+			return out
+		}
+		fwd, err := netsim.BuildPacketTTL(ttl-1, egress, dst,
+			&capture.ICMP{TypeCode: ic.TypeCode, ID: ic.ID, Seq: ic.Seq},
+			capture.Payload(ic.LayerPayload()))
+		if err != nil {
+			return nil
+		}
+		resp, err := n.Exchange(vp.Host, fwd)
+		if err != nil || resp == nil {
+			return nil
+		}
+		rp := capture.NewPacket(resp, innerFirstLayer(resp), capture.NoCopy)
+		ric, ok := rp.Layer(capture.TypeICMP).(*capture.ICMP)
+		if !ok {
+			return nil
+		}
+		// Relay the response from whoever actually sent it — the
+		// destination for echo replies, a mid-path router for Time
+		// Exceeded.
+		responder := dst
+		if rnl := rp.NetworkLayer(); rnl != nil {
+			if a, ok := netip.AddrFromSlice(rnl.NetworkFlow().Src()); ok {
+				responder = a
+			}
+		}
+		out, err := netsim.BuildPacket(responder, src,
+			&capture.ICMP{TypeCode: ric.TypeCode, ID: ric.ID, Seq: ric.Seq},
+			capture.Payload(ric.LayerPayload()))
+		if err != nil {
+			return nil
+		}
+		return out
+	}
+
+	if u, ok := p.Layer(capture.TypeUDP).(*capture.UDP); ok {
+		return vp.forwardUDP(n, egress, src, dst, u)
+	}
+	if t, ok := p.Layer(capture.TypeTCP).(*capture.TCP); ok {
+		return vp.forwardTCP(n, env, egress, src, dst, t)
+	}
+	return nil
+}
+
+func (vp *VantagePoint) forwardUDP(n *netsim.Network, egress, src, dst netip.Addr, u *capture.UDP) []byte {
+	fwd, err := netsim.BuildPacket(egress, dst,
+		&capture.UDP{SrcPort: u.SrcPort, DstPort: u.DstPort},
+		capture.Payload(u.LayerPayload()))
+	if err != nil {
+		return nil
+	}
+	resp, err := n.Exchange(vp.Host, fwd)
+	if err != nil || resp == nil {
+		return nil
+	}
+	rp := capture.NewPacket(resp, innerFirstLayer(resp), capture.NoCopy)
+	ru, ok := rp.Layer(capture.TypeUDP).(*capture.UDP)
+	if !ok {
+		return nil
+	}
+	out, err := netsim.BuildPacket(dst, src,
+		&capture.UDP{SrcPort: ru.SrcPort, DstPort: ru.DstPort},
+		capture.Payload(ru.LayerPayload()))
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+func (vp *VantagePoint) forwardTCP(n *netsim.Network, env *ServerEnv, egress, src, dst netip.Addr, t *capture.TCP) []byte {
+	payload := t.LayerPayload()
+	spec := &vp.Provider.Spec
+
+	// National censorship applies where the machine physically sits —
+	// this is exactly why redirections appeared "only on endpoints
+	// claiming to be in their respective countries" (§6.1.1): those
+	// endpoints really were there.
+	if t.DstPort == 80 && env != nil && env.Web != nil {
+		if policy := websim.PolicyFor(vp.ActualCity.Country); policy != nil {
+			if req, err := websim.ParseRequest(payload); err == nil {
+				if resp, blocked := policy.Apply(vp.Host.Block.Org, req.Host(), env.Web.SiteByName); blocked {
+					return vp.buildTCPResponse(dst, src, t, resp.Encode())
+				}
+			}
+		}
+	}
+
+	// Transparent proxy: parse and regenerate HTTP request headers.
+	if t.DstPort == 80 && spec.TransparentProxy {
+		payload = websim.RegenerateHeaders(payload)
+	}
+
+	// TLS interception: terminate the client's hello, fetch upstream,
+	// re-sign with the provider CA.
+	if t.DstPort == 443 && spec.InterceptTLS && vp.Provider.MITMCA != nil {
+		if sni, innerReq, err := tlssim.ParseClientHello(payload); err == nil {
+			upstream := vp.exchangeTCP(n, egress, dst, t, tlssim.EncodeClientHello(sni, innerReq))
+			if upstream == nil {
+				return nil
+			}
+			_, serverInner, err := tlssim.ParseServerHello(upstream)
+			if err != nil {
+				return nil
+			}
+			mitm := tlssim.EncodeServerHello(vp.Provider.MITMCA.Issue(sni), serverInner)
+			return vp.buildTCPResponse(dst, src, t, mitm)
+		}
+	}
+
+	respPayload := vp.exchangeTCP(n, egress, dst, t, payload)
+	if respPayload == nil {
+		return nil
+	}
+
+	// Content injection on HTTP responses.
+	if t.DstPort == 80 && spec.InjectContent {
+		respPayload = websim.InjectOverlay(respPayload, vp.Provider.Spec.Domain)
+	}
+	return vp.buildTCPResponse(dst, src, t, respPayload)
+}
+
+// exchangeTCP forwards a TCP request payload from the egress address and
+// returns the response payload.
+func (vp *VantagePoint) exchangeTCP(n *netsim.Network, egress, dst netip.Addr, t *capture.TCP, payload []byte) []byte {
+	fwd, err := netsim.BuildPacket(egress, dst,
+		&capture.TCP{SrcPort: t.SrcPort, DstPort: t.DstPort, Flags: capture.FlagACK | capture.FlagPSH},
+		capture.Payload(payload))
+	if err != nil {
+		return nil
+	}
+	resp, err := n.Exchange(vp.Host, fwd)
+	if err != nil || resp == nil {
+		return nil
+	}
+	rp := capture.NewPacket(resp, innerFirstLayer(resp), capture.NoCopy)
+	rt, ok := rp.Layer(capture.TypeTCP).(*capture.TCP)
+	if !ok {
+		return nil
+	}
+	return rt.LayerPayload()
+}
+
+// buildTCPResponse builds the inner response packet back to the client.
+func (vp *VantagePoint) buildTCPResponse(fromDst, toSrc netip.Addr, t *capture.TCP, payload []byte) []byte {
+	out, err := netsim.BuildPacket(fromDst, toSrc,
+		&capture.TCP{SrcPort: t.DstPort, DstPort: t.SrcPort, Flags: capture.FlagACK | capture.FlagPSH},
+		capture.Payload(payload))
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+func innerFirstLayer(pkt []byte) capture.LayerType {
+	if len(pkt) > 0 && pkt[0]>>4 == 6 {
+		return capture.TypeIPv6
+	}
+	return capture.TypeIPv4
+}
+
+// innerTTL reads the TTL / hop limit from a raw inner packet.
+func innerTTL(pkt []byte) byte {
+	switch {
+	case len(pkt) >= 20 && pkt[0]>>4 == 4:
+		return pkt[8]
+	case len(pkt) >= 40 && pkt[0]>>4 == 6:
+		return pkt[7]
+	default:
+		return 64
+	}
+}

@@ -1,0 +1,144 @@
+package vpntest
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"vpnscope/internal/capture"
+	"vpnscope/internal/geo"
+	"vpnscope/internal/netsim"
+)
+
+// VPReport is everything the suite learned about one vantage point —
+// the per-vantage-point analogue of the paper's per-run logs and packet
+// captures.
+type VPReport struct {
+	Provider       string
+	VPLabel        string
+	ClaimedCountry geo.Country
+	StartedAt      time.Duration // virtual time
+	FinishedAt     time.Duration
+
+	Geo          *GeoResult
+	DNS          *DNSManipulationResult
+	DOM          *DOMResult
+	TLS          *TLSResult
+	Proxy        *ProxyResult
+	Origin       *OriginResult
+	Pings        *PingResult
+	Traces       *TraceResult
+	Leaks        *LeakResult
+	WebRTC       *WebRTCResult
+	P2P          *P2PResult
+	Failure      *FailureResult
+	// Metadata snapshot (§5.3.4): routes and resolvers at test time.
+	Routes    []netsim.Route
+	Resolvers []netip.Addr
+	// Captures holds the per-interface packet traces recorded during
+	// the run when SuiteOptions.CollectCaptures is set (§5.3.4:
+	// "our normal testing also collects packet captures on the
+	// hardware interface").
+	Captures []capture.Record
+
+	// Errors collects per-test failures without aborting the run.
+	Errors []string
+}
+
+// WriteCaptures writes the run's packet trace in pcap format.
+func (r *VPReport) WriteCaptures(w io.Writer) error {
+	return capture.WritePcap(w, r.Captures)
+}
+
+// EgressIP returns the discovered egress address (zero when the geo
+// step failed).
+func (r *VPReport) EgressIP() netip.Addr {
+	if r.Geo == nil {
+		return netip.Addr{}
+	}
+	return r.Geo.EgressIP
+}
+
+// SuiteOptions selects which test groups run. The zero value runs
+// everything, mirroring the paper's full ~45-minute per-vantage-point
+// suite; PingOnly is the light sweep used for the >150 HideMyAss
+// endpoints in §6.4.2.
+type SuiteOptions struct {
+	SkipDOM     bool
+	SkipTLS     bool
+	SkipLeaks   bool
+	SkipFailure bool
+	PingOnly    bool
+	// CollectCaptures snapshots the run's full packet trace into the
+	// report for offline analysis / pcap export.
+	CollectCaptures bool
+}
+
+// RunSuite executes the test suite against a connected environment and
+// returns the vantage point's report. Individual test errors are
+// recorded, not fatal — dying vantage points were routine in the paper's
+// data collection.
+func RunSuite(env *Env, opts SuiteOptions) *VPReport {
+	r := &VPReport{
+		Provider:       env.Provider,
+		VPLabel:        env.VPLabel,
+		ClaimedCountry: env.ClaimedCountry,
+		StartedAt:      env.Stack.Net.Clock.Now(),
+	}
+	note := func(test string, err error) {
+		if err != nil {
+			r.Errors = append(r.Errors, fmt.Sprintf("%s: %v", test, err))
+		}
+	}
+
+	// Geolocation first: it caches the egress address the ping sweep
+	// uses for offset estimation.
+	var err error
+	r.Geo, err = RunGeolocation(env)
+	note("geo", err)
+	r.Pings, err = RunPingSweep(env)
+	note("ping", err)
+
+	if !opts.PingOnly {
+		r.Routes = env.Stack.Routes()
+		r.Resolvers = env.Stack.Resolvers()
+
+		r.DNS, err = RunDNSManipulation(env)
+		note("dns-manipulation", err)
+		r.Origin, err = RunRecursiveOrigin(env)
+		note("recursive-origin", err)
+		r.Proxy, err = RunProxyDetection(env)
+		note("proxy-detection", err)
+		if !opts.SkipDOM {
+			r.DOM, err = RunDOMCollection(env)
+			note("dom-collection", err)
+		}
+		if !opts.SkipTLS {
+			r.TLS, err = RunTLS(env)
+			note("tls", err)
+		}
+		if !opts.SkipLeaks {
+			r.Leaks, err = RunLeakTests(env)
+			note("leaks", err)
+		}
+		r.Traces, err = RunTraceroutes(env, 3)
+		note("traceroute", err)
+		if env.Cfg.WebRTCProbeURL != "" {
+			r.WebRTC, err = RunWebRTCLeak(env)
+			note("webrtc-leak", err)
+		}
+		r.P2P, err = RunP2PDetection(env)
+		note("p2p-detection", err)
+		if !opts.SkipFailure {
+			// Last: it may leave the client failed-open.
+			r.Failure, err = RunTunnelFailure(env)
+			note("tunnel-failure", err)
+		}
+	}
+	if opts.CollectCaptures {
+		r.Captures = env.Stack.CaptureAll()
+	}
+	r.FinishedAt = env.Stack.Net.Clock.Now()
+	return r
+}

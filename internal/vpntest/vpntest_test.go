@@ -1,0 +1,278 @@
+package vpntest_test
+
+import (
+	"strings"
+	"testing"
+
+	"vpnscope/internal/ecosystem"
+	"vpnscope/internal/study"
+	"vpnscope/internal/vpn"
+	"vpnscope/internal/vpntest"
+)
+
+// harness builds a small world and connects a client to the named
+// provider's first vantage point, returning a ready Env.
+type harness struct {
+	world  *study.World
+	client *vpn.Client
+	env    *vpntest.Env
+}
+
+func newHarness(t testing.TB, provider string) *harness {
+	t.Helper()
+	all := ecosystem.TestedSpecs(3, 5)
+	var specs []vpn.ProviderSpec
+	for _, s := range all {
+		if s.Name == provider {
+			// Pin reliability so unit tests never hit flaky paths.
+			for i := range s.VantagePoints {
+				s.VantagePoints[i].Reliability = 1
+			}
+			specs = append(specs, s)
+		}
+	}
+	if len(specs) != 1 {
+		t.Fatalf("provider %q not found", provider)
+	}
+	w, err := study.Build(study.Options{Seed: 3, ExtraTLSHosts: 10, Providers: specs, LandmarkCount: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, err := w.NewClientStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Providers[0]
+	client, err := vpn.Connect(stack, p.VPs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := vpntest.NewEnv(w.Config, w.Baseline, stack, p.Name(), p.VPs[0].ID(), p.VPs[0].ClaimedCountry)
+	return &harness{world: w, client: client, env: env}
+}
+
+func TestEgressIPDiscovery(t *testing.T) {
+	h := newHarness(t, "Mullvad")
+	defer h.client.Disconnect()
+	egress, err := h.env.EgressIP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if egress != h.world.Providers[0].VPs[0].Addr() {
+		t.Errorf("egress = %v, want the VP address", egress)
+	}
+	// Cached: second call returns the same value.
+	again, err := h.env.EgressIP()
+	if err != nil || again != egress {
+		t.Errorf("cache broken: %v, %v", again, err)
+	}
+}
+
+func TestDNSManipulationCleanProvider(t *testing.T) {
+	h := newHarness(t, "Windscribe")
+	defer h.client.Disconnect()
+	res, err := vpntest.RunDNSManipulation(h.env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queried != len(h.world.Config.DNSCheckHosts) {
+		t.Errorf("queried = %d", res.Queried)
+	}
+	if res.Manipulated() {
+		t.Errorf("false positive: %+v", res.Diffs)
+	}
+}
+
+func TestDOMCollectionDetectsInjection(t *testing.T) {
+	h := newHarness(t, "Seed4.me")
+	defer h.client.Disconnect()
+	res, err := vpntest.RunDOMCollection(h.env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PagesLoaded == 0 {
+		t.Fatal("no pages loaded")
+	}
+	if len(res.Injections) == 0 {
+		t.Fatal("injection missed")
+	}
+	inj := res.Injections[0]
+	if !strings.Contains(strings.Join(inj.InjectedHosts, ","), "cdn.seed4-me.example") {
+		t.Errorf("injected hosts = %v", inj.InjectedHosts)
+	}
+	if !strings.Contains(inj.Snippet, "overlay") {
+		t.Errorf("snippet = %q", inj.Snippet)
+	}
+}
+
+func TestTLSCleanProvider(t *testing.T) {
+	h := newHarness(t, "Windscribe")
+	defer h.client.Disconnect()
+	res, err := vpntest.RunTLS(h.env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HostsProbed != len(h.world.Config.TLSHosts) {
+		t.Errorf("probed = %d", res.HostsProbed)
+	}
+	if len(res.Intercepted) != 0 || len(res.Downgraded) != 0 {
+		t.Errorf("false positives: %+v / %v", res.Intercepted, res.Downgraded)
+	}
+}
+
+func TestProxyDetection(t *testing.T) {
+	h := newHarness(t, "CyberGhost") // transparent proxy
+	defer h.client.Disconnect()
+	res, err := vpntest.RunProxyDetection(h.env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Modified || !res.Regenerated {
+		t.Fatalf("res = %+v", res)
+	}
+	if len(res.HeadersAdded) != 0 {
+		t.Errorf("regenerating proxy should not add headers: %v", res.HeadersAdded)
+	}
+	if len(res.HeadersChanged) == 0 {
+		t.Error("regeneration should change header spellings")
+	}
+}
+
+func TestRecursiveOrigin(t *testing.T) {
+	h := newHarness(t, "Mullvad")
+	defer h.client.Disconnect()
+	res, err := vpntest.RunRecursiveOrigin(h.env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(res.TaggedName, h.world.Config.ProbeDomain) {
+		t.Errorf("tagged name = %q", res.TaggedName)
+	}
+	if len(res.Origins) != 1 {
+		t.Fatalf("origins = %v", res.Origins)
+	}
+	// Mullvad is third-party OpenVPN: it does not set the system DNS,
+	// so recursion comes from the client's ISP resolver, not the VP.
+	if res.Origins[0] != h.env.Stack.Resolvers()[0] {
+		t.Errorf("origin = %v, want ISP resolver %v", res.Origins[0], h.env.Stack.Resolvers()[0])
+	}
+}
+
+func TestPingSweepAndVector(t *testing.T) {
+	h := newHarness(t, "Mullvad")
+	defer h.client.Disconnect()
+	res, err := vpntest.RunPingSweep(h.env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != len(h.world.Config.Landmarks) {
+		t.Errorf("samples = %d, failed = %d", len(res.Samples), res.Failed)
+	}
+	if res.SelfRTT <= 0 {
+		t.Errorf("self RTT = %v", res.SelfRTT)
+	}
+	vec := res.Vector(h.world.Config)
+	if len(vec) != len(h.world.Config.Landmarks) {
+		t.Fatalf("vector length = %d", len(vec))
+	}
+	for i, v := range vec {
+		if v < 0 {
+			t.Errorf("vector[%d] missing", i)
+		}
+	}
+	if s, ok := res.MinSample(); !ok || s.RTTms <= 0 {
+		t.Errorf("min sample = %+v, %v", s, ok)
+	}
+}
+
+func TestGeolocation(t *testing.T) {
+	h := newHarness(t, "Mullvad")
+	defer h.client.Disconnect()
+	res, err := vpntest.RunGeolocation(h.env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EgressIP.IsValid() || !res.WhoisFound {
+		t.Fatalf("res = %+v", res)
+	}
+	if !res.WhoisBlock.Prefix.Contains(res.EgressIP) {
+		t.Error("whois block does not contain egress IP")
+	}
+}
+
+func TestLeakTestsCleanCustomClient(t *testing.T) {
+	h := newHarness(t, "Windscribe")
+	defer h.client.Disconnect()
+	res, err := vpntest.RunLeakTests(h.env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DNSLeak || res.IPv6Leak {
+		t.Errorf("false positives: %+v", res)
+	}
+	if res.IPv6Probes != len(h.world.Config.IPv6ProbeHosts) {
+		t.Errorf("probes = %d", res.IPv6Probes)
+	}
+}
+
+func TestSuiteOptionsSkips(t *testing.T) {
+	h := newHarness(t, "Windscribe")
+	defer h.client.Disconnect()
+	r := vpntest.RunSuite(h.env, vpntest.SuiteOptions{SkipDOM: true, SkipTLS: true, SkipLeaks: true, SkipFailure: true})
+	if r.DOM != nil || r.TLS != nil || r.Leaks != nil || r.Failure != nil {
+		t.Error("skipped tests still ran")
+	}
+	if r.Pings == nil || r.Geo == nil || r.Proxy == nil {
+		t.Error("non-skipped tests missing")
+	}
+	if r.FinishedAt <= r.StartedAt {
+		t.Error("suite must consume virtual time")
+	}
+	if len(r.Routes) == 0 || len(r.Resolvers) == 0 {
+		t.Error("metadata snapshot missing")
+	}
+}
+
+func TestPingOnlySuite(t *testing.T) {
+	h := newHarness(t, "Windscribe")
+	defer h.client.Disconnect()
+	r := vpntest.RunSuite(h.env, vpntest.SuiteOptions{PingOnly: true})
+	if r.Pings == nil || r.Geo == nil {
+		t.Fatal("ping-only essentials missing")
+	}
+	if r.DOM != nil || r.TLS != nil || r.Proxy != nil || r.Leaks != nil || r.Failure != nil {
+		t.Error("ping-only ran heavy tests")
+	}
+}
+
+func TestBaselineCompleteness(t *testing.T) {
+	h := newHarness(t, "Windscribe")
+	defer h.client.Disconnect()
+	b := h.world.Baseline
+	cfg := h.world.Config
+	if len(b.DOM) != len(cfg.DOMSiteURLs) {
+		t.Errorf("baseline DOM entries = %d", len(b.DOM))
+	}
+	if len(b.CertFingerprints) != len(cfg.TLSHosts) {
+		t.Errorf("baseline certs = %d", len(b.CertFingerprints))
+	}
+	if len(b.DNSAnswers) != len(cfg.DNSCheckHosts) {
+		t.Errorf("baseline DNS = %d", len(b.DNSAnswers))
+	}
+	for u, status := range b.FinalStatus {
+		if status != 200 {
+			t.Errorf("baseline status for %s = %d", u, status)
+		}
+	}
+}
+
+func BenchmarkFullSuiteOneVP(b *testing.B) {
+	h := newHarness(b, "Windscribe")
+	defer h.client.Disconnect()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Skip the failure test: it firewalls the stack and would
+		// leave the client failed for later iterations.
+		_ = vpntest.RunSuite(h.env, vpntest.SuiteOptions{SkipFailure: true})
+	}
+}

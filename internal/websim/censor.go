@@ -1,0 +1,167 @@
+package websim
+
+import (
+	"strings"
+
+	"vpnscope/internal/geo"
+)
+
+// CensorPolicy describes one country's national content blocking as the
+// paper observed it (§6.1.1, Table 4): which site categories and
+// specific hosts are blocked, and the per-ISP destinations users are
+// redirected to.
+type CensorPolicy struct {
+	Country geo.Country
+	// Categories blocked nationwide.
+	Categories []Category
+	// Hosts blocked explicitly (beyond categories).
+	Hosts []string
+	// Destinations are the redirect targets; a vantage point's ISP
+	// picks one deterministically. Mirrors Table 4 of the paper.
+	Destinations []string
+	// EmptyBody403, when set, answers some blocked HTTPS loads with a
+	// bare 403 instead of a redirect (§6.1.2's upstream-blocking
+	// variant).
+	EmptyBody403 bool
+	// ISPOnly restricts enforcement to egresses whose network operator
+	// matches one of these substrings. Dutch blocking, for instance, is
+	// court-ordered per consumer ISP, not national — datacenter egress
+	// in Amsterdam is unaffected.
+	ISPOnly []string
+}
+
+// policies reproduces the blocking behavior behind Table 4: redirect
+// destinations observed in Turkey, South Korea, Russia, the Netherlands
+// and Thailand, with the categories the paper reports as most blocked
+// (pornography and file sharing), plus Turkey's Wikipedia block and
+// Russia's jw.org / linkedin.com blocks.
+var policies = map[geo.Country]*CensorPolicy{
+	"TR": {
+		Country:      "TR",
+		Categories:   []Category{CatPorn, CatFileShare},
+		Hosts:        []string{"wikipedia.example"},
+		Destinations: []string{"http://195.175.254.2"},
+	},
+	"KR": {
+		Country:      "KR",
+		Categories:   []Category{CatPorn},
+		Destinations: []string{"http://warning.or.kr", "http://www.warning.or.kr"},
+	},
+	"RU": {
+		Country:    "RU",
+		Categories: []Category{CatPorn, CatFileShare},
+		Hosts:      []string{"jw-org.example", "linkedin.example"},
+		Destinations: []string{
+			"http://fz139.ttk.ru",
+			"http://zapret.hoztnode.net",
+			"http://warning.rt.ru",
+			"http://blocked.mts.ru",
+			"http://block.dtln.ru",
+			"http://blackhole.beeline.ru",
+		},
+	},
+	"NL": {
+		Country:      "NL",
+		Categories:   []Category{CatFileShare},
+		Destinations: []string{"https://www.ziggo.nl", "http://213.46.185.10"},
+		ISPOnly:      []string{"Ziggo", "NL Hosting"},
+	},
+	"TH": {
+		Country:      "TH",
+		Categories:   []Category{CatPorn},
+		Destinations: []string{"http://103.77.116.101"},
+	},
+}
+
+// PolicyFor returns the censorship policy of a country, or nil when the
+// country does not censor web content in the model.
+func PolicyFor(c geo.Country) *CensorPolicy {
+	return policies[c]
+}
+
+// Blocks reports whether the policy blocks the given site.
+func (p *CensorPolicy) Blocks(site *Site) bool {
+	if p == nil || site == nil {
+		return false
+	}
+	for _, c := range p.Categories {
+		if site.Category == c {
+			return true
+		}
+	}
+	for _, h := range p.Hosts {
+		if strings.EqualFold(h, site.HostName) {
+			return true
+		}
+	}
+	return false
+}
+
+// ispDestinations maps ISP-name substrings to their block pages — in
+// Russia and the Netherlands the redirect destination is operated by the
+// egress ISP itself (Figure 6 shows TTK's), so the mapping is by
+// operator, not random.
+var ispDestinations = []struct{ substr, dest string }{
+	{"TTK", "http://fz139.ttk.ru"},
+	{"Hoztnode", "http://zapret.hoztnode.net"},
+	{"Rostelecom", "http://warning.rt.ru"},
+	{"MTS", "http://blocked.mts.ru"},
+	{"DTLN", "http://block.dtln.ru"},
+	{"Beeline", "http://blackhole.beeline.ru"},
+	{"Ziggo", "https://www.ziggo.nl"},
+	{"NL Hosting", "http://213.46.185.10"},
+}
+
+// DestinationFor picks the redirect destination for an egress identified
+// by ispKey (the vantage point's block organization): a known national
+// operator gets its own block page, anyone else a stable hash choice.
+func (p *CensorPolicy) DestinationFor(ispKey string) string {
+	if p == nil || len(p.Destinations) == 0 {
+		return ""
+	}
+	for _, m := range ispDestinations {
+		if strings.Contains(ispKey, m.substr) {
+			for _, d := range p.Destinations {
+				if d == m.dest {
+					return d
+				}
+			}
+		}
+	}
+	var h uint64 = 0xCBF29CE484222325
+	for i := 0; i < len(ispKey); i++ {
+		h ^= uint64(ispKey[i])
+		h *= 0x100000001B3
+	}
+	return p.Destinations[h%uint64(len(p.Destinations))]
+}
+
+// Apply inspects one HTTP request leaving an egress in the policy's
+// country and, if the target site is blocked, returns the censor's
+// response and true. siteOf resolves a hostname to the simulated site
+// (nil for unknown hosts, which are never blocked).
+func (p *CensorPolicy) Apply(ispKey, hostName string, siteOf func(string) *Site) (*Response, bool) {
+	if p == nil {
+		return nil, false
+	}
+	if len(p.ISPOnly) > 0 {
+		enforced := false
+		for _, substr := range p.ISPOnly {
+			if strings.Contains(ispKey, substr) {
+				enforced = true
+				break
+			}
+		}
+		if !enforced {
+			return nil, false
+		}
+	}
+	site := siteOf(hostName)
+	if !p.Blocks(site) {
+		return nil, false
+	}
+	if p.EmptyBody403 {
+		return Forbidden(), true
+	}
+	return Redirect(p.DestinationFor(ispKey)), true
+}

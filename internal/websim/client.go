@@ -1,0 +1,260 @@
+package websim
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"net/url"
+	"strings"
+
+	"vpnscope/internal/capture"
+	"vpnscope/internal/dnssim"
+	"vpnscope/internal/netsim"
+	"vpnscope/internal/tlssim"
+)
+
+// Resolver turns a hostname into an address using the client's
+// configured DNS path (typically Client.Resolve over the stack).
+type Resolver func(host string) (netip.Addr, error)
+
+// FetchResult is the outcome of fetching one URL.
+type FetchResult struct {
+	URL      string
+	Response *Response
+	// Cert is the presented certificate for HTTPS fetches.
+	Cert tlssim.Certificate
+	// TLS reports whether the final hop was TLS.
+	TLS bool
+	// Downgraded is set when a TLS response came back as cleartext.
+	Downgraded bool
+}
+
+// Client fetches URLs over a netsim Stack, performing DNS resolution via
+// the stack's configured resolvers and following HTTP redirects. It is
+// the simulator's stand-in for the Selenium-driven Chrome instance the
+// paper used.
+type Client struct {
+	Stack *netsim.Stack
+	// MaxRedirects bounds a redirect chase (default 10).
+	MaxRedirects int
+
+	nextID uint16
+}
+
+// Client errors.
+var (
+	ErrNoResolver     = errors.New("websim: no DNS resolver configured")
+	ErrNXDomain       = errors.New("websim: name does not resolve")
+	ErrTooManyHops    = errors.New("websim: too many redirects")
+	ErrBadURL         = errors.New("websim: cannot parse URL")
+	ErrEmptyResponse  = errors.New("websim: empty response")
+	ErrCertificate    = errors.New("websim: certificate verification failed")
+	ErrNotHTTPishPort = errors.New("websim: unsupported URL scheme")
+)
+
+// Resolve performs a DNS query for host through the stack's first
+// configured resolver (A by default, AAAA when v6 is true).
+func (c *Client) Resolve(host string, v6 bool) (netip.Addr, error) {
+	resolvers := c.Stack.Resolvers()
+	if len(resolvers) == 0 {
+		return netip.Addr{}, ErrNoResolver
+	}
+	return c.ResolveVia(resolvers[0], host, v6)
+}
+
+// ResolveVia queries a specific resolver address.
+func (c *Client) ResolveVia(server netip.Addr, host string, v6 bool) (netip.Addr, error) {
+	qtype := dnssim.TypeA
+	if v6 {
+		qtype = dnssim.TypeAAAA
+	}
+	c.nextID++
+	wire, err := dnssim.NewQuery(c.nextID, host, qtype).Encode()
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	respWire, err := c.Stack.QueryUDP(server, 53, wire)
+	if err != nil {
+		return netip.Addr{}, fmt.Errorf("resolving %q via %v: %w", host, server, err)
+	}
+	if respWire == nil {
+		return netip.Addr{}, fmt.Errorf("resolving %q: %w", host, ErrEmptyResponse)
+	}
+	msg, err := dnssim.Decode(respWire)
+	if err != nil {
+		return netip.Addr{}, fmt.Errorf("resolving %q: %w", host, err)
+	}
+	if msg.RCode != dnssim.RCodeOK || len(msg.Answers) == 0 {
+		return netip.Addr{}, fmt.Errorf("%w: %q (rcode %d)", ErrNXDomain, host, msg.RCode)
+	}
+	return msg.Answers[0].Addr, nil
+}
+
+// Get fetches rawURL, following redirects. Each element of the returned
+// slice is one hop of the redirect chain; the last is the final
+// response.
+func (c *Client) Get(rawURL string) ([]FetchResult, error) {
+	max := c.MaxRedirects
+	if max <= 0 {
+		max = 10
+	}
+	var chain []FetchResult
+	current := rawURL
+	for hop := 0; hop <= max; hop++ {
+		res, err := c.fetchOne(current)
+		if err != nil {
+			return chain, err
+		}
+		chain = append(chain, *res)
+		if res.Response == nil || res.Response.Status < 300 || res.Response.Status >= 400 {
+			return chain, nil
+		}
+		loc, ok := res.Response.Header("Location")
+		if !ok {
+			return chain, nil
+		}
+		next, err := resolveRef(current, loc)
+		if err != nil {
+			return chain, err
+		}
+		current = next
+	}
+	return chain, ErrTooManyHops
+}
+
+// fetchOne performs a single HTTP(S) request with no redirect chasing.
+func (c *Client) fetchOne(rawURL string) (*FetchResult, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q: %v", ErrBadURL, rawURL, err)
+	}
+	host := u.Hostname()
+	path := u.Path
+	if path == "" {
+		path = "/"
+	}
+	var addr netip.Addr
+	if ip, perr := netip.ParseAddr(host); perr == nil {
+		addr = ip
+	} else {
+		addr, err = c.Resolve(host, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	req := NewRequest("GET", host, path)
+	switch u.Scheme {
+	case "http":
+		raw, err := c.Stack.ExchangeTCP(addr, 80, req.Encode())
+		if err != nil {
+			return nil, err
+		}
+		if raw == nil {
+			return nil, fmt.Errorf("fetching %q: %w", rawURL, ErrEmptyResponse)
+		}
+		resp, err := ParseResponse(raw)
+		if err != nil {
+			return nil, err
+		}
+		return &FetchResult{URL: rawURL, Response: resp}, nil
+	case "https":
+		hello := tlssim.EncodeClientHello(host, req.Encode())
+		raw, err := c.Stack.ExchangeTCP(addr, 443, hello)
+		if err != nil {
+			return nil, err
+		}
+		if raw == nil {
+			return nil, fmt.Errorf("fetching %q: %w", rawURL, ErrEmptyResponse)
+		}
+		cert, inner, err := tlssim.ParseServerHello(raw)
+		if errors.Is(err, tlssim.ErrDowngraded) {
+			// Cleartext where TLS was expected: surface, don't fail.
+			resp, perr := ParseResponse(raw)
+			if perr != nil {
+				return nil, err
+			}
+			return &FetchResult{URL: rawURL, Response: resp, Downgraded: true}, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		resp, err := ParseResponse(inner)
+		if err != nil {
+			return nil, err
+		}
+		return &FetchResult{URL: rawURL, Response: resp, Cert: cert, TLS: true}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrNotHTTPishPort, u.Scheme)
+	}
+}
+
+// resolveRef resolves a possibly relative redirect Location against the
+// current URL.
+func resolveRef(base, ref string) (string, error) {
+	b, err := url.Parse(base)
+	if err != nil {
+		return "", fmt.Errorf("%w: %q", ErrBadURL, base)
+	}
+	r, err := url.Parse(ref)
+	if err != nil {
+		return "", fmt.Errorf("%w: %q", ErrBadURL, ref)
+	}
+	return b.ResolveReference(r).String(), nil
+}
+
+// LoadPage fetches a page and all subresources its DOM references,
+// returning the final page result, the set of hostnames contacted, and
+// the DOM body. This mirrors the paper's Selenium DOM-and-request
+// collection.
+func (c *Client) LoadPage(rawURL string) (page *FetchResult, hosts []string, dom string, err error) {
+	chain, err := c.Get(rawURL)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	final := &chain[len(chain)-1]
+	dom = string(final.Response.Body)
+	seen := map[string]bool{}
+	addHost := func(raw string) {
+		if u, err := url.Parse(raw); err == nil && u.Hostname() != "" {
+			if !seen[u.Hostname()] {
+				seen[u.Hostname()] = true
+				hosts = append(hosts, u.Hostname())
+			}
+		}
+	}
+	for _, hop := range chain {
+		addHost(hop.URL)
+	}
+	for _, src := range ExtractScriptSrcs(dom) {
+		addHost(src)
+		// Best-effort subresource fetch; failures (e.g. unknown ad
+		// hosts) still count as load attempts, as in a real browser.
+		_, _ = c.Get(src)
+	}
+	return final, hosts, dom, nil
+}
+
+// ExtractScriptSrcs pulls script src URLs out of a DOM.
+func ExtractScriptSrcs(dom string) []string {
+	var out []string
+	rest := dom
+	for {
+		i := strings.Index(rest, `src="`)
+		if i < 0 {
+			return out
+		}
+		rest = rest[i+len(`src="`):]
+		j := strings.IndexByte(rest, '"')
+		if j < 0 {
+			return out
+		}
+		out = append(out, rest[:j])
+		rest = rest[j:]
+	}
+}
+
+// Captures returns the stack's physical-interface capture sink, which
+// tests inspect for leaked cleartext.
+func (c *Client) Captures() []capture.Record {
+	return c.Stack.Interface(netsim.PhysicalName).Sink.Records()
+}

@@ -1,0 +1,238 @@
+// Package websim is the simulated web: an order-preserving HTTP/1.1
+// message codec, web sites (including the paper's honeysites and a
+// header-echo service), country-level censorship policies, and the
+// header-regeneration behavior of transparent proxies.
+//
+// Header order and spelling are preserved byte-for-byte by the codec
+// because the paper's proxy-detection test (§6.2.1) works precisely by
+// observing that a transparent proxy parses and regenerates headers —
+// changing their order, casing, or spacing — between client and server.
+package websim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Header is one HTTP header line, preserved verbatim.
+type Header struct {
+	Name  string
+	Value string
+}
+
+// Request is an HTTP/1.1 request.
+type Request struct {
+	Method  string
+	Path    string
+	Headers []Header
+	Body    []byte
+}
+
+// Response is an HTTP/1.1 response.
+type Response struct {
+	Status  int
+	Reason  string
+	Headers []Header
+	Body    []byte
+}
+
+// Codec errors.
+var (
+	ErrMalformedRequest  = errors.New("websim: malformed request")
+	ErrMalformedResponse = errors.New("websim: malformed response")
+)
+
+// Get returns the first header value with the given name
+// (case-insensitive), and whether it was present.
+func get(headers []Header, name string) (string, bool) {
+	for _, h := range headers {
+		if strings.EqualFold(h.Name, name) {
+			return h.Value, true
+		}
+	}
+	return "", false
+}
+
+// Header returns the first matching request header value.
+func (r *Request) Header(name string) (string, bool) { return get(r.Headers, name) }
+
+// Host returns the Host header.
+func (r *Request) Host() string {
+	v, _ := r.Header("Host")
+	return v
+}
+
+// SetHeader replaces the first header with the given name or appends.
+func (r *Request) SetHeader(name, value string) {
+	for i := range r.Headers {
+		if strings.EqualFold(r.Headers[i].Name, name) {
+			r.Headers[i] = Header{name, value}
+			return
+		}
+	}
+	r.Headers = append(r.Headers, Header{name, value})
+}
+
+// Header returns the first matching response header value.
+func (r *Response) Header(name string) (string, bool) { return get(r.Headers, name) }
+
+// NewRequest builds a GET-style request with the standard client
+// headers the measurement suite sends. The deliberate mixed ordering
+// and casing act as a canary: any proxy that parses and regenerates the
+// request will normalize them.
+func NewRequest(method, host, path string) *Request {
+	if path == "" {
+		path = "/"
+	}
+	return &Request{
+		Method: method,
+		Path:   path,
+		Headers: []Header{
+			{"Host", host},
+			{"user-agent", "vpnscope/1.0 (measurement; +https://vpnscope.test)"},
+			{"Accept", "*/*"},
+			{"X-VPNScope-Canary", "qJx7-canary-ordered"},
+			{"accept-language", "en-US,en;q=0.9"},
+		},
+	}
+}
+
+// Encode serializes the request.
+func (r *Request) Encode() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", r.Method, r.Path)
+	for _, h := range r.Headers {
+		fmt.Fprintf(&b, "%s: %s\r\n", h.Name, h.Value)
+	}
+	if len(r.Body) > 0 {
+		fmt.Fprintf(&b, "Content-Length: %d\r\n", len(r.Body))
+	}
+	b.WriteString("\r\n")
+	b.Write(r.Body)
+	return b.Bytes()
+}
+
+// ParseRequest decodes a request produced by Encode (or by a proxy's
+// regeneration of one).
+func ParseRequest(data []byte) (*Request, error) {
+	head, body, err := splitHead(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformedRequest, err)
+	}
+	lines := strings.Split(head, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
+		return nil, fmt.Errorf("%w: bad request line %q", ErrMalformedRequest, lines[0])
+	}
+	req := &Request{Method: parts[0], Path: parts[1], Body: body}
+	hs, err := parseHeaders(lines[1:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformedRequest, err)
+	}
+	req.Headers = hs
+	return req, nil
+}
+
+// Encode serializes the response.
+func (r *Response) Encode() []byte {
+	var b bytes.Buffer
+	reason := r.Reason
+	if reason == "" {
+		reason = defaultReason(r.Status)
+	}
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", r.Status, reason)
+	for _, h := range r.Headers {
+		fmt.Fprintf(&b, "%s: %s\r\n", h.Name, h.Value)
+	}
+	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(r.Body))
+	b.WriteString("\r\n")
+	b.Write(r.Body)
+	return b.Bytes()
+}
+
+// ParseResponse decodes a response.
+func ParseResponse(data []byte) (*Response, error) {
+	head, body, err := splitHead(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformedResponse, err)
+	}
+	lines := strings.Split(head, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return nil, fmt.Errorf("%w: bad status line %q", ErrMalformedResponse, lines[0])
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad status %q", ErrMalformedResponse, parts[1])
+	}
+	resp := &Response{Status: status, Body: body}
+	if len(parts) == 3 {
+		resp.Reason = parts[2]
+	}
+	hs, err := parseHeaders(lines[1:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformedResponse, err)
+	}
+	resp.Headers = hs
+	return resp, nil
+}
+
+func splitHead(data []byte) (string, []byte, error) {
+	head, body, ok := bytes.Cut(data, []byte("\r\n\r\n"))
+	if !ok {
+		return "", nil, errors.New("no header terminator")
+	}
+	return string(head), body, nil
+}
+
+func parseHeaders(lines []string) ([]Header, error) {
+	var out []Header
+	for _, line := range lines {
+		if line == "" {
+			continue
+		}
+		name, value, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad header line %q", line)
+		}
+		out = append(out, Header{Name: name, Value: strings.TrimSpace(value)})
+	}
+	return out, nil
+}
+
+func defaultReason(status int) string {
+	switch status {
+	case 200:
+		return "OK"
+	case 301:
+		return "Moved Permanently"
+	case 302:
+		return "Found"
+	case 403:
+		return "Forbidden"
+	case 404:
+		return "Not Found"
+	case 502:
+		return "Bad Gateway"
+	default:
+		return "Status"
+	}
+}
+
+// Redirect builds a 302 response to location.
+func Redirect(location string) *Response {
+	return &Response{
+		Status:  302,
+		Headers: []Header{{"Location", location}},
+		Body:    []byte("<html><body>302 Found</body></html>"),
+	}
+}
+
+// Forbidden builds the empty-403 blocking response some censors use
+// (§6.1.2).
+func Forbidden() *Response {
+	return &Response{Status: 403}
+}

@@ -1,0 +1,80 @@
+package websim
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// RegenerateHeaders re-emits a request the way a transparent proxy that
+// parses and regenerates traffic would: header names are canonicalized
+// to Title-Case, whitespace is normalized, and the Host header is moved
+// first. No headers are added or removed — the paper found exactly this
+// "modified existing headers in ways consistent with parsing and
+// subsequent regeneration" signature (§6.2.1).
+func RegenerateHeaders(raw []byte) []byte {
+	req, err := ParseRequest(raw)
+	if err != nil {
+		return raw // not HTTP; pass through untouched
+	}
+	regen := &Request{Method: req.Method, Path: req.Path, Body: req.Body}
+	var host *Header
+	var rest []Header
+	for _, h := range req.Headers {
+		ch := Header{Name: canonicalHeaderName(h.Name), Value: strings.TrimSpace(h.Value)}
+		if strings.EqualFold(ch.Name, "Host") && host == nil {
+			host = &ch
+			continue
+		}
+		if strings.EqualFold(ch.Name, "Content-Length") {
+			continue // recomputed by Encode
+		}
+		rest = append(rest, ch)
+	}
+	if host != nil {
+		regen.Headers = append(regen.Headers, *host)
+	}
+	regen.Headers = append(regen.Headers, rest...)
+	return regen.Encode()
+}
+
+// canonicalHeaderName converts a header name to HTTP canonical form
+// (Title-Case per dash-separated token).
+func canonicalHeaderName(name string) string {
+	parts := strings.Split(strings.TrimSpace(name), "-")
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		parts[i] = strings.ToUpper(p[:1]) + strings.ToLower(p[1:])
+	}
+	return strings.Join(parts, "-")
+}
+
+// InjectOverlay rewrites an HTML response the way the trial-upsell
+// injector the paper caught does (§6.1.3, Figure 7): a script hosted on
+// a subdomain of the provider's own site plus an overlay advertisement
+// are appended to the document. Non-HTML responses pass through.
+func InjectOverlay(raw []byte, providerDomain string) []byte {
+	resp, err := ParseResponse(raw)
+	if err != nil || resp.Status != 200 {
+		return raw
+	}
+	if ct, _ := resp.Header("Content-Type"); !strings.Contains(ct, "text/html") {
+		return raw
+	}
+	snippet := fmt.Sprintf(
+		`<script src="http://cdn.%s/overlay.js"></script>`+
+			`<div class="upgrade-overlay">Upgrade to Premium — faster servers, no ads!</div>`,
+		providerDomain)
+	if i := bytes.LastIndex(resp.Body, []byte("</body>")); i >= 0 {
+		var b bytes.Buffer
+		b.Write(resp.Body[:i])
+		b.WriteString(snippet)
+		b.Write(resp.Body[i:])
+		resp.Body = b.Bytes()
+	} else {
+		resp.Body = append(resp.Body, snippet...)
+	}
+	return resp.Encode()
+}
