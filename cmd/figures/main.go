@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	figures [-seed N] [-full-vps N] [-provider NAME]
+//	figures [-seed N] [-full-vps N] [-provider NAME] [-faults PROFILE]
+//	        [-checkpoint FILE] [-resume FILE] [-retries N] [-quarantine N]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"vpnscope/internal/analysis"
+	"vpnscope/internal/faultsim"
 	"vpnscope/internal/report"
 	"vpnscope/internal/results"
 	"vpnscope/internal/study"
@@ -30,17 +32,51 @@ func main() {
 	fullVPs := flag.Int("full-vps", 0, "max full-suite vantage points per provider (0 = default)")
 	provider := flag.String("provider", "", "restrict the run to one provider")
 	jsonPath := flag.String("json", "", "also save the raw study result as JSON to this file")
+	faults := flag.String("faults", "", "inject a fault profile: none, mild, lossy, or hostile")
+	checkpoint := flag.String("checkpoint", "", "write a resumable checkpoint to this file after every vantage point")
+	resume := flag.String("resume", "", "resume the campaign from a checkpoint file")
+	retries := flag.Int("retries", 0, "connect attempts per vantage point (0 = default)")
+	quarantine := flag.Int("quarantine", 0, "consecutive connect failures before a provider is quarantined (0 = default)")
 	flag.Parse()
 
 	w, err := study.Build(study.Options{Seed: *seed, MaxFullSuiteVPs: *fullVPs})
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *faults != "" {
+		profile, err := faultsim.ByName(*faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.EnableFaults(profile)
+	}
+
+	cfg := study.RunConfig{ConnectAttempts: *retries, QuarantineAfter: *quarantine}
+	if *resume != "" {
+		partial, env, err := results.LoadFile(*resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if env.Seed != *seed {
+			log.Fatalf("checkpoint %s was taken at seed %d, not %d", *resume, env.Seed, *seed)
+		}
+		cfg.Resume = partial
+		fmt.Printf("resuming from %s: %d vantage points already decided\n",
+			*resume, partial.VPsAttempted)
+	}
+	if *checkpoint != "" {
+		opts := []results.Option{results.WithSeed(*seed)}
+		if *faults != "" {
+			opts = append(opts, results.WithFaultProfile(*faults))
+		}
+		cfg.Checkpoint = results.CheckpointFunc(*checkpoint, opts...)
+	}
+
 	var res *study.Result
 	if *provider != "" {
-		res, err = w.RunProvider(*provider)
+		res, err = w.RunProviderWith(*provider, cfg)
 	} else {
-		res, err = w.Run()
+		res, err = w.RunWith(cfg)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -52,7 +88,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := results.Save(f, res, results.WithSeed(*seed)); err != nil {
+		opts := []results.Option{results.WithSeed(*seed)}
+		if *faults != "" {
+			opts = append(opts, results.WithFaultProfile(*faults))
+		}
+		if err := results.Save(f, res, opts...); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -221,6 +261,21 @@ func main() {
 			{"Attempted", fmt.Sprint(rel.Attempted)},
 			{"Connect failures", fmt.Sprint(rel.Failed)},
 		})
+
+	// ----- Collection health: where every vantage point went -----
+	report.WriteCollectionHealth(out, res)
+	if plan := w.Faults(); plan != nil {
+		s := plan.Stats()
+		report.Table(out, fmt.Sprintf("Injected faults (%s profile)", plan.Profile().Name),
+			[]string{"Kind", "Count"}, [][]string{
+				{"Packet-loss drops", fmt.Sprint(s.Dropped)},
+				{"Link-flap drops", fmt.Sprint(s.Flapped)},
+				{"Connect refusals", fmt.Sprint(s.Refused)},
+				{"Latency spikes", fmt.Sprint(s.Delayed)},
+				{"Resolver-blackout drops", fmt.Sprint(s.Blackouts)},
+				{"Tunnel-reset drops", fmt.Sprint(s.TunnelResets)},
+			})
+	}
 }
 
 func toRows(xs []string) [][]string {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	vpnaudit -provider NordVPN [-seed N] [-list]
+//	vpnaudit -provider NordVPN [-seed N] [-list] [-faults PROFILE] [-retries N]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 
 	"path/filepath"
 	"vpnscope/internal/ecosystem"
+	"vpnscope/internal/faultsim"
 	"vpnscope/internal/report"
 
 	"vpnscope/internal/study"
@@ -30,6 +31,8 @@ func main() {
 	seed := flag.Uint64("seed", 2018, "world seed")
 	list := flag.Bool("list", false, "list auditable providers and exit")
 	pcapDir := flag.String("pcap", "", "directory to write per-vantage-point pcap traces to")
+	faults := flag.String("faults", "", "inject a fault profile: none, mild, lossy, or hostile")
+	retries := flag.Int("retries", 0, "connect attempts per vantage point (0 = default)")
 	flag.Parse()
 
 	if *list {
@@ -46,13 +49,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := w.RunProvider(*provider)
+	if *faults != "" {
+		profile, err := faultsim.ByName(*faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.EnableFaults(profile)
+	}
+	res, err := w.RunProviderWith(*provider, study.RunConfig{ConnectAttempts: *retries})
 	if err != nil {
 		log.Fatal(err)
 	}
 	out := os.Stdout
+	for _, rec := range res.Recoveries {
+		fmt.Fprintf(out, "~~ connected after %d attempts: %s\n", rec.Attempts, rec.VPLabel)
+	}
 	for _, cf := range res.ConnectFailures {
-		fmt.Fprintf(out, "!! could not connect: %s (%s)\n", cf.VPLabel, cf.Err)
+		fmt.Fprintf(out, "!! could not connect: %s (%s, %d attempts)\n", cf.VPLabel, cf.Err, cf.Attempts)
+	}
+	for _, q := range res.Quarantines {
+		fmt.Fprintf(out, "!! quarantined after %d consecutive failures; skipped %s\n",
+			q.TrippedAfter, strings.Join(q.SkippedVPs, ", "))
 	}
 	for _, r := range res.Reports {
 		printReport(out, r)
@@ -62,6 +79,7 @@ func main() {
 			}
 		}
 	}
+	report.WriteCollectionHealth(out, res)
 }
 
 // writePcap dumps one vantage point's trace as <dir>/<label>.pcap.

@@ -49,6 +49,24 @@ type VirtualVPReport struct {
 	Providers []string
 }
 
+// pingOffset returns the client-to-vantage-point RTT offset to subtract
+// from landmark samples. The self RTT cannot physically exceed the
+// smallest landmark RTT — every landmark path includes the client-to-VP
+// leg — so a self sample inflated past it (queueing noise, an injected
+// latency spike surviving min-of-three) is clamped to the smallest
+// landmark sample; trusting it would turn honest landmark RTTs into
+// "physically impossible" ones.
+func pingOffset(r *vpntest.VPReport) float64 {
+	offset := r.Pings.SelfRTT
+	if offset < 0 {
+		offset = 0
+	}
+	if m, ok := r.Pings.MinSample(); ok && offset > m.RTTms {
+		offset = m.RTTms
+	}
+	return offset
+}
+
 // correctedVector returns offset-corrected landmark RTTs for a report
 // (-1 entries for missing samples).
 func correctedVector(r *vpntest.VPReport, cfg *vpntest.Config) []float64 {
@@ -56,10 +74,7 @@ func correctedVector(r *vpntest.VPReport, cfg *vpntest.Config) []float64 {
 		return nil
 	}
 	vec := r.Pings.Vector(cfg)
-	offset := r.Pings.SelfRTT
-	if offset < 0 {
-		offset = 0
-	}
+	offset := pingOffset(r)
 	for i, v := range vec {
 		if v < 0 {
 			continue
@@ -132,10 +147,7 @@ func impossibilityTest(r *vpntest.VPReport, cfg *vpntest.Config) (VirtualVPFindi
 	if _, err := geo.CountryInfo(r.ClaimedCountry); err != nil {
 		return VirtualVPFinding{}, false
 	}
-	offset := r.Pings.SelfRTT
-	if offset < 0 {
-		offset = 0
-	}
+	offset := pingOffset(r)
 	lmByName := map[string]vpntest.Landmark{}
 	for _, lm := range cfg.Landmarks {
 		lmByName[lm.Name] = lm

@@ -46,3 +46,16 @@ func (c *Clock) Advance(d time.Duration) time.Duration {
 	c.now += d
 	return c.now
 }
+
+// AdvanceTo moves the clock forward to t; a no-op when the clock is
+// already past t. The campaign runner uses it to align every vantage
+// point onto a fixed virtual-time slot, so a resumed campaign replays
+// the identical timeline as an uninterrupted one.
+func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}

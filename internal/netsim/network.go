@@ -30,15 +30,38 @@ var (
 // completes, matching a typical client socket timeout.
 const Timeout = 5 * time.Second
 
+// FaultAction is a fault injector's verdict on one exchange. The zero
+// value lets the exchange proceed untouched.
+type FaultAction struct {
+	// Drop times the exchange out, burning the full timeout budget —
+	// a lossy path or a flapping link.
+	Drop bool
+	// Refuse fails the exchange immediately with ErrRefused — a dead
+	// or overloaded endpoint actively rejecting the connection.
+	Refuse bool
+	// Delay adds extra latency to an exchange that still completes —
+	// a transient congestion spike.
+	Delay time.Duration
+}
+
+// FaultHook is consulted once per originated exchange, before the
+// network's own reliability model. It receives the virtual time, the
+// originating host, and the packet's destination and transport
+// protocol. Install with SetFaultHook; internal/faultsim builds
+// deterministic, seed-reproducible hooks.
+type FaultHook func(now time.Duration, from *Host, dst netip.Addr, proto capture.IPProtocol) FaultAction
+
 // Network is the simulated Internet: a registry of hosts plus the
 // latency, jitter, and loss models that govern exchanges between them.
 type Network struct {
 	Clock *Clock
 
-	rttModel geo.RTTModel
-	mu       sync.RWMutex
-	hosts    map[netip.Addr]*Host
-	rng      *simrand.Source
+	rttModel  geo.RTTModel
+	mu        sync.RWMutex
+	hosts     map[netip.Addr]*Host
+	rng       *simrand.Source
+	seed      uint64
+	faultHook FaultHook
 }
 
 // New creates an empty network seeded for deterministic jitter and loss.
@@ -48,7 +71,33 @@ func New(seed uint64) *Network {
 		rttModel: geo.DefaultRTTModel,
 		hosts:    make(map[netip.Addr]*Host),
 		rng:      simrand.New(seed).Fork("netsim"),
+		seed:     seed,
 	}
+}
+
+// SetFaultHook installs (or, with nil, removes) the fault injector
+// consulted on every exchange.
+func (n *Network) SetFaultHook(h FaultHook) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faultHook = h
+}
+
+func (n *Network) fault() FaultHook {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.faultHook
+}
+
+// ResetStream re-derives the network's stochastic stream (jitter and
+// reliability draws) from the base seed and a phase label. The campaign
+// runner resets the stream at every vantage-point boundary, which makes
+// each vantage point's measurements independent of how much of the
+// campaign ran before it — the property checkpoint/resume relies on.
+func (n *Network) ResetStream(label string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rng = simrand.New(n.seed).Fork("netsim").Fork(label)
 }
 
 // AddHost registers h under its IPv4 (and, if present, IPv6) address.
@@ -125,6 +174,17 @@ func (n *Network) Exchange(from *Host, pkt []byte) ([]byte, error) {
 		// Unrouted destinations burn the full timeout.
 		n.Clock.Advance(Timeout)
 		return nil, fmt.Errorf("%w: %v", ErrNoRoute, dst)
+	}
+	if hook := n.fault(); hook != nil {
+		switch act := hook(n.Clock.Now(), from, dst, proto); {
+		case act.Refuse:
+			return nil, fmt.Errorf("%w: %v (fault injected)", ErrRefused, dst)
+		case act.Drop:
+			n.Clock.Advance(Timeout)
+			return nil, fmt.Errorf("%w: %v (fault injected)", ErrTimeout, dst)
+		case act.Delay > 0:
+			n.Clock.Advance(act.Delay)
+		}
 	}
 	// TTL semantics: the path to the target has pathHops hops (the
 	// target being the last); a packet whose TTL runs out earlier gets

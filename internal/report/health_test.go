@@ -1,0 +1,72 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vpnscope/internal/study"
+	"vpnscope/internal/vpntest"
+)
+
+func healthResult() *study.Result {
+	return &study.Result{
+		VPsAttempted: 6,
+		Reports: []*vpntest.VPReport{
+			{Provider: "GhostNet", VPLabel: "ghostnet-1 (US)"},
+			{Provider: "GhostNet", VPLabel: "ghostnet-2 (DE)", Errors: []string{"tls: handshake refused", "webrtc-leak: timeout"}},
+			{Provider: "DeadNet", VPLabel: "deadnet-1 (FR)"},
+		},
+		ConnectFailures: []study.ConnectFailure{
+			{Provider: "DeadNet", VPLabel: "deadnet-2 (JP)", Err: "refused", Attempts: 3},
+		},
+		Recoveries: []study.Recovery{
+			{Provider: "GhostNet", VPLabel: "ghostnet-2 (DE)", Attempts: 2},
+		},
+		Quarantines: []study.Quarantine{
+			{Provider: "DeadNet", TrippedAfter: 1, SkippedVPs: []string{"deadnet-3 (BR)", "deadnet-4 (AU)"}},
+		},
+	}
+}
+
+func TestCollectionHealth(t *testing.T) {
+	rows := CollectionHealth(healthResult())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 providers", len(rows))
+	}
+	dead, ghost := rows[0], rows[1]
+	if dead.Provider != "DeadNet" || ghost.Provider != "GhostNet" {
+		t.Fatalf("rows out of order: %+v", rows)
+	}
+	if dead.Attempted != 4 || dead.Measured != 1 || dead.Failed != 1 || dead.Quarantined != 2 {
+		t.Errorf("DeadNet row = %+v", dead)
+	}
+	if ghost.Attempted != 2 || ghost.Measured != 2 || ghost.Retried != 1 || ghost.TestErrors != 2 {
+		t.Errorf("GhostNet row = %+v", ghost)
+	}
+	// Health rows account for every attempted vantage point — the
+	// zero-silent-drops invariant, visible in the report layer.
+	total := 0
+	for _, r := range rows {
+		total += r.Attempted
+	}
+	if total != 6 {
+		t.Errorf("rows cover %d attempts, campaign made 6", total)
+	}
+}
+
+func TestWriteCollectionHealth(t *testing.T) {
+	var buf bytes.Buffer
+	WriteCollectionHealth(&buf, healthResult())
+	out := buf.String()
+	for _, want := range []string{
+		"Collection health",
+		"GhostNet", "DeadNet",
+		"quarantined",
+		"campaign: 3/6 vantage points measured (1 retried, 1 failed, 2 quarantined)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -4,6 +4,12 @@
 // once and re-analyzed offline, shared, or diffed across seeds ("Data
 // from our evaluations are also available upon request", §8).
 //
+// Schema v2 additionally carries the campaign's resilience record
+// (retry recoveries, provider quarantines, fault profile) and a
+// completeness flag, so a partial checkpoint round-trips and an
+// interrupted campaign resumes from the first unmeasured vantage point.
+// v1 envelopes still load (as complete, with no resilience record).
+//
 // Packet captures are omitted by default (they dominate the size); pass
 // IncludeCaptures to keep them.
 package results
@@ -13,21 +19,43 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"vpnscope/internal/study"
 	"vpnscope/internal/vpntest"
 )
 
 // SchemaVersion identifies the envelope layout.
-const SchemaVersion = 1
+const SchemaVersion = 2
 
 // Envelope is the serialized form of a study result.
 type Envelope struct {
-	Schema          int                     `json:"schema"`
-	Seed            uint64                  `json:"seed"`
-	VPsAttempted    int                     `json:"vps_attempted"`
-	ConnectFailures []study.ConnectFailure  `json:"connect_failures,omitempty"`
-	Reports         []*vpntest.VPReport     `json:"reports"`
+	Schema       int    `json:"schema"`
+	Seed         uint64 `json:"seed"`
+	VPsAttempted int    `json:"vps_attempted"`
+	// Complete is false for a mid-campaign checkpoint. v1 envelopes
+	// (which predate checkpointing) load as complete.
+	Complete bool `json:"complete"`
+	// FaultProfile names the faultsim profile the campaign ran under
+	// (empty for a clean run).
+	FaultProfile    string                 `json:"fault_profile,omitempty"`
+	ConnectFailures []study.ConnectFailure `json:"connect_failures,omitempty"`
+	Recoveries      []study.Recovery       `json:"recoveries,omitempty"`
+	Quarantines     []study.Quarantine     `json:"quarantines,omitempty"`
+	Reports         []*vpntest.VPReport    `json:"reports"`
+}
+
+// Result converts the envelope back into a runnable study result —
+// suitable as study.RunConfig.Resume when Complete is false.
+func (e *Envelope) Result() *study.Result {
+	return &study.Result{
+		Reports:         e.Reports,
+		ConnectFailures: e.ConnectFailures,
+		Recoveries:      e.Recoveries,
+		Quarantines:     e.Quarantines,
+		VPsAttempted:    e.VPsAttempted,
+	}
 }
 
 // Option adjusts serialization.
@@ -36,6 +64,8 @@ type Option func(*options)
 type options struct {
 	includeCaptures bool
 	seed            uint64
+	partial         bool
+	faultProfile    string
 }
 
 // IncludeCaptures keeps per-report packet traces in the envelope.
@@ -48,6 +78,16 @@ func WithSeed(seed uint64) Option {
 	return func(o *options) { o.seed = seed }
 }
 
+// Partial marks the envelope as a mid-campaign checkpoint.
+func Partial() Option {
+	return func(o *options) { o.partial = true }
+}
+
+// WithFaultProfile records the faultsim profile the campaign ran under.
+func WithFaultProfile(name string) Option {
+	return func(o *options) { o.faultProfile = name }
+}
+
 // Save writes a study result as JSON.
 func Save(w io.Writer, res *study.Result, opts ...Option) error {
 	var o options
@@ -58,7 +98,11 @@ func Save(w io.Writer, res *study.Result, opts ...Option) error {
 		Schema:          SchemaVersion,
 		Seed:            o.seed,
 		VPsAttempted:    res.VPsAttempted,
+		Complete:        !o.partial,
+		FaultProfile:    o.faultProfile,
 		ConnectFailures: res.ConnectFailures,
+		Recoveries:      res.Recoveries,
+		Quarantines:     res.Quarantines,
 	}
 	for _, r := range res.Reports {
 		if o.includeCaptures {
@@ -82,19 +126,59 @@ var (
 	ErrBadSchema = errors.New("results: unsupported schema version")
 )
 
-// Load reads an envelope back into a study result.
+// Load reads an envelope back into a study result. Both the current
+// schema and v1 are accepted; a v1 envelope loads as a complete run
+// with an empty resilience record.
 func Load(r io.Reader) (*study.Result, *Envelope, error) {
 	var env Envelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
 		return nil, nil, fmt.Errorf("results: decoding: %w", err)
 	}
-	if env.Schema != SchemaVersion {
-		return nil, nil, fmt.Errorf("%w: %d (want %d)", ErrBadSchema, env.Schema, SchemaVersion)
+	switch env.Schema {
+	case SchemaVersion:
+	case 1:
+		// v1 predates checkpointing: every saved envelope was a
+		// finished campaign.
+		env.Complete = true
+	default:
+		return nil, nil, fmt.Errorf("%w: %d (want 1..%d)", ErrBadSchema, env.Schema, SchemaVersion)
 	}
-	res := &study.Result{
-		Reports:         env.Reports,
-		ConnectFailures: env.ConnectFailures,
-		VPsAttempted:    env.VPsAttempted,
+	return env.Result(), &env, nil
+}
+
+// LoadFile reads an envelope from disk.
+func LoadFile(path string) (*study.Result, *Envelope, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("results: %w", err)
 	}
-	return res, &env, nil
+	defer f.Close()
+	return Load(f)
+}
+
+// CheckpointFunc returns a study.RunConfig.Checkpoint callback that
+// streams each partial result to path, writing a temp file and renaming
+// so a crash mid-write never corrupts the previous checkpoint. The
+// envelope is marked Partial; re-save the final result without Partial
+// once the campaign returns.
+func CheckpointFunc(path string, opts ...Option) func(*study.Result) error {
+	opts = append([]Option{Partial()}, opts...)
+	return func(res *study.Result) error {
+		tmp, err := os.CreateTemp(filepath.Dir(path), ".checkpoint-*")
+		if err != nil {
+			return fmt.Errorf("results: checkpoint: %w", err)
+		}
+		defer os.Remove(tmp.Name())
+		if err := Save(tmp, res, opts...); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return fmt.Errorf("results: checkpoint: %w", err)
+		}
+		if err := os.Rename(tmp.Name(), path); err != nil {
+			return fmt.Errorf("results: checkpoint: %w", err)
+		}
+		return nil
+	}
 }

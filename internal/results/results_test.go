@@ -2,6 +2,9 @@ package results_test
 
 import (
 	"bytes"
+	"errors"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -134,5 +137,150 @@ func TestLoadRejectsBadInput(t *testing.T) {
 	}
 	if _, _, err := results.Load(strings.NewReader(`{"schema": 99}`)); err == nil {
 		t.Error("future schema must fail")
+	}
+}
+
+func TestLoadV1BackwardCompat(t *testing.T) {
+	// A literal v1 envelope, as written before schema v2 existed.
+	v1 := `{
+	  "schema": 1,
+	  "seed": 11,
+	  "vps_attempted": 2,
+	  "connect_failures": [
+	    {"Provider": "GhostNet", "VPLabel": "ghostnet-1 (US)", "Err": "refused"}
+	  ],
+	  "reports": [
+	    {"Provider": "GhostNet", "VPLabel": "ghostnet-2 (DE)", "ClaimedCountry": "DE"}
+	  ]
+	}`
+	res, env, err := results.Load(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Schema != 1 || env.Seed != 11 {
+		t.Errorf("envelope = %+v", env)
+	}
+	if !env.Complete {
+		t.Error("v1 envelopes predate checkpointing and must load as complete")
+	}
+	if len(res.Reports) != 1 || len(res.ConnectFailures) != 1 || res.VPsAttempted != 2 {
+		t.Errorf("result shape = %d reports, %d failures, %d attempted",
+			len(res.Reports), len(res.ConnectFailures), res.VPsAttempted)
+	}
+	if len(res.Recoveries) != 0 || len(res.Quarantines) != 0 {
+		t.Error("v1 envelope must load with an empty resilience record")
+	}
+}
+
+func TestV2ResilienceRoundTrip(t *testing.T) {
+	res := &study.Result{
+		VPsAttempted: 5,
+		ConnectFailures: []study.ConnectFailure{
+			{Provider: "GhostNet", VPLabel: "ghostnet-1 (US)", Err: "refused", Attempts: 3},
+		},
+		Recoveries: []study.Recovery{
+			{Provider: "GhostNet", VPLabel: "ghostnet-2 (DE)", Attempts: 2},
+		},
+		Quarantines: []study.Quarantine{
+			{Provider: "DeadNet", TrippedAfter: 2, SkippedVPs: []string{"deadnet-3 (FR)", "deadnet-4 (JP)"}},
+		},
+	}
+	var buf bytes.Buffer
+	err := results.Save(&buf, res,
+		results.WithSeed(9), results.Partial(), results.WithFaultProfile("lossy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, env, err := results.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Complete {
+		t.Error("Partial() envelope must load as incomplete")
+	}
+	if env.FaultProfile != "lossy" {
+		t.Errorf("fault profile = %q", env.FaultProfile)
+	}
+	if !reflect.DeepEqual(back, res) {
+		t.Errorf("resilience record diverged:\n got %+v\nwant %+v", back, res)
+	}
+}
+
+// TestCheckpointResume is the crash-recovery acceptance test: a
+// campaign killed mid-run and resumed on a freshly built world (same
+// seed) must serialize byte-identically to an uninterrupted campaign.
+func TestCheckpointResume(t *testing.T) {
+	build := func() *study.World {
+		all := ecosystem.TestedSpecs(7, 5)
+		var specs []vpn.ProviderSpec
+		for _, s := range all {
+			switch s.Name {
+			case "WorldVPN", "CyberGhost", "Windscribe":
+				specs = append(specs, s)
+			}
+		}
+		if len(specs) != 3 {
+			t.Fatalf("resolved %d of 3 providers", len(specs))
+		}
+		w, err := study.Build(study.Options{
+			Seed: 7, ExtraTLSHosts: 5, Providers: specs, LandmarkCount: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+
+	ref, err := build().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refBuf bytes.Buffer
+	if err := results.Save(&refBuf, ref, results.WithSeed(7)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: checkpoint every outcome, die after the third.
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	ckpt := results.CheckpointFunc(path, results.WithSeed(7))
+	killed := errors.New("campaign killed")
+	outcomes := 0
+	_, err = build().RunWith(study.RunConfig{
+		Checkpoint: func(r *study.Result) error {
+			if err := ckpt(r); err != nil {
+				return err
+			}
+			outcomes++
+			if outcomes == 3 {
+				return killed
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, killed) {
+		t.Fatalf("interrupted run error = %v", err)
+	}
+
+	partial, env, err := results.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Complete {
+		t.Error("checkpoint must be marked partial")
+	}
+	if got := len(partial.Reports) + len(partial.ConnectFailures); got != 3 {
+		t.Fatalf("checkpoint holds %d outcomes, want 3", got)
+	}
+
+	resumed, err := build().RunWith(study.RunConfig{Resume: partial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resBuf bytes.Buffer
+	if err := results.Save(&resBuf, resumed, results.WithSeed(7)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refBuf.Bytes(), resBuf.Bytes()) {
+		t.Error("resumed campaign is not byte-identical to the uninterrupted run")
 	}
 }

@@ -2,7 +2,9 @@ package study
 
 import (
 	"fmt"
+	"time"
 
+	"vpnscope/internal/simrand"
 	"vpnscope/internal/vpn"
 	"vpnscope/internal/vpntest"
 )
@@ -12,14 +14,41 @@ type ConnectFailure struct {
 	Provider string
 	VPLabel  string
 	Err      string
+	// Attempts is how many connect attempts were made before giving up
+	// (0 when the client machine itself could not be provisioned).
+	Attempts int
 }
 
-// Result is a completed study: every vantage-point report plus the
-// connection failures (§5.2's flaky-endpoint reality).
+// Recovery records a vantage point that needed more than one connect
+// attempt but was ultimately measured — the paper's partial
+// re-collection workflow made visible.
+type Recovery struct {
+	Provider string
+	VPLabel  string
+	Attempts int
+}
+
+// Quarantine records a provider whose circuit breaker tripped:
+// TrippedAfter consecutive vantage-point failures, with the remaining
+// vantage points skipped but listed rather than silently dropped.
+type Quarantine struct {
+	Provider     string
+	TrippedAfter int
+	SkippedVPs   []string
+}
+
+// Result is a completed (or checkpointed partial) study: every
+// vantage-point report plus the connection failures (§5.2's
+// flaky-endpoint reality), retry recoveries, and quarantines. Every
+// attempted vantage point lands in exactly one of Reports,
+// ConnectFailures, or a Quarantine's SkippedVPs — no silent drops.
 type Result struct {
 	Reports         []*vpntest.VPReport
 	ConnectFailures []ConnectFailure
-	// VPsAttempted counts vantage points we tried to measure.
+	Recoveries      []Recovery
+	Quarantines     []Quarantine
+	// VPsAttempted counts vantage points we tried to measure (including
+	// quarantine-skipped ones).
 	VPsAttempted int
 }
 
@@ -47,70 +76,315 @@ func (r *Result) Providers() []string {
 	return out
 }
 
-// Run executes the full campaign: for every provider, a fresh client
-// machine per vantage point, the full suite on up to MaxFullSuiteVPs
-// vantage points, and the ping-only sweep on the rest.
-func (w *World) Run() (*Result, error) {
-	res := &Result{}
-	for _, p := range w.Providers {
-		if err := w.runProvider(p, res); err != nil {
-			return nil, err
+// RunConfig tunes the resilient campaign runner. The zero value is
+// valid: fill() applies the defaults below.
+type RunConfig struct {
+	// ConnectAttempts is the per-vantage-point connect budget
+	// (default 3; minimum 1).
+	ConnectAttempts int
+	// BackoffBase and BackoffMax shape the virtual-clock exponential
+	// backoff between connect attempts (defaults 2s and 1m). Each wait
+	// is base·2^(attempt-1), capped at max, scaled by a seeded jitter
+	// in [0.5, 1.5).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// QuarantineAfter trips a per-provider circuit breaker after N
+	// consecutive vantage-point failures, skipping (but recording) the
+	// provider's remaining vantage points. Zero disables the breaker.
+	QuarantineAfter int
+	// TestBudget / SuiteBudget are forwarded to vpntest.SuiteOptions.
+	TestBudget  time.Duration
+	SuiteBudget time.Duration
+	// VPSlot is the fixed virtual-time slot reserved per vantage point
+	// (default 45m, the paper's per-VP wall time). Aligning every
+	// vantage point to slot boundaries makes the campaign timeline — and
+	// hence every fault schedule and RNG draw — independent of how long
+	// earlier vantage points took, which is what lets an interrupted
+	// campaign resume byte-identically.
+	VPSlot time.Duration
+	// Resume seeds the runner with a checkpointed partial Result:
+	// vantage points already present (measured, failed, or
+	// quarantine-skipped) are not re-run, but still consume their
+	// virtual-time slot.
+	Resume *Result
+	// Checkpoint, when set, is invoked with the in-progress Result
+	// after every newly recorded vantage-point outcome. A checkpoint
+	// error aborts the campaign, returning the partial Result alongside
+	// the error.
+	Checkpoint func(*Result) error
+}
+
+func (c *RunConfig) fill() {
+	if c.ConnectAttempts <= 0 {
+		c.ConnectAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 2 * time.Second
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Minute
+	}
+	if c.VPSlot <= 0 {
+		c.VPSlot = 45 * time.Minute
+	}
+}
+
+// campaignBase is the virtual time at which the first vantage-point
+// slot opens, leaving room for world build + baseline collection.
+const campaignBase = time.Hour
+
+// vpOutcome classifies how a vantage point already present in a resumed
+// Result was recorded.
+type vpOutcome int
+
+const (
+	outcomeNone vpOutcome = iota
+	outcomeMeasured
+	outcomeFailed
+	outcomeSkipped
+)
+
+// runState carries the campaign loop's bookkeeping.
+type runState struct {
+	cfg  RunConfig
+	res  *Result
+	done map[string]vpOutcome // provider\x00label → resumed outcome
+	slot int                  // global vantage-point slot index
+}
+
+func vpKey(provider, label string) string { return provider + "\x00" + label }
+
+// newRunState builds the runner state, cloning any resumed partial
+// result so the checkpoint's slices are never aliased.
+func newRunState(cfg RunConfig) *runState {
+	st := &runState{cfg: cfg, res: &Result{}, done: make(map[string]vpOutcome)}
+	if prev := cfg.Resume; prev != nil {
+		st.res.VPsAttempted = prev.VPsAttempted
+		st.res.Reports = append(st.res.Reports, prev.Reports...)
+		st.res.ConnectFailures = append(st.res.ConnectFailures, prev.ConnectFailures...)
+		st.res.Recoveries = append(st.res.Recoveries, prev.Recoveries...)
+		for _, q := range prev.Quarantines {
+			st.res.Quarantines = append(st.res.Quarantines, Quarantine{
+				Provider:     q.Provider,
+				TrippedAfter: q.TrippedAfter,
+				SkippedVPs:   append([]string(nil), q.SkippedVPs...),
+			})
+		}
+		for _, rep := range prev.Reports {
+			st.done[vpKey(rep.Provider, rep.VPLabel)] = outcomeMeasured
+		}
+		for _, cf := range prev.ConnectFailures {
+			st.done[vpKey(cf.Provider, cf.VPLabel)] = outcomeFailed
+		}
+		for _, q := range prev.Quarantines {
+			for _, label := range q.SkippedVPs {
+				st.done[vpKey(q.Provider, label)] = outcomeSkipped
+			}
 		}
 	}
-	return res, nil
+	return st
+}
+
+// checkpoint streams the in-progress result out after a new outcome.
+func (st *runState) checkpoint() error {
+	if st.cfg.Checkpoint == nil {
+		return nil
+	}
+	if err := st.cfg.Checkpoint(st.res); err != nil {
+		return fmt.Errorf("study: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Run executes the full campaign with default resilience settings: for
+// every provider, a fresh client machine per vantage point, the full
+// suite on up to MaxFullSuiteVPs vantage points, and the ping-only
+// sweep on the rest.
+func (w *World) Run() (*Result, error) {
+	return w.RunWith(RunConfig{})
+}
+
+// RunWith executes the full campaign under cfg. On a checkpoint error
+// the partial Result is returned alongside the error.
+func (w *World) RunWith(cfg RunConfig) (*Result, error) {
+	cfg.fill()
+	st := newRunState(cfg)
+	for _, p := range w.Providers {
+		if err := w.runProvider(p, st); err != nil {
+			return st.res, err
+		}
+	}
+	return st.res, nil
 }
 
 // RunProvider measures a single provider (used by cmd/vpnaudit).
 func (w *World) RunProvider(name string) (*Result, error) {
+	return w.RunProviderWith(name, RunConfig{})
+}
+
+// RunProviderWith measures a single provider under cfg.
+func (w *World) RunProviderWith(name string, cfg RunConfig) (*Result, error) {
+	cfg.fill()
 	for _, p := range w.Providers {
 		if p.Name() == name {
-			res := &Result{}
-			if err := w.runProvider(p, res); err != nil {
-				return nil, err
+			st := newRunState(cfg)
+			if err := w.runProvider(p, st); err != nil {
+				return st.res, err
 			}
-			return res, nil
+			return st.res, nil
 		}
 	}
 	return nil, fmt.Errorf("study: unknown provider %q", name)
 }
 
-func (w *World) runProvider(p *vpn.Provider, res *Result) error {
+func (w *World) runProvider(p *vpn.Provider, st *runState) error {
 	if p.Spec.Client == vpn.BrowserExtension {
 		return nil // excluded from active testing (§4)
 	}
+	streak := 0          // consecutive vantage-point failures
+	quarantined := false // breaker tripped (this run or a resumed one)
+	quarantineIdx := -1  // index into st.res.Quarantines once tripped
 	for i, vp := range p.VPs {
-		res.VPsAttempted++
 		label := fmt.Sprintf("%s (%s)", vp.ID(), vp.ClaimedCountry)
-		stack, err := w.NewClientStack()
+		key := vpKey(p.Name(), label)
+		slot := st.slot
+		st.slot++
+
+		// Already recorded by a resumed checkpoint: keep the slot
+		// reserved (so later vantage points land on identical virtual
+		// times) and reconstruct the breaker streak from the recorded
+		// outcome.
+		if outcome := st.done[key]; outcome != outcomeNone {
+			switch outcome {
+			case outcomeMeasured:
+				streak = 0
+			case outcomeFailed:
+				streak++
+			case outcomeSkipped:
+				quarantined = true
+			}
+			continue
+		}
+
+		if !quarantined && st.cfg.QuarantineAfter > 0 && streak >= st.cfg.QuarantineAfter {
+			st.res.Quarantines = append(st.res.Quarantines, Quarantine{
+				Provider: p.Name(), TrippedAfter: streak,
+			})
+			quarantineIdx = len(st.res.Quarantines) - 1
+			quarantined = true
+		}
+		if quarantined {
+			st.res.VPsAttempted++
+			if quarantineIdx < 0 {
+				// Breaker tripped in the interrupted run; reopen its
+				// record to append the vantage points we skip now.
+				for qi := range st.res.Quarantines {
+					if st.res.Quarantines[qi].Provider == p.Name() {
+						quarantineIdx = qi
+					}
+				}
+				if quarantineIdx < 0 {
+					return fmt.Errorf("study: resumed quarantine record missing for %s", p.Name())
+				}
+			}
+			st.res.Quarantines[quarantineIdx].SkippedVPs =
+				append(st.res.Quarantines[quarantineIdx].SkippedVPs, label)
+			if err := st.checkpoint(); err != nil {
+				return err
+			}
+			continue
+		}
+
+		measured, err := w.runVP(p, vp, i, slot, label, st)
 		if err != nil {
 			return err
 		}
-		client, err := vpn.Connect(stack, vp)
-		if err != nil {
-			// One retry, then move on — mirroring the paper's partial
-			// re-collection workflow.
-			client, err = vpn.Connect(stack, vp)
-			if err != nil {
-				res.ConnectFailures = append(res.ConnectFailures, ConnectFailure{
-					Provider: p.Name(), VPLabel: label, Err: err.Error(),
-				})
-				continue
-			}
+		if measured {
+			streak = 0
+		} else {
+			streak++
 		}
-		opts := vpntest.SuiteOptions{CollectCaptures: w.Opts.CollectCaptures}
-		if i >= w.Opts.MaxFullSuiteVPs {
-			opts.PingOnly = true
+		if err := st.checkpoint(); err != nil {
+			return err
 		}
-		if p.Spec.Client == vpn.ThirdPartyOpenVPN {
-			// §6.5: DNS/IPv6 leak and failure tests ran only against
-			// providers shipping their own client software.
-			opts.SkipLeaks = true
-			opts.SkipFailure = true
-		}
-		env := vpntest.NewEnv(w.Config, w.Baseline, stack, p.Name(), label, vp.ClaimedCountry)
-		report := vpntest.RunSuite(env, opts)
-		res.Reports = append(res.Reports, report)
-		client.Disconnect()
 	}
 	return nil
+}
+
+// runVP measures one vantage point inside its own virtual-time slot,
+// reporting whether it was measured (false → it landed in
+// ConnectFailures). Client teardown is deferred so a suite panic can
+// never leak a connected client onto the next vantage point.
+func (w *World) runVP(p *vpn.Provider, vp *vpn.VantagePoint, vpIdx, slot int, label string, st *runState) (bool, error) {
+	st.res.VPsAttempted++
+
+	// Pin the vantage point to its slot and re-derive every stochastic
+	// stream from (seed, vantage point) so the measurement is a pure
+	// function of the world — not of campaign history. This is the
+	// resume-determinism contract; see DESIGN.md.
+	w.Net.Clock.AdvanceTo(campaignBase + time.Duration(slot)*st.cfg.VPSlot)
+	key := vpKey(p.Name(), label)
+	w.Net.ResetStream(key)
+	if w.faults != nil {
+		w.faults.Reset(key)
+	}
+	backoffRNG := simrand.New(w.Opts.Seed).Fork("campaign").Fork(key)
+
+	stack, err := w.newClientStackAt(clientSeqBase + slot)
+	if err != nil {
+		// A client machine that cannot even be provisioned is a
+		// recorded failure, not a campaign abort.
+		st.res.ConnectFailures = append(st.res.ConnectFailures, ConnectFailure{
+			Provider: p.Name(), VPLabel: label, Err: err.Error(),
+		})
+		return false, nil
+	}
+
+	var client *vpn.Client
+	attempts := 0
+	for attempts < st.cfg.ConnectAttempts {
+		attempts++
+		client, err = vpn.Connect(stack, vp)
+		if err == nil {
+			break
+		}
+		if attempts == st.cfg.ConnectAttempts {
+			st.res.ConnectFailures = append(st.res.ConnectFailures, ConnectFailure{
+				Provider: p.Name(), VPLabel: label, Err: err.Error(), Attempts: attempts,
+			})
+			return false, nil
+		}
+		// Exponential backoff with jitter, on the virtual clock.
+		wait := st.cfg.BackoffBase << (attempts - 1)
+		if wait > st.cfg.BackoffMax {
+			wait = st.cfg.BackoffMax
+		}
+		jitter := 0.5 + backoffRNG.Float64()
+		w.Net.Clock.Advance(time.Duration(float64(wait) * jitter))
+	}
+	if attempts > 1 {
+		st.res.Recoveries = append(st.res.Recoveries, Recovery{
+			Provider: p.Name(), VPLabel: label, Attempts: attempts,
+		})
+	}
+	defer client.Disconnect()
+
+	opts := vpntest.SuiteOptions{
+		CollectCaptures: w.Opts.CollectCaptures,
+		TestBudget:      st.cfg.TestBudget,
+		SuiteBudget:     st.cfg.SuiteBudget,
+	}
+	if vpIdx >= w.Opts.MaxFullSuiteVPs {
+		opts.PingOnly = true
+	}
+	if p.Spec.Client == vpn.ThirdPartyOpenVPN {
+		// §6.5: DNS/IPv6 leak and failure tests ran only against
+		// providers shipping their own client software.
+		opts.SkipLeaks = true
+		opts.SkipFailure = true
+	}
+	env := vpntest.NewEnv(w.Config, w.Baseline, stack, p.Name(), label, vp.ClaimedCountry)
+	report := vpntest.RunSuite(env, opts)
+	st.res.Reports = append(st.res.Reports, report)
+	return true, nil
 }

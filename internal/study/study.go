@@ -11,6 +11,7 @@ import (
 
 	"vpnscope/internal/dnssim"
 	"vpnscope/internal/ecosystem"
+	"vpnscope/internal/faultsim"
 	"vpnscope/internal/geo"
 	"vpnscope/internal/geodb"
 	"vpnscope/internal/netsim"
@@ -83,6 +84,7 @@ type World struct {
 	blocks      []netsim.Block
 	vpByAddr    map[netip.Addr]*vpn.VantagePoint
 	clientSeq   int
+	faults      *faultsim.Plan
 }
 
 // Well-known public resolver addresses.
@@ -376,20 +378,59 @@ func (w *World) collectBaseline() error {
 	return nil
 }
 
+// EnableFaults installs a seeded fault plan over the assembled world:
+// vantage-point addresses become subject to connect-time refusals, the
+// public and ISP resolvers to blackout windows, and every exchange to
+// the profile's loss/flap/spike/reset schedule. Call after Build so the
+// build itself (and baseline collection) stays fault-free, mirroring
+// the paper's clean university baseline.
+func (w *World) EnableFaults(profile faultsim.Profile) *faultsim.Plan {
+	plan := faultsim.New(profile, w.Opts.Seed)
+	var vpAddrs []netip.Addr
+	for _, p := range w.Providers {
+		for _, vp := range p.VPs {
+			vpAddrs = append(vpAddrs, vp.Addr())
+		}
+	}
+	plan.SetVPAddrs(vpAddrs)
+	plan.SetResolverAddrs([]netip.Addr{googleDNS, quad9DNS, ispDNS})
+	w.Net.SetFaultHook(plan.Hook())
+	w.faults = plan
+	return plan
+}
+
+// Faults returns the installed fault plan (nil when none).
+func (w *World) Faults() *faultsim.Plan { return w.faults }
+
+// clientSeqBase is the first client-machine sequence number available
+// to the campaign runner: Build consumes sequence 1 for the clean
+// config stack, so vantage-point slot s provisions client machine
+// clientSeqBase+s. Deriving the sequence from the slot (rather than a
+// running counter) keeps client addresses — which are visible in
+// results, e.g. WebRTC-revealed local addresses — independent of how
+// many stacks earlier vantage points happened to create.
+const clientSeqBase = 2
+
 // NewClientStack provisions a fresh client machine — the equivalent of
 // the paper's freshly restored macOS VM per provider.
 func (w *World) NewClientStack() (*netsim.Stack, error) {
 	w.clientSeq++
+	return w.newClientStackAt(w.clientSeq)
+}
+
+// newClientStackAt provisions the client machine with a fixed sequence
+// number, reusing its host when one already exists at that address.
+func (w *World) newClientStackAt(seq int) (*netsim.Stack, error) {
 	city, ok := geo.CityByName("Chicago")
 	if !ok {
 		return nil, fmt.Errorf("study: unknown client city")
 	}
-	addr := netip.AddrFrom4([4]byte{203, 0, 113, byte(10 + w.clientSeq%200)})
+	addr := netip.AddrFrom4([4]byte{203, 0, 113, byte(10 + seq%200)})
 	host := w.Net.HostByAddr(addr)
 	if host == nil {
-		host = netsim.NewHost(fmt.Sprintf("client-%d", w.clientSeq), city, addr)
+		host = netsim.NewHost(fmt.Sprintf("client-%d", seq), city, addr)
 		host.Addr6 = netip.AddrFrom16([16]byte{0x20, 0x01, 0x0d, 0xb8, 0, 0xcc, 0, 0,
-			0, 0, 0, 0, 0, 0, 0, byte(10 + w.clientSeq%200)})
+			0, 0, 0, 0, 0, 0, 0, byte(10 + seq%200)})
 		host.Block = netsim.Block{Prefix: netip.MustParsePrefix("203.0.113.0/24"), ASN: 7018, Org: "Residential ISP Sim"}
 		if err := w.Net.AddHost(host); err != nil {
 			return nil, err

@@ -152,19 +152,21 @@ func IsClientHello(data []byte) bool {
 	return bytes.HasPrefix(data, []byte(helloMagic))
 }
 
-// EncodeServerHello frames a response: certificate then payload.
-func EncodeServerHello(cert Certificate, inner []byte) []byte {
+// EncodeServerHello frames a response: certificate then payload. An
+// encoding failure is returned, not panicked: handshake synthesis runs
+// inside packet handlers, where a panic would take down a whole
+// campaign instead of one exchange.
+func EncodeServerHello(cert Certificate, inner []byte) ([]byte, error) {
 	cj, err := json.Marshal(cert)
 	if err != nil {
-		// Certificate is a plain struct; Marshal cannot fail.
-		panic(err)
+		return nil, fmt.Errorf("tlssim: encoding certificate: %w", err)
 	}
 	var b bytes.Buffer
 	b.WriteString(helloRespMagic)
 	b.Write(cj)
 	b.WriteByte('\n')
 	b.Write(inner)
-	return b.Bytes()
+	return b.Bytes(), nil
 }
 
 // ParseServerHello splits a framed server hello. A parse failure on

@@ -110,7 +110,10 @@ func TestServerHelloRoundTrip(t *testing.T) {
 	ca := NewCA("SimTrust Root", 1)
 	cert := ca.Issue("www.example.com")
 	inner := []byte("HTTP/1.1 200 OK\r\n\r\nhello")
-	resp := EncodeServerHello(cert, inner)
+	resp, err := EncodeServerHello(cert, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
 	back, got, err := ParseServerHello(resp)
 	if err != nil {
 		t.Fatal(err)

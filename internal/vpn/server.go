@@ -245,7 +245,10 @@ func (vp *VantagePoint) forwardTCP(n *netsim.Network, env *ServerEnv, egress, sr
 			if err != nil {
 				return nil
 			}
-			mitm := tlssim.EncodeServerHello(vp.Provider.MITMCA.Issue(sni), serverInner)
+			mitm, err := tlssim.EncodeServerHello(vp.Provider.MITMCA.Issue(sni), serverInner)
+			if err != nil {
+				return nil
+			}
 			return vp.buildTCPResponse(dst, src, t, mitm)
 		}
 	}

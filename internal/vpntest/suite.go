@@ -73,12 +73,21 @@ type SuiteOptions struct {
 	// CollectCaptures snapshots the run's full packet trace into the
 	// report for offline analysis / pcap export.
 	CollectCaptures bool
+	// TestBudget is the per-test virtual-time allowance. A test that
+	// burns more (e.g. every probe timing out under a fault) gets an
+	// overrun note in Errors. Zero means unlimited.
+	TestBudget time.Duration
+	// SuiteBudget caps the whole run's virtual time: once exhausted,
+	// remaining tests are skipped with a note rather than run. Zero
+	// means unlimited.
+	SuiteBudget time.Duration
 }
 
 // RunSuite executes the test suite against a connected environment and
-// returns the vantage point's report. Individual test errors are
-// recorded, not fatal — dying vantage points were routine in the paper's
-// data collection.
+// returns the vantage point's report. Individual test errors and panics
+// are recorded, not fatal — dying vantage points were routine in the
+// paper's data collection, and one misbehaving test must never take
+// down a campaign.
 func RunSuite(env *Env, opts SuiteOptions) *VPReport {
 	r := &VPReport{
 		Provider:       env.Provider,
@@ -86,54 +95,55 @@ func RunSuite(env *Env, opts SuiteOptions) *VPReport {
 		ClaimedCountry: env.ClaimedCountry,
 		StartedAt:      env.Stack.Net.Clock.Now(),
 	}
-	note := func(test string, err error) {
-		if err != nil {
+	clock := env.Stack.Net.Clock
+	start := clock.Now()
+	step := func(test string, fn func() error) {
+		if opts.SuiteBudget > 0 && clock.Now()-start >= opts.SuiteBudget {
+			r.Errors = append(r.Errors,
+				fmt.Sprintf("%s: skipped: suite budget (%v) exhausted", test, opts.SuiteBudget))
+			return
+		}
+		began := clock.Now()
+		if err := runRecovered(fn); err != nil {
 			r.Errors = append(r.Errors, fmt.Sprintf("%s: %v", test, err))
+		}
+		if opts.TestBudget > 0 {
+			if spent := clock.Now() - began; spent > opts.TestBudget {
+				r.Errors = append(r.Errors,
+					fmt.Sprintf("%s: exceeded per-test budget (spent %v of %v)", test, spent, opts.TestBudget))
+			}
 		}
 	}
 
 	// Geolocation first: it caches the egress address the ping sweep
 	// uses for offset estimation.
-	var err error
-	r.Geo, err = RunGeolocation(env)
-	note("geo", err)
-	r.Pings, err = RunPingSweep(env)
-	note("ping", err)
+	step("geo", func() error { var err error; r.Geo, err = RunGeolocation(env); return err })
+	step("ping", func() error { var err error; r.Pings, err = RunPingSweep(env); return err })
 
 	if !opts.PingOnly {
 		r.Routes = env.Stack.Routes()
 		r.Resolvers = env.Stack.Resolvers()
 
-		r.DNS, err = RunDNSManipulation(env)
-		note("dns-manipulation", err)
-		r.Origin, err = RunRecursiveOrigin(env)
-		note("recursive-origin", err)
-		r.Proxy, err = RunProxyDetection(env)
-		note("proxy-detection", err)
+		step("dns-manipulation", func() error { var err error; r.DNS, err = RunDNSManipulation(env); return err })
+		step("recursive-origin", func() error { var err error; r.Origin, err = RunRecursiveOrigin(env); return err })
+		step("proxy-detection", func() error { var err error; r.Proxy, err = RunProxyDetection(env); return err })
 		if !opts.SkipDOM {
-			r.DOM, err = RunDOMCollection(env)
-			note("dom-collection", err)
+			step("dom-collection", func() error { var err error; r.DOM, err = RunDOMCollection(env); return err })
 		}
 		if !opts.SkipTLS {
-			r.TLS, err = RunTLS(env)
-			note("tls", err)
+			step("tls", func() error { var err error; r.TLS, err = RunTLS(env); return err })
 		}
 		if !opts.SkipLeaks {
-			r.Leaks, err = RunLeakTests(env)
-			note("leaks", err)
+			step("leaks", func() error { var err error; r.Leaks, err = RunLeakTests(env); return err })
 		}
-		r.Traces, err = RunTraceroutes(env, 3)
-		note("traceroute", err)
+		step("traceroute", func() error { var err error; r.Traces, err = RunTraceroutes(env, 3); return err })
 		if env.Cfg.WebRTCProbeURL != "" {
-			r.WebRTC, err = RunWebRTCLeak(env)
-			note("webrtc-leak", err)
+			step("webrtc-leak", func() error { var err error; r.WebRTC, err = RunWebRTCLeak(env); return err })
 		}
-		r.P2P, err = RunP2PDetection(env)
-		note("p2p-detection", err)
+		step("p2p-detection", func() error { var err error; r.P2P, err = RunP2PDetection(env); return err })
 		if !opts.SkipFailure {
 			// Last: it may leave the client failed-open.
-			r.Failure, err = RunTunnelFailure(env)
-			note("tunnel-failure", err)
+			step("tunnel-failure", func() error { var err error; r.Failure, err = RunTunnelFailure(env); return err })
 		}
 	}
 	if opts.CollectCaptures {
@@ -141,4 +151,14 @@ func RunSuite(env *Env, opts SuiteOptions) *VPReport {
 	}
 	r.FinishedAt = env.Stack.Net.Clock.Now()
 	return r
+}
+
+// runRecovered runs fn, converting a panic into a recorded error.
+func runRecovered(fn func() error) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("panic: %v", rec)
+		}
+	}()
+	return fn()
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sort"
 	"strings"
 	"time"
 
@@ -605,12 +606,19 @@ func RunLeakTests(env *Env) (*LeakResult, error) {
 	}
 	res.DNSLeak = res.DNSLeakCount > 0
 
-	// IPv6 probes: direct connections to known v6 addresses.
+	// IPv6 probes: direct connections to known v6 addresses. Probe in
+	// sorted host order — map iteration order would otherwise vary the
+	// virtual-time trace between identically seeded runs.
 	mark = phys.Sink.Len()
-	for host, v6 := range env.Cfg.IPv6ProbeHosts {
+	hosts := make([]string, 0, len(env.Cfg.IPv6ProbeHosts))
+	for host := range env.Cfg.IPv6ProbeHosts {
+		hosts = append(hosts, host)
+	}
+	sort.Strings(hosts)
+	for _, host := range hosts {
 		res.IPv6Probes++
 		req := websim.NewRequest("GET", host, "/")
-		_, _ = env.Stack.ExchangeTCP(v6, 80, req.Encode())
+		_, _ = env.Stack.ExchangeTCP(env.Cfg.IPv6ProbeHosts[host], 80, req.Encode())
 	}
 	for _, rec := range phys.Sink.Records()[mark:] {
 		if rec.Dir == capture.DirOut && len(rec.Data) > 0 && rec.Data[0]>>4 == 6 {

@@ -115,10 +115,21 @@ func (s *Site) Install(host *netsim.Host) {
 		_ = sni
 		req, err := ParseRequest(inner)
 		if err != nil {
-			return tlssim.EncodeServerHello(s.Cert, (&Response{Status: 400}).Encode())
+			return tlsFrame(s.Cert, (&Response{Status: 400}).Encode())
 		}
-		return tlssim.EncodeServerHello(s.Cert, s.serve(req).Encode())
+		return tlsFrame(s.Cert, s.serve(req).Encode())
 	})
+}
+
+// tlsFrame wraps a response in a server hello; an encoding failure
+// drops the response (the client records an unreachable host) rather
+// than killing the handler.
+func tlsFrame(cert tlssim.Certificate, inner []byte) []byte {
+	framed, err := tlssim.EncodeServerHello(cert, inner)
+	if err != nil {
+		return nil
+	}
+	return framed
 }
 
 // EchoService is the header-echo endpoint: it returns exactly the raw

@@ -281,13 +281,13 @@ func (w *Web) installHostility(site *Site) {
 			return nil
 		}
 		if w.isVPNAddr(src) {
-			return tlssim.EncodeServerHello(site.Cert, Forbidden().Encode())
+			return tlsFrame(site.Cert, Forbidden().Encode())
 		}
 		req, err := ParseRequest(inner)
 		if err != nil {
-			return tlssim.EncodeServerHello(site.Cert, (&Response{Status: 400}).Encode())
+			return tlsFrame(site.Cert, (&Response{Status: 400}).Encode())
 		}
-		return tlssim.EncodeServerHello(site.Cert, site.serve(req).Encode())
+		return tlsFrame(site.Cert, site.serve(req).Encode())
 	})
 }
 
@@ -350,7 +350,7 @@ func buildBlockPages(n *netsim.Network, dir *dnssim.Directory) error {
 					if _, _, err := tlssim.ParseClientHello(payload); err != nil {
 						return nil
 					}
-					return tlssim.EncodeServerHello(cert, notice.Encode())
+					return tlsFrame(cert, notice.Encode())
 				})
 			}
 		}
