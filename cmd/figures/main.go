@@ -8,6 +8,7 @@
 //
 //	figures [-seed N] [-full-vps N] [-provider NAME] [-faults PROFILE]
 //	        [-checkpoint FILE] [-resume FILE] [-retries N] [-quarantine N]
+//	        [-parallel N]
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 	resume := flag.String("resume", "", "resume the campaign from a checkpoint file")
 	retries := flag.Int("retries", 0, "connect attempts per vantage point (0 = default)")
 	quarantine := flag.Int("quarantine", 0, "consecutive connect failures before a provider is quarantined (0 = default)")
+	parallel := flag.Int("parallel", 0, "campaign worker shards; results are byte-identical for any value (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	w, err := study.Build(study.Options{Seed: *seed, MaxFullSuiteVPs: *fullVPs})
@@ -51,7 +53,7 @@ func main() {
 		w.EnableFaults(profile)
 	}
 
-	cfg := study.RunConfig{ConnectAttempts: *retries, QuarantineAfter: *quarantine}
+	cfg := study.RunConfig{ConnectAttempts: *retries, QuarantineAfter: *quarantine, Parallel: *parallel}
 	if *resume != "" {
 		partial, env, err := results.LoadFile(*resume)
 		if err != nil {

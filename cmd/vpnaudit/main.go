@@ -6,6 +6,7 @@
 // Usage:
 //
 //	vpnaudit -provider NordVPN [-seed N] [-list] [-faults PROFILE] [-retries N]
+//	         [-checkpoint FILE] [-resume FILE] [-quarantine N] [-parallel N]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"vpnscope/internal/ecosystem"
 	"vpnscope/internal/faultsim"
 	"vpnscope/internal/report"
+	"vpnscope/internal/results"
 
 	"vpnscope/internal/study"
 	"vpnscope/internal/vpntest"
@@ -33,6 +35,10 @@ func main() {
 	pcapDir := flag.String("pcap", "", "directory to write per-vantage-point pcap traces to")
 	faults := flag.String("faults", "", "inject a fault profile: none, mild, lossy, or hostile")
 	retries := flag.Int("retries", 0, "connect attempts per vantage point (0 = default)")
+	checkpoint := flag.String("checkpoint", "", "write a resumable checkpoint to this file after every vantage point")
+	resume := flag.String("resume", "", "resume the audit from a checkpoint file")
+	quarantine := flag.Int("quarantine", 0, "consecutive connect failures before the provider is quarantined (0 = default)")
+	parallel := flag.Int("parallel", 0, "campaign worker shards; results are byte-identical for any value (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -56,7 +62,27 @@ func main() {
 		}
 		w.EnableFaults(profile)
 	}
-	res, err := w.RunProviderWith(*provider, study.RunConfig{ConnectAttempts: *retries})
+	cfg := study.RunConfig{ConnectAttempts: *retries, QuarantineAfter: *quarantine, Parallel: *parallel}
+	if *resume != "" {
+		partial, env, err := results.LoadFile(*resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if env.Seed != *seed {
+			log.Fatalf("checkpoint %s was taken at seed %d, not %d", *resume, env.Seed, *seed)
+		}
+		cfg.Resume = partial
+		fmt.Printf("resuming from %s: %d vantage points already decided\n",
+			*resume, partial.VPsAttempted)
+	}
+	if *checkpoint != "" {
+		opts := []results.Option{results.WithSeed(*seed)}
+		if *faults != "" {
+			opts = append(opts, results.WithFaultProfile(*faults))
+		}
+		cfg.Checkpoint = results.CheckpointFunc(*checkpoint, opts...)
+	}
+	res, err := w.RunProviderWith(*provider, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -240,6 +240,23 @@ func (p *Plan) Stats() Stats {
 	return p.stats
 }
 
+// Absorb folds another plan's injected-fault counters into this one.
+// The parallel campaign executor gives every shard its own Plan (same
+// profile, same seed) and absorbs the shard counters when the shard
+// retires; because every stochastic draw happens inside some vantage
+// point's boundary-reset stream, the absorbed totals equal what a
+// single sequential plan would have counted.
+func (p *Plan) Absorb(s Stats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Dropped += s.Dropped
+	p.stats.Flapped += s.Flapped
+	p.stats.Refused += s.Refused
+	p.stats.Delayed += s.Delayed
+	p.stats.Blackouts += s.Blackouts
+	p.stats.TunnelResets += s.TunnelResets
+}
+
 // Hook returns the netsim fault hook backed by this plan.
 func (p *Plan) Hook() netsim.FaultHook {
 	return func(now time.Duration, from *netsim.Host, dst netip.Addr, proto capture.IPProtocol) netsim.FaultAction {

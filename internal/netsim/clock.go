@@ -59,3 +59,19 @@ func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
 	}
 	return c.now
 }
+
+// Jump sets the clock to exactly t, backwards included (negative t
+// clamps to zero). The parallel campaign executor uses it at every
+// vantage-point slot boundary: a shard that runs providers out of
+// global order — or a vantage point that overran its slot — must still
+// open the next slot at its absolute scheduled time, or the
+// virtual-time fault windows would shift with execution order.
+func (c *Clock) Jump(t time.Duration) time.Duration {
+	if t < 0 {
+		t = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = t
+	return c.now
+}

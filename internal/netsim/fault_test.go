@@ -122,3 +122,17 @@ func TestResetStreamReplaysJitter(t *testing.T) {
 		t.Error("distinct stream labels produced identical jitter")
 	}
 }
+
+func TestClockJump(t *testing.T) {
+	c := NewClock()
+	c.Advance(10 * time.Second)
+	if c.Jump(3*time.Second) != 3*time.Second || c.Now() != 3*time.Second {
+		t.Fatal("Jump must set the clock exactly, backwards included")
+	}
+	if c.Jump(7*time.Second) != 7*time.Second {
+		t.Fatal("Jump forward failed")
+	}
+	if c.Jump(-time.Second) != 0 {
+		t.Fatal("negative Jump must clamp to zero")
+	}
+}

@@ -88,6 +88,12 @@ func WriteCollectionHealth(w io.Writer, res *study.Result) {
 	Table(w, "Collection health (per provider)",
 		[]string{"provider", "attempted", "measured", "retried", "failed", "quarantined", "test errors"},
 		cells)
-	fmt.Fprintf(w, "campaign: %d/%d vantage points measured (%d retried, %d failed, %d quarantined)\n",
-		measured, attempted, retried, failed, quarantined)
+	if attempted == 0 {
+		// An empty campaign (nothing attempted yet — e.g. a checkpoint
+		// taken before the first vantage point) has no measurement rate.
+		fmt.Fprintf(w, "campaign: 0/0 vantage points measured (n/a)\n")
+		return
+	}
+	fmt.Fprintf(w, "campaign: %d/%d vantage points measured (%.1f%%, %d retried, %d failed, %d quarantined)\n",
+		measured, attempted, 100*float64(measured)/float64(attempted), retried, failed, quarantined)
 }

@@ -55,6 +55,21 @@ func TestCollectionHealth(t *testing.T) {
 	}
 }
 
+// TestWriteCollectionHealthEmptyCampaign: a result with nothing
+// attempted (a checkpoint taken before the first vantage point) must
+// render "n/a" rather than divide by zero.
+func TestWriteCollectionHealthEmptyCampaign(t *testing.T) {
+	var buf bytes.Buffer
+	WriteCollectionHealth(&buf, &study.Result{})
+	out := buf.String()
+	if !strings.Contains(out, "campaign: 0/0 vantage points measured (n/a)") {
+		t.Errorf("empty campaign summary = %q, want n/a rendering", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("empty campaign summary leaked a NaN: %q", out)
+	}
+}
+
 func TestWriteCollectionHealth(t *testing.T) {
 	var buf bytes.Buffer
 	WriteCollectionHealth(&buf, healthResult())
@@ -63,7 +78,7 @@ func TestWriteCollectionHealth(t *testing.T) {
 		"Collection health",
 		"GhostNet", "DeadNet",
 		"quarantined",
-		"campaign: 3/6 vantage points measured (1 retried, 1 failed, 2 quarantined)",
+		"campaign: 3/6 vantage points measured (50.0%, 1 retried, 1 failed, 2 quarantined)",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)

@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"vpnscope/internal/study"
 	"vpnscope/internal/vpntest"
@@ -157,10 +158,10 @@ func LoadFile(path string) (*study.Result, *Envelope, error) {
 }
 
 // CheckpointFunc returns a study.RunConfig.Checkpoint callback that
-// streams each partial result to path, writing a temp file and renaming
-// so a crash mid-write never corrupts the previous checkpoint. The
-// envelope is marked Partial; re-save the final result without Partial
-// once the campaign returns.
+// streams each partial result to path, writing a temp file, fsyncing,
+// and renaming so a crash — or a power loss — never corrupts or
+// truncates the previous checkpoint. The envelope is marked Partial;
+// re-save the final result without Partial once the campaign returns.
 func CheckpointFunc(path string, opts ...Option) func(*study.Result) error {
 	opts = append([]Option{Partial()}, opts...)
 	return func(res *study.Result) error {
@@ -173,12 +174,35 @@ func CheckpointFunc(path string, opts ...Option) func(*study.Result) error {
 			tmp.Close()
 			return err
 		}
+		// Flush to stable storage before the rename publishes the file:
+		// rename is atomic against crashes only once the data it points
+		// at is durable, otherwise power loss can leave a truncated or
+		// empty checkpoint under the final name.
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("results: checkpoint: %w", err)
+		}
 		if err := tmp.Close(); err != nil {
 			return fmt.Errorf("results: checkpoint: %w", err)
 		}
 		if err := os.Rename(tmp.Name(), path); err != nil {
 			return fmt.Errorf("results: checkpoint: %w", err)
 		}
-		return nil
+		return syncDir(filepath.Dir(path))
 	}
+}
+
+// syncDir fsyncs a directory so a just-renamed checkpoint's directory
+// entry survives power loss too. Filesystems that cannot sync a
+// directory handle (some network and FUSE mounts) make this a no-op.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("results: checkpoint: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("results: checkpoint: %w", err)
+	}
+	return nil
 }

@@ -3,6 +3,7 @@ package results_test
 import (
 	"bytes"
 	"errors"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"vpnscope/internal/results"
 	"vpnscope/internal/study"
 	"vpnscope/internal/vpn"
+	"vpnscope/internal/vpntest"
 )
 
 // smallStudy runs one leaky provider with captures on.
@@ -282,5 +284,58 @@ func TestCheckpointResume(t *testing.T) {
 	}
 	if !bytes.Equal(refBuf.Bytes(), resBuf.Bytes()) {
 		t.Error("resumed campaign is not byte-identical to the uninterrupted run")
+	}
+}
+
+// TestCheckpointFuncDurableRoundTrip: every checkpoint written through
+// the hook must load back equal to what was passed in, and the bytes on
+// disk must equal a direct Partial save — i.e. the fsync-then-rename
+// path publishes exactly one complete envelope, never a truncated one.
+func TestCheckpointFuncDurableRoundTrip(t *testing.T) {
+	res := &study.Result{
+		VPsAttempted: 3,
+		Reports: []*vpntest.VPReport{
+			{Provider: "GhostNet", VPLabel: "ghostnet-1 (US)"},
+		},
+		ConnectFailures: []study.ConnectFailure{
+			{Provider: "GhostNet", VPLabel: "ghostnet-2 (DE)", Err: "refused", Attempts: 3},
+		},
+		Quarantines: []study.Quarantine{
+			{Provider: "DeadNet", TrippedAfter: 2, SkippedVPs: []string{"deadnet-1 (FR)"}},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	hook := results.CheckpointFunc(path, results.WithSeed(7), results.WithFaultProfile("mild"))
+	// The hook overwrites prior checkpoints; write twice so the rename
+	// path over an existing file is exercised too.
+	for i := 0; i < 2; i++ {
+		if err := hook(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	back, env, err := results.LoadFile(path)
+	if err != nil {
+		t.Fatalf("checkpoint did not round-trip via Load: %v", err)
+	}
+	if env.Complete || env.Seed != 7 || env.FaultProfile != "mild" {
+		t.Errorf("envelope = complete:%v seed:%d profile:%q, want partial seed 7 mild",
+			env.Complete, env.Seed, env.FaultProfile)
+	}
+	if !reflect.DeepEqual(back, res) {
+		t.Errorf("checkpoint diverged:\n got %+v\nwant %+v", back, res)
+	}
+
+	var direct bytes.Buffer
+	err = results.Save(&direct, res,
+		results.Partial(), results.WithSeed(7), results.WithFaultProfile("mild"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, direct.Bytes()) {
+		t.Error("checkpoint bytes differ from a direct Partial save")
 	}
 }

@@ -1,0 +1,355 @@
+// Parallel campaign executor: providers run as independent shards on
+// cloned worlds, and shard results merge in canonical slot order.
+//
+// PR 1's determinism contract made every vantage-point measurement a
+// pure function of (world options, global slot index, vantage point):
+// the slot pins the virtual clock, and every stochastic stream — netsim
+// jitter, fault draws, backoff jitter, the client machine's address —
+// is re-derived from (seed, vantage point) at the slot boundary. This
+// file cashes that in: since no measurement depends on campaign
+// history, whole providers can run concurrently on separate world
+// clones and still produce the identical bytes a sequential run would.
+package study
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"vpnscope/internal/vpn"
+	"vpnscope/internal/vpntest"
+)
+
+// activeProviders returns the indices of providers that are actively
+// tested (browser extensions are excluded from the campaign, §4).
+func (w *World) activeProviders() []int {
+	var out []int
+	for i, p := range w.Providers {
+		if p.Spec.Client != vpn.BrowserExtension {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// slotRank maps every enumerable outcome of this world to its canonical
+// position: vantage points rank by their global slot index, quarantine
+// records by provider index. Outcomes for vantage points this world
+// does not enumerate (a checkpoint taken under different Options) rank
+// after all known ones, keeping their relative order.
+type slotRank struct {
+	vp   map[string]int // vpKey → global slot
+	prov map[string]int // provider name → provider index
+}
+
+func (w *World) ranks() slotRank {
+	r := slotRank{vp: map[string]int{}, prov: map[string]int{}}
+	slot := 0
+	for i, p := range w.Providers {
+		r.prov[p.Name()] = i
+		if p.Spec.Client == vpn.BrowserExtension {
+			continue
+		}
+		for _, vp := range p.VPs {
+			r.vp[vpKey(p.Name(), vpLabel(vp))] = slot
+			slot++
+		}
+	}
+	return r
+}
+
+func (r slotRank) vpRank(provider, label string) int {
+	if s, ok := r.vp[vpKey(provider, label)]; ok {
+		return s
+	}
+	return len(r.vp)
+}
+
+func (r slotRank) provRank(provider string) int {
+	if i, ok := r.prov[provider]; ok {
+		return i
+	}
+	return len(r.prov)
+}
+
+// canonicalize copies a result into canonical slot order: vantage-point
+// records sorted by global slot, quarantine records by provider index,
+// unknown entries after all known ones in their original order. A fresh
+// sequential campaign already appends in this order, but a resumed or
+// parallel-merged one may not — so every Result the runner hands out
+// (final return or checkpoint) passes through here, which is what makes
+// the serialized envelope independent of execution order, worker count,
+// and interruption history. The copy is also what lets a checkpoint
+// callback retain the result while the campaign keeps appending.
+func (w *World) canonicalize(res *Result) *Result {
+	r := w.ranks()
+	out := &Result{VPsAttempted: res.VPsAttempted}
+	if len(res.Reports) > 0 {
+		out.Reports = append([]*vpntest.VPReport(nil), res.Reports...)
+		sort.SliceStable(out.Reports, func(i, j int) bool {
+			return r.vpRank(out.Reports[i].Provider, out.Reports[i].VPLabel) <
+				r.vpRank(out.Reports[j].Provider, out.Reports[j].VPLabel)
+		})
+	}
+	if len(res.ConnectFailures) > 0 {
+		out.ConnectFailures = append([]ConnectFailure(nil), res.ConnectFailures...)
+		sort.SliceStable(out.ConnectFailures, func(i, j int) bool {
+			return r.vpRank(out.ConnectFailures[i].Provider, out.ConnectFailures[i].VPLabel) <
+				r.vpRank(out.ConnectFailures[j].Provider, out.ConnectFailures[j].VPLabel)
+		})
+	}
+	if len(res.Recoveries) > 0 {
+		out.Recoveries = append([]Recovery(nil), res.Recoveries...)
+		sort.SliceStable(out.Recoveries, func(i, j int) bool {
+			return r.vpRank(out.Recoveries[i].Provider, out.Recoveries[i].VPLabel) <
+				r.vpRank(out.Recoveries[j].Provider, out.Recoveries[j].VPLabel)
+		})
+	}
+	for _, q := range res.Quarantines {
+		out.Quarantines = append(out.Quarantines, Quarantine{
+			Provider:     q.Provider,
+			TrippedAfter: q.TrippedAfter,
+			SkippedVPs:   append([]string(nil), q.SkippedVPs...),
+		})
+	}
+	sort.SliceStable(out.Quarantines, func(i, j int) bool {
+		return r.provRank(out.Quarantines[i].Provider) < r.provRank(out.Quarantines[j].Provider)
+	})
+	return out
+}
+
+// outcomeCount is the number of recorded vantage-point outcomes — what
+// VPsAttempted equals for any result the runner itself produced (the
+// zero-silent-drops invariant).
+func outcomeCount(res *Result) int {
+	n := len(res.Reports) + len(res.ConnectFailures)
+	for _, q := range res.Quarantines {
+		n += len(q.SkippedVPs)
+	}
+	return n
+}
+
+// splitResume partitions a resumed partial result into per-provider
+// shards, with outcomes for providers this world does not enumerate
+// collected into leftover (carried through verbatim so a foreign
+// checkpoint still round-trips). Each portion's VPsAttempted is its own
+// outcome count; the portions therefore reassemble to the original as
+// long as the checkpoint upholds the zero-silent-drops invariant, which
+// every runner-written checkpoint does.
+func splitResume(prev *Result, known map[string]int) (byProv map[string]*Result, leftover *Result) {
+	byProv = map[string]*Result{}
+	if prev == nil {
+		return byProv, nil
+	}
+	part := func(provider string) *Result {
+		if _, ok := known[provider]; !ok {
+			if leftover == nil {
+				leftover = &Result{}
+			}
+			return leftover
+		}
+		r, ok := byProv[provider]
+		if !ok {
+			r = &Result{}
+			byProv[provider] = r
+		}
+		return r
+	}
+	for _, rep := range prev.Reports {
+		part(rep.Provider).Reports = append(part(rep.Provider).Reports, rep)
+	}
+	for _, cf := range prev.ConnectFailures {
+		part(cf.Provider).ConnectFailures = append(part(cf.Provider).ConnectFailures, cf)
+	}
+	for _, rec := range prev.Recoveries {
+		part(rec.Provider).Recoveries = append(part(rec.Provider).Recoveries, rec)
+	}
+	for _, q := range prev.Quarantines {
+		part(q.Provider).Quarantines = append(part(q.Provider).Quarantines, Quarantine{
+			Provider:     q.Provider,
+			TrippedAfter: q.TrippedAfter,
+			SkippedVPs:   append([]string(nil), q.SkippedVPs...),
+		})
+	}
+	for _, r := range byProv {
+		r.VPsAttempted = outcomeCount(r)
+	}
+	if leftover != nil {
+		leftover.VPsAttempted = outcomeCount(leftover)
+	}
+	return byProv, leftover
+}
+
+// merger assembles per-provider shard results into one campaign result.
+// It also serializes user checkpoints: each shard checkpoint replaces
+// that provider's snapshot and re-emits the merged campaign, so the
+// user-visible checkpoint stream is always a consistent, canonically
+// ordered whole-campaign state.
+type merger struct {
+	mu       sync.Mutex
+	w        *World
+	user     func(*Result) error
+	perProv  []*Result // by provider index; pre-seeded with resumed portions
+	leftover *Result   // resumed outcomes for providers not in this world
+}
+
+// merged concatenates the current shard snapshots. Callers canonicalize
+// the concatenation, so only the multiset of outcomes (plus the
+// relative order of unknown-provider leftovers) matters here.
+func (m *merger) merged() *Result {
+	out := &Result{}
+	parts := append([]*Result(nil), m.perProv...)
+	parts = append(parts, m.leftover)
+	for _, r := range parts {
+		if r == nil {
+			continue
+		}
+		out.VPsAttempted += r.VPsAttempted
+		out.Reports = append(out.Reports, r.Reports...)
+		out.ConnectFailures = append(out.ConnectFailures, r.ConnectFailures...)
+		out.Recoveries = append(out.Recoveries, r.Recoveries...)
+		out.Quarantines = append(out.Quarantines, r.Quarantines...)
+	}
+	return out
+}
+
+// checkpoint is the per-shard RunConfig.Checkpoint: snap is the shard's
+// canonicalized self-contained snapshot (see runState.checkpoint).
+func (m *merger) checkpoint(idx int, snap *Result) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.perProv[idx] = snap
+	return m.user(m.w.canonicalize(m.merged()))
+}
+
+// setFinal records a shard's final result once the shard stops
+// mutating it.
+func (m *merger) setFinal(idx int, res *Result) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.perProv[idx] = res
+}
+
+// shardWorld builds an independent replica of this world for one
+// worker: same Options (hence the same seed-derived hosts, providers,
+// and baseline) and the same fault profile. Shards share no mutable
+// simulation state — each has its own clock, RNG streams, and fault
+// plan — which is what makes parallel execution race-free without a
+// single lock in the simulation hot path.
+func (w *World) shardWorld() (*World, error) {
+	cw, err := Build(w.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("study: building shard world: %w", err)
+	}
+	if w.faults != nil {
+		cw.EnableFaults(w.faults.Profile())
+	}
+	return cw, nil
+}
+
+// runParallel executes the campaign as a worker pool over provider
+// shards. Each worker lazily builds one world clone and reuses it for
+// every provider it picks up; a shard runs its provider with the
+// provider's global start slot and that provider's slice of the resumed
+// checkpoint. Results merge in canonical slot order, so the output is
+// byte-identical to the sequential path for any worker count.
+func (w *World) runParallel(cfg RunConfig) (*Result, error) {
+	active := w.activeProviders()
+	r := w.ranks()
+	byProv, leftover := splitResume(cfg.Resume, r.prov)
+	m := &merger{w: w, user: cfg.Checkpoint, perProv: make([]*Result, len(w.Providers)), leftover: leftover}
+
+	// Per-provider start slots: the cumulative vantage-point count over
+	// active providers, exactly the sequential runner's st.slot walk.
+	startSlot := make([]int, len(w.Providers))
+	resume := make([]*Result, len(w.Providers))
+	slot := 0
+	for i, p := range w.Providers {
+		startSlot[i] = slot
+		if p.Spec.Client == vpn.BrowserExtension {
+			continue
+		}
+		slot += len(p.VPs)
+		if portion := byProv[p.Name()]; portion != nil {
+			resume[i] = portion
+			// Pre-seed the merger so a checkpoint taken before this
+			// provider's shard starts still carries its resumed outcomes.
+			m.perProv[i] = portion
+		}
+	}
+
+	workers := cfg.Parallel
+	if workers > len(active) {
+		workers = len(active)
+	}
+	jobs := make(chan int)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	errByProv := map[int]error{}
+	fail := func(idx int, err error) {
+		errMu.Lock()
+		errByProv[idx] = err
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var cw *World
+			defer func() {
+				if cw != nil && w.faults != nil && cw.faults != nil {
+					w.faults.Absorb(cw.faults.Stats())
+				}
+			}()
+			for idx := range jobs {
+				if stop.Load() {
+					continue
+				}
+				if cw == nil {
+					var err error
+					if cw, err = w.shardWorld(); err != nil {
+						fail(idx, err)
+						continue
+					}
+				}
+				shardCfg := cfg
+				shardCfg.Resume = resume[idx]
+				shardCfg.Checkpoint = nil
+				if cfg.Checkpoint != nil {
+					i := idx
+					shardCfg.Checkpoint = func(res *Result) error { return m.checkpoint(i, res) }
+				}
+				st := cw.newRunState(shardCfg)
+				st.slot = startSlot[idx]
+				err := cw.runProvider(cw.Providers[idx], st)
+				m.setFinal(idx, st.res)
+				if err != nil {
+					fail(idx, err)
+				}
+			}
+		}()
+	}
+	for _, idx := range active {
+		if stop.Load() {
+			break
+		}
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := w.canonicalize(m.merged())
+	// Mirror the sequential path's error: the failure the provider walk
+	// would have hit first.
+	var firstErr error
+	first := -1
+	for idx, err := range errByProv {
+		if first < 0 || idx < first {
+			first, firstErr = idx, err
+		}
+	}
+	return res, firstErr
+}

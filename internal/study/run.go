@@ -2,6 +2,7 @@ package study
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"vpnscope/internal/simrand"
@@ -110,8 +111,22 @@ type RunConfig struct {
 	// Checkpoint, when set, is invoked with the in-progress Result
 	// after every newly recorded vantage-point outcome. A checkpoint
 	// error aborts the campaign, returning the partial Result alongside
-	// the error.
+	// the error. Checkpoint calls are serialized (even under Parallel)
+	// and always receive a self-contained snapshot in canonical slot
+	// order.
 	Checkpoint func(*Result) error
+	// Parallel is the campaign worker count (default GOMAXPROCS;
+	// minimum 1). Each worker runs whole providers as independent
+	// shards on its own world clone — rebuilt from the same Options,
+	// seed, and fault profile, so it has its own virtual clock, netsim
+	// stack view, and per-VP fault/jitter streams — and shard results
+	// merge in canonical slot order. Any Parallel value therefore
+	// serializes byte-identically to Parallel=1.
+	//
+	// Set Parallel to 1 when the World was mutated after Build (e.g. a
+	// test marking hosts down or swapping Config hooks): shard clones
+	// are rebuilt from Options and cannot observe such mutations.
+	Parallel int
 }
 
 func (c *RunConfig) fill() {
@@ -126,6 +141,12 @@ func (c *RunConfig) fill() {
 	}
 	if c.VPSlot <= 0 {
 		c.VPSlot = 45 * time.Minute
+	}
+	if c.Parallel == 0 {
+		c.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if c.Parallel < 1 {
+		c.Parallel = 1
 	}
 }
 
@@ -146,6 +167,7 @@ const (
 
 // runState carries the campaign loop's bookkeeping.
 type runState struct {
+	w    *World
 	cfg  RunConfig
 	res  *Result
 	done map[string]vpOutcome // provider\x00label → resumed outcome
@@ -154,10 +176,16 @@ type runState struct {
 
 func vpKey(provider, label string) string { return provider + "\x00" + label }
 
+// vpLabel is the canonical display label of a vantage point, used as
+// the per-VP stream key and in every serialized record.
+func vpLabel(vp *vpn.VantagePoint) string {
+	return fmt.Sprintf("%s (%s)", vp.ID(), vp.ClaimedCountry)
+}
+
 // newRunState builds the runner state, cloning any resumed partial
 // result so the checkpoint's slices are never aliased.
-func newRunState(cfg RunConfig) *runState {
-	st := &runState{cfg: cfg, res: &Result{}, done: make(map[string]vpOutcome)}
+func (w *World) newRunState(cfg RunConfig) *runState {
+	st := &runState{w: w, cfg: cfg, res: &Result{}, done: make(map[string]vpOutcome)}
 	if prev := cfg.Resume; prev != nil {
 		st.res.VPsAttempted = prev.VPsAttempted
 		st.res.Reports = append(st.res.Reports, prev.Reports...)
@@ -186,11 +214,15 @@ func newRunState(cfg RunConfig) *runState {
 }
 
 // checkpoint streams the in-progress result out after a new outcome.
+// The callback receives a canonicalized copy, never the live result:
+// the copy is in canonical slot order regardless of resume history, and
+// the runner's later appends cannot race with a callback that retains
+// it (the parallel merger does exactly that).
 func (st *runState) checkpoint() error {
 	if st.cfg.Checkpoint == nil {
 		return nil
 	}
-	if err := st.cfg.Checkpoint(st.res); err != nil {
+	if err := st.cfg.Checkpoint(st.w.canonicalize(st.res)); err != nil {
 		return fmt.Errorf("study: checkpoint: %w", err)
 	}
 	return nil
@@ -205,16 +237,22 @@ func (w *World) Run() (*Result, error) {
 }
 
 // RunWith executes the full campaign under cfg. On a checkpoint error
-// the partial Result is returned alongside the error.
+// the partial Result is returned alongside the error. With cfg.Parallel
+// greater than one (the default is GOMAXPROCS) providers run as
+// concurrent shards; the returned Result — and every checkpoint — is
+// byte-identical to a sequential run.
 func (w *World) RunWith(cfg RunConfig) (*Result, error) {
 	cfg.fill()
-	st := newRunState(cfg)
+	if cfg.Parallel > 1 && len(w.activeProviders()) > 1 {
+		return w.runParallel(cfg)
+	}
+	st := w.newRunState(cfg)
 	for _, p := range w.Providers {
 		if err := w.runProvider(p, st); err != nil {
-			return st.res, err
+			return w.canonicalize(st.res), err
 		}
 	}
-	return st.res, nil
+	return w.canonicalize(st.res), nil
 }
 
 // RunProvider measures a single provider (used by cmd/vpnaudit).
@@ -227,11 +265,11 @@ func (w *World) RunProviderWith(name string, cfg RunConfig) (*Result, error) {
 	cfg.fill()
 	for _, p := range w.Providers {
 		if p.Name() == name {
-			st := newRunState(cfg)
+			st := w.newRunState(cfg)
 			if err := w.runProvider(p, st); err != nil {
-				return st.res, err
+				return w.canonicalize(st.res), err
 			}
-			return st.res, nil
+			return w.canonicalize(st.res), nil
 		}
 	}
 	return nil, fmt.Errorf("study: unknown provider %q", name)
@@ -245,7 +283,7 @@ func (w *World) runProvider(p *vpn.Provider, st *runState) error {
 	quarantined := false // breaker tripped (this run or a resumed one)
 	quarantineIdx := -1  // index into st.res.Quarantines once tripped
 	for i, vp := range p.VPs {
-		label := fmt.Sprintf("%s (%s)", vp.ID(), vp.ClaimedCountry)
+		label := vpLabel(vp)
 		key := vpKey(p.Name(), label)
 		slot := st.slot
 		st.slot++
@@ -321,8 +359,11 @@ func (w *World) runVP(p *vpn.Provider, vp *vpn.VantagePoint, vpIdx, slot int, la
 	// Pin the vantage point to its slot and re-derive every stochastic
 	// stream from (seed, vantage point) so the measurement is a pure
 	// function of the world — not of campaign history. This is the
-	// resume-determinism contract; see DESIGN.md.
-	w.Net.Clock.AdvanceTo(campaignBase + time.Duration(slot)*st.cfg.VPSlot)
+	// resume- and parallel-determinism contract; see DESIGN.md. Jump
+	// (not AdvanceTo) because a shard may run a later provider before an
+	// earlier one: the slot's absolute virtual time must not depend on
+	// where the clock happens to be.
+	w.Net.Clock.Jump(campaignBase + time.Duration(slot)*st.cfg.VPSlot)
 	key := vpKey(p.Name(), label)
 	w.Net.ResetStream(key)
 	if w.faults != nil {
