@@ -1,0 +1,131 @@
+// Command benchtrend appends `go test -bench` results to a JSON
+// trajectory file, so allocation and latency numbers for the campaign
+// benchmarks accumulate across commits instead of vanishing with the
+// terminal scrollback.
+//
+// Usage:
+//
+//	go test -bench 'Study' -benchtime 1x -benchmem -run '^$' . |
+//	    go run ./cmd/benchtrend -out BENCH_3.json -label my-change
+//
+// The output file holds one JSON object with an "entries" array; each
+// run appends one entry per benchmark line parsed from stdin. See
+// README.md ("Profiling and benchmarks") for how to read it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement at one point in time.
+type Entry struct {
+	Label       string  `json:"label"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Trajectory is the whole file.
+type Trajectory struct {
+	Entries []Entry `json:"entries"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtrend: ")
+	out := flag.String("out", "BENCH.json", "trajectory file to append to (created if missing)")
+	label := flag.String("label", "", "label for this run (e.g. a commit or change name)")
+	flag.Parse()
+	if *label == "" {
+		log.Fatal("missing -label")
+	}
+
+	var traj Trajectory
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &traj); err != nil {
+			log.Fatalf("%s exists but is not a trajectory file: %v", *out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		log.Fatal(err)
+	}
+
+	entries, err := parse(*label, os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(entries) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+	traj.Entries = append(traj.Entries, entries...)
+
+	enc, err := json.MarshalIndent(&traj, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range entries {
+		fmt.Printf("recorded %s: %.0f ns/op, %d B/op, %d allocs/op\n",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+}
+
+// parse extracts benchmark result lines ("BenchmarkX-8  10  123 ns/op
+// 45 B/op  6 allocs/op") from r. Non-benchmark lines are ignored.
+func parse(label string, r *os.File) ([]Entry, error) {
+	var entries []Entry
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Label: label, Name: strings.TrimSuffix(f[0], cpuSuffix(f[0])), Iterations: iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = int64(v)
+			case "allocs/op":
+				e.AllocsPerOp = int64(v)
+			}
+		}
+		if e.NsPerOp == 0 {
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries, sc.Err()
+}
+
+// cpuSuffix returns the trailing "-N" GOMAXPROCS marker of a benchmark
+// name, or "" if there is none.
+func cpuSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return ""
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return ""
+	}
+	return name[i:]
+}

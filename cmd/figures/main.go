@@ -8,7 +8,7 @@
 //
 //	figures [-seed N] [-full-vps N] [-provider NAME] [-faults PROFILE]
 //	        [-checkpoint FILE] [-resume FILE] [-retries N] [-quarantine N]
-//	        [-parallel N]
+//	        [-parallel N] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 
 	"vpnscope/internal/analysis"
 	"vpnscope/internal/faultsim"
+	"vpnscope/internal/profiling"
 	"vpnscope/internal/report"
 	"vpnscope/internal/results"
 	"vpnscope/internal/study"
@@ -39,7 +40,15 @@ func main() {
 	retries := flag.Int("retries", 0, "connect attempts per vantage point (0 = default)")
 	quarantine := flag.Int("quarantine", 0, "consecutive connect failures before a provider is quarantined (0 = default)")
 	parallel := flag.Int("parallel", 0, "campaign worker shards; results are byte-identical for any value (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (pprof format) to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (pprof format) to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	w, err := study.Build(study.Options{Seed: *seed, MaxFullSuiteVPs: *fullVPs})
 	if err != nil {

@@ -7,6 +7,7 @@
 //
 //	vpnaudit -provider NordVPN [-seed N] [-list] [-faults PROFILE] [-retries N]
 //	         [-checkpoint FILE] [-resume FILE] [-quarantine N] [-parallel N]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"path/filepath"
 	"vpnscope/internal/ecosystem"
 	"vpnscope/internal/faultsim"
+	"vpnscope/internal/profiling"
 	"vpnscope/internal/report"
 	"vpnscope/internal/results"
 
@@ -39,7 +41,15 @@ func main() {
 	resume := flag.String("resume", "", "resume the audit from a checkpoint file")
 	quarantine := flag.Int("quarantine", 0, "consecutive connect failures before the provider is quarantined (0 = default)")
 	parallel := flag.Int("parallel", 0, "campaign worker shards; results are byte-identical for any value (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (pprof format) to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (pprof format) to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, name := range ecosystem.TestedNames() {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Packet is a decoded stack of layers over a single buffer of packet
@@ -224,9 +225,17 @@ func NewDecodingLayerParser(first LayerType, layers ...DecodingLayer) *DecodingL
 // (which is truncated first). It returns a non-nil error only on a
 // malformed layer; running out of registered decoders is not an error.
 func (p *DecodingLayerParser) DecodeLayers(data []byte, decoded *[]LayerType) error {
+	return p.DecodeLayersFrom(p.first, data, decoded)
+}
+
+// DecodeLayersFrom is DecodeLayers with an explicit first layer type,
+// letting one parser (and its registered scratch layers) serve packets
+// of different families — the reuse pattern the simulator's fast path
+// depends on.
+func (p *DecodingLayerParser) DecodeLayersFrom(first LayerType, data []byte, decoded *[]LayerType) error {
 	*decoded = (*decoded)[:0]
 	rest := data
-	next := p.first
+	next := first
 	for len(rest) > 0 {
 		layer, ok := p.layers[next]
 		if !ok {
@@ -283,6 +292,25 @@ func (b *SerializeBuffer) Prepend(n int) []byte {
 
 // Clear resets the buffer to empty.
 func (b *SerializeBuffer) Clear() { b.start = len(b.buf) }
+
+var serializeBufferPool = sync.Pool{
+	New: func() any { return NewSerializeBuffer() },
+}
+
+// GetSerializeBuffer returns a cleared buffer from a process-wide pool.
+// Pair it with Release once every slice obtained from Bytes() is either
+// copied or dead; the pool reuses the backing array.
+func GetSerializeBuffer() *SerializeBuffer {
+	b := serializeBufferPool.Get().(*SerializeBuffer)
+	b.Clear()
+	return b
+}
+
+// Release returns b to the pool. The caller must not touch b — or any
+// slice previously returned by b.Bytes() or b.Prepend() — afterwards.
+func (b *SerializeBuffer) Release() {
+	serializeBufferPool.Put(b)
+}
 
 // SerializeLayers clears b and serializes the given layers outermost
 // first (it walks them in reverse so each layer sees its payload).

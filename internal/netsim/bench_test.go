@@ -1,0 +1,122 @@
+package netsim
+
+import (
+	"testing"
+
+	"vpnscope/internal/capture"
+)
+
+// Alloc ceilings for the packet fast path. These are gates, not
+// observations: the benchmarks below fail when a change pushes the
+// steady-state allocs/op of a hot operation above its ceiling, even at
+// -benchtime 1x (the tier-1 smoke run). Each ceiling carries headroom
+// over the measured steady state because sync.Pool may shed entries
+// across GC cycles, and a pool miss costs an extra allocation or two.
+const (
+	// One UDP query end to end: build, route, Exchange, decode, plus
+	// the handler's response slice and the owned response copy.
+	exchangeAllocCeiling = 12
+	// buildPacketTTL: serialize into a pooled buffer + one exact-size
+	// owned copy out.
+	buildPacketAllocCeiling = 4
+	// BuildPacketInto: serialize into a caller-held buffer; zero-copy,
+	// zero steady-state allocations.
+	buildPacketIntoAllocCeiling = 2
+	// Network.deliver of a UDP packet: decode with a pooled decoder,
+	// dispatch, build the reply.
+	deliverAllocCeiling = 10
+)
+
+// gateAllocs measures steady-state allocations per run of fn (after a
+// pool-warming spin) and fails the benchmark if they exceed ceiling.
+func gateAllocs(b *testing.B, name string, ceiling float64, fn func()) {
+	b.Helper()
+	for i := 0; i < 50; i++ { // warm the buffer/decoder pools
+		fn()
+	}
+	allocs := testing.AllocsPerRun(100, fn)
+	b.Logf("%s: %.1f allocs/op (ceiling %.0f)", name, allocs, ceiling)
+	if allocs > ceiling {
+		b.Fatalf("%s allocates %.1f/op, ceiling is %.0f — the zero-allocation fast path regressed", name, allocs, ceiling)
+	}
+}
+
+// BenchmarkExchange is one full UDP query through the stack: route
+// lookup, packet build, Network.Exchange (latency, reliability,
+// delivery), and response decode.
+func BenchmarkExchange(b *testing.B) {
+	_, st, _, dns := world(b)
+	payload := []byte("query")
+	fn := func() {
+		if _, err := st.QueryUDP(dns.Addr, 53, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	gateAllocs(b, "Exchange", exchangeAllocCeiling, fn)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn()
+	}
+}
+
+// BenchmarkBuildPacket covers both build paths: the owning form (one
+// exact-size copy out of a pooled buffer) and the zero-copy Into form.
+func BenchmarkBuildPacket(b *testing.B) {
+	src := addr("203.0.113.10")
+	dst := addr("93.184.216.34")
+	udp := &capture.UDP{SrcPort: 40000, DstPort: 53}
+	pay := capture.Payload("query")
+
+	b.Run("owned", func(b *testing.B) {
+		fn := func() {
+			if _, err := buildPacket(src, dst, udp, pay); err != nil {
+				b.Fatal(err)
+			}
+		}
+		gateAllocs(b, "BuildPacket", buildPacketAllocCeiling, fn)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+
+	b.Run("into", func(b *testing.B) {
+		buf := capture.GetSerializeBuffer()
+		defer buf.Release()
+		fn := func() {
+			if _, err := BuildPacketInto(buf, src, dst, udp, pay); err != nil {
+				b.Fatal(err)
+			}
+		}
+		gateAllocs(b, "BuildPacketInto", buildPacketIntoAllocCeiling, fn)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+}
+
+// BenchmarkDeliver hits Network.deliver directly with a pre-built UDP
+// packet: pooled decode, handler dispatch, reply build.
+func BenchmarkDeliver(b *testing.B) {
+	n, _, _, dns := world(b)
+	pkt, err := buildPacket(addr("203.0.113.10"), dns.Addr,
+		&capture.UDP{SrcPort: 40000, DstPort: 53}, capture.Payload("query"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn := func() {
+		resps, err := n.deliver(dns, pkt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(resps) == 0 {
+			b.Fatal("no response")
+		}
+	}
+	gateAllocs(b, "deliver", deliverAllocCeiling, fn)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn()
+	}
+}

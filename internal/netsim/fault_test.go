@@ -136,3 +136,27 @@ func TestClockJump(t *testing.T) {
 		t.Fatal("negative Jump must clamp to zero")
 	}
 }
+
+// TestResetStreamConcurrentExchange pins down the rng locking contract:
+// ResetStream swaps n.rng under n.mu while exchanges draw jitter and
+// reliability from it, so concurrent use must be race-free (run under
+// -race; see jitterDraw/reliabilityDraw in network.go). The campaign
+// runner itself is one-goroutine-per-world, but nothing in the API
+// stops a caller from resetting a stream while a shard is mid-exchange.
+func TestResetStreamConcurrentExchange(t *testing.T) {
+	_, stack, _, dns := world(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if _, err := stack.QueryUDP(dns.Addr, 53, []byte("q")); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		stack.Net.ResetStream("race-probe")
+	}
+	<-done
+}

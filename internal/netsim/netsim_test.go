@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"errors"
+	"fmt"
 	"net/netip"
 	"testing"
 	"time"
@@ -436,6 +437,37 @@ func TestTracerouteConsistentWithNetworkPath(t *testing.T) {
 	for i := range path {
 		if ladder[i].Addr != path[i].Addr {
 			t.Errorf("hop %d: ladder %v vs path %v", i, ladder[i].Addr, path[i].Addr)
+		}
+	}
+}
+
+// TestHostsDeterministicOrder verifies Hosts() returns an
+// address-sorted slice rather than map-iteration order, so callers can
+// iterate it in deterministic studies.
+func TestHostsDeterministicOrder(t *testing.T) {
+	n := New(7)
+	addrs := []string{"10.0.0.9", "10.0.0.1", "192.0.2.7", "10.0.0.4", "172.16.0.3"}
+	for i, a := range addrs {
+		h := NewHost(fmt.Sprintf("h%d", i), city(t, "London"), addr(a))
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := n.Hosts()
+	for i := 1; i < len(first); i++ {
+		if first[i-1].Addr.Compare(first[i].Addr) >= 0 {
+			t.Fatalf("Hosts() not address-sorted: %v before %v", first[i-1].Addr, first[i].Addr)
+		}
+	}
+	for round := 0; round < 5; round++ {
+		again := n.Hosts()
+		if len(again) != len(first) {
+			t.Fatalf("Hosts() length changed: %d vs %d", len(again), len(first))
+		}
+		for i := range again {
+			if again[i] != first[i] {
+				t.Fatalf("round %d: Hosts()[%d] differs", round, i)
+			}
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sort"
 	"sync"
 	"time"
 
@@ -127,11 +128,10 @@ func (n *Network) HostByAddr(addr netip.Addr) *Host {
 	return n.hosts[addr]
 }
 
-// Hosts returns all registered hosts (deduplicated) in no particular
-// order.
+// Hosts returns all registered hosts (deduplicated), sorted by primary
+// address so callers iterate in a deterministic order.
 func (n *Network) Hosts() []*Host {
 	n.mu.RLock()
-	defer n.mu.RUnlock()
 	seen := make(map[*Host]bool, len(n.hosts))
 	out := make([]*Host, 0, len(n.hosts))
 	for _, h := range n.hosts {
@@ -140,14 +140,34 @@ func (n *Network) Hosts() []*Host {
 			out = append(out, h)
 		}
 	}
+	n.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Addr.Compare(out[j].Addr) < 0
+	})
 	return out
+}
+
+// jitterDraw and reliabilityDraw consume the network's stochastic
+// stream under the lock: ResetStream replaces n.rng concurrently when a
+// parallel campaign resets a sibling shard, and the draws themselves
+// mutate source state.
+func (n *Network) jitterDraw() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.NormFloat64()
+}
+
+func (n *Network) reliabilityDraw(p float64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Bool(p)
 }
 
 // baseRTT returns the modeled RTT between two coordinates with
 // deterministic jitter applied (a few percent, never negative).
 func (n *Network) baseRTT(a, b geo.Coord) time.Duration {
 	ms := n.rttModel.RTTMs(a, b)
-	jitter := 1 + 0.015*n.rng.NormFloat64()
+	jitter := 1 + 0.015*n.jitterDraw()
 	if jitter < 0.95 {
 		jitter = 0.95
 	}
@@ -195,7 +215,7 @@ func (n *Network) Exchange(from *Host, pkt []byte) ([]byte, error) {
 		return n.expireAtHop(from, target, pkt, int(ttl), hops)
 	}
 	rtt := n.baseRTT(from.Coord, target.Coord)
-	if target.down() || !n.rng.Bool(target.reliability()) {
+	if target.down() || !n.reliabilityDraw(target.reliability()) {
 		n.Clock.Advance(Timeout)
 		return nil, fmt.Errorf("%w: %v (%s)", ErrTimeout, dst, target.Name)
 	}
@@ -285,20 +305,20 @@ func (n *Network) deliver(target *Host, pkt []byte) ([][]byte, error) {
 			return resp, nil
 		}
 	}
-	p := capture.NewPacket(pkt, firstLayerType(pkt), capture.NoCopy)
-	if el := p.ErrorLayer(); el != nil {
-		return nil, el
+	// Decode with pooled scratch layers instead of capture.NewPacket —
+	// this path runs once per exchange for the whole campaign, and the
+	// packet bytes outlive the dispatch (NoCopy contract holds).
+	d := capture.AcquirePacketDecoder()
+	defer d.Release()
+	if err := d.Decode(pkt, firstLayerType(pkt)); err != nil {
+		return nil, err
 	}
-	nl := p.NetworkLayer()
-	if nl == nil {
+	srcAddr, dstAddr, ok := d.Addrs()
+	if !ok {
 		return nil, &capture.DecodeError{Type: capture.TypeInvalid, Reason: "no network layer"}
 	}
-	srcAddr, _ := netip.AddrFromSlice(nl.NetworkFlow().Src())
-	dstAddr, _ := netip.AddrFromSlice(nl.NetworkFlow().Dst())
 
-	switch l := p.Layer(capture.TypeICMP); {
-	case l != nil:
-		ic := l.(*capture.ICMP)
+	if ic, ok := d.ICMP(); ok {
 		if ic.TypeCode != capture.ICMPEchoRequest {
 			return nil, nil
 		}
@@ -311,8 +331,7 @@ func (n *Network) deliver(target *Host, pkt []byte) ([][]byte, error) {
 		return [][]byte{reply}, nil
 	}
 
-	if l := p.Layer(capture.TypeUDP); l != nil {
-		u := l.(*capture.UDP)
+	if u, ok := d.UDP(); ok {
 		h := target.udpHandler(u.DstPort)
 		if h == nil {
 			return nil, fmt.Errorf("%w: udp %v:%d", ErrRefused, dstAddr, u.DstPort)
@@ -330,8 +349,7 @@ func (n *Network) deliver(target *Host, pkt []byte) ([][]byte, error) {
 		return [][]byte{reply}, nil
 	}
 
-	if l := p.Layer(capture.TypeTCP); l != nil {
-		t := l.(*capture.TCP)
+	if t, ok := d.TCP(); ok {
 		h := target.tcpHandler(t.DstPort)
 		if h == nil {
 			return nil, fmt.Errorf("%w: tcp %v:%d", ErrRefused, dstAddr, t.DstPort)
@@ -390,24 +408,61 @@ func buildPacket(src, dst netip.Addr, inner ...capture.SerializableLayer) ([]byt
 	return buildPacketTTL(64, src, dst, inner...)
 }
 
+// ipHeaderScratch holds reusable network-layer header values so the
+// build path does not heap-allocate a fresh IPv4/IPv6 struct per packet.
+type ipHeaderScratch struct {
+	v4 capture.IPv4
+	v6 capture.IPv6
+}
+
+var ipHeaderPool = sync.Pool{
+	New: func() any { return new(ipHeaderScratch) },
+}
+
 // buildPacketTTL is buildPacket with an explicit TTL / hop limit —
-// traceroute's probe ladder needs it.
+// traceroute's probe ladder needs it. The result is an owned,
+// exact-size copy; buildPacketTTLInto is the zero-copy variant.
 func buildPacketTTL(ttl byte, src, dst netip.Addr, inner ...capture.SerializableLayer) ([]byte, error) {
-	buf := capture.NewSerializeBuffer()
-	var netLayer capture.SerializableLayer
-	proto := protoOf(inner)
-	if src.Is4() && dst.Is4() {
-		netLayer = &capture.IPv4{TTL: ttl, Protocol: proto, Src: src, Dst: dst}
-	} else {
-		netLayer = &capture.IPv6{HopLimit: ttl, Next: proto, Src: src, Dst: dst}
-	}
-	layers := append([]capture.SerializableLayer{netLayer}, inner...)
-	if err := capture.SerializeLayers(buf, layers...); err != nil {
+	buf := capture.GetSerializeBuffer()
+	defer buf.Release()
+	pkt, err := buildPacketTTLInto(buf, ttl, src, dst, inner...)
+	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, len(buf.Bytes()))
-	copy(out, buf.Bytes())
+	out := make([]byte, len(pkt))
+	copy(out, pkt)
 	return out, nil
+}
+
+// buildPacketTTLInto serializes the packet into buf and returns
+// buf.Bytes() directly — no output copy. The returned slice aliases buf
+// and dies with it: callers that pooled buf may only release it once
+// the bytes have been copied downstream (Sink.Capture and deliver's
+// reply construction both copy).
+func buildPacketTTLInto(buf *capture.SerializeBuffer, ttl byte, src, dst netip.Addr, inner ...capture.SerializableLayer) ([]byte, error) {
+	hs := ipHeaderPool.Get().(*ipHeaderScratch)
+	defer ipHeaderPool.Put(hs)
+	buf.Clear()
+	// Serialize inner layers in reverse (SerializeLayers semantics)
+	// without materializing a combined layers slice.
+	for i := len(inner) - 1; i >= 0; i-- {
+		if err := inner[i].SerializeTo(buf); err != nil {
+			return nil, err
+		}
+	}
+	proto := protoOf(inner)
+	var netLayer capture.SerializableLayer
+	if src.Is4() && dst.Is4() {
+		hs.v4 = capture.IPv4{TTL: ttl, Protocol: proto, Src: src, Dst: dst}
+		netLayer = &hs.v4
+	} else {
+		hs.v6 = capture.IPv6{HopLimit: ttl, Next: proto, Src: src, Dst: dst}
+		netLayer = &hs.v6
+	}
+	if err := netLayer.SerializeTo(buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 func protoOf(layers []capture.SerializableLayer) capture.IPProtocol {
@@ -437,6 +492,21 @@ func BuildPacketTTL(ttl byte, src, dst netip.Addr, inner ...capture.Serializable
 	return buildPacketTTL(ttl, src, dst, inner...)
 }
 
+// BuildPacketInto is the zero-copy form of BuildPacket: it serializes
+// into buf (typically capture.GetSerializeBuffer()) and returns a slice
+// aliasing buf's storage. Use it for packets that die within the
+// calling scope — built, sent through Exchange/SendVia (which copy what
+// they keep), then released — and keep BuildPacket for packets whose
+// bytes escape, e.g. responses returned to a peer.
+func BuildPacketInto(buf *capture.SerializeBuffer, src, dst netip.Addr, inner ...capture.SerializableLayer) ([]byte, error) {
+	return buildPacketTTLInto(buf, 64, src, dst, inner...)
+}
+
+// BuildPacketTTLInto is BuildPacketInto with an explicit TTL.
+func BuildPacketTTLInto(buf *capture.SerializeBuffer, ttl byte, src, dst netip.Addr, inner ...capture.SerializableLayer) ([]byte, error) {
+	return buildPacketTTLInto(buf, ttl, src, dst, inner...)
+}
+
 // ---------------------------------------------------------------------
 // Ping and traceroute
 // ---------------------------------------------------------------------
@@ -445,7 +515,9 @@ func BuildPacketTTL(ttl byte, src, dst netip.Addr, inner ...capture.Serializable
 // the clock like any exchange.
 func (n *Network) Ping(from *Host, dst netip.Addr) (time.Duration, error) {
 	before := n.Clock.Now()
-	pkt, err := buildPacket(from.Addr, dst,
+	buf := capture.GetSerializeBuffer()
+	defer buf.Release()
+	pkt, err := BuildPacketInto(buf, from.Addr, dst,
 		&capture.ICMP{TypeCode: capture.ICMPEchoRequest, ID: 1, Seq: 1})
 	if err != nil {
 		return 0, err

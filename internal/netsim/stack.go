@@ -325,7 +325,9 @@ func (s *Stack) exchange(dst netip.Addr, port uint16, payload []byte, tcp bool) 
 	} else {
 		transport = &capture.UDP{SrcPort: srcPort, DstPort: port}
 	}
-	pkt, err := buildPacket(src, dst, transport, capture.Payload(payload))
+	buf := capture.GetSerializeBuffer()
+	defer buf.Release()
+	pkt, err := buildPacketTTLInto(buf, 64, src, dst, transport, capture.Payload(payload))
 	if err != nil {
 		return nil, err
 	}
@@ -336,8 +338,13 @@ func (s *Stack) exchange(dst netip.Addr, port uint16, payload []byte, tcp bool) 
 	if resp == nil {
 		return nil, nil
 	}
-	p := capture.NewPacket(resp, firstLayerType(resp), capture.Default)
-	return p.ApplicationLayer(), nil
+	// resp is owned by this call, so the decoded payload may alias it.
+	d := capture.AcquirePacketDecoder()
+	defer d.Release()
+	if err := d.Decode(resp, firstLayerType(resp)); err != nil {
+		return nil, nil // matches Packet semantics: no application layer
+	}
+	return d.Payload(), nil
 }
 
 // Ping sends an ICMP echo to dst via the routing table and returns its
@@ -351,7 +358,9 @@ func (s *Stack) Ping(dst netip.Addr) (rtt float64, err error) {
 	if !src.IsValid() {
 		return 0, fmt.Errorf("%w: no source address for %v", ErrNoRoute, dst)
 	}
-	pkt, err := buildPacket(src, dst, &capture.ICMP{TypeCode: capture.ICMPEchoRequest, ID: 9, Seq: 1})
+	buf := capture.GetSerializeBuffer()
+	defer buf.Release()
+	pkt, err := BuildPacketInto(buf, src, dst, &capture.ICMP{TypeCode: capture.ICMPEchoRequest, ID: 9, Seq: 1})
 	if err != nil {
 		return 0, err
 	}
@@ -426,9 +435,14 @@ func (s *Stack) Traceroute(dst netip.Addr, maxHops int) ([]TracerouteHop, error)
 		return nil, fmt.Errorf("%w: no source address for %v", ErrNoRoute, dst)
 	}
 	var out []TracerouteHop
+	buf := capture.GetSerializeBuffer()
+	defer buf.Release()
+	d := capture.AcquirePacketDecoder()
+	defer d.Release()
+	probe := capture.ICMP{TypeCode: capture.ICMPEchoRequest, ID: 33}
 	for ttl := 1; ttl <= maxHops; ttl++ {
-		pkt, err := buildPacketTTL(byte(ttl), src, dst,
-			&capture.ICMP{TypeCode: capture.ICMPEchoRequest, ID: 33, Seq: uint16(ttl)})
+		probe.Seq = uint16(ttl)
+		pkt, err := buildPacketTTLInto(buf, byte(ttl), src, dst, &probe)
 		if err != nil {
 			return out, err
 		}
@@ -440,14 +454,16 @@ func (s *Stack) Traceroute(dst netip.Addr, maxHops int) ([]TracerouteHop, error)
 			out = append(out, TracerouteHop{RTTms: rtt})
 			continue
 		}
-		p := capture.NewPacket(resp, firstLayerType(resp), capture.Default)
-		nl := p.NetworkLayer()
-		ic, _ := p.Layer(capture.TypeICMP).(*capture.ICMP)
-		if nl == nil || ic == nil {
+		if err := d.Decode(resp, firstLayerType(resp)); err != nil {
 			out = append(out, TracerouteHop{RTTms: rtt})
 			continue
 		}
-		hopAddr, _ := netip.AddrFromSlice(nl.NetworkFlow().Src())
+		hopAddr, _, okAddr := d.Addrs()
+		ic, okICMP := d.ICMP()
+		if !okAddr || !okICMP {
+			out = append(out, TracerouteHop{RTTms: rtt})
+			continue
+		}
 		hop := TracerouteHop{Addr: hopAddr, RTTms: rtt}
 		if ic.TypeCode == capture.ICMPEchoReply {
 			hop.Reached = true

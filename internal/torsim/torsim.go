@@ -120,7 +120,9 @@ func (r *Relay) handleCell(n *netsim.Network, cell []byte) []byte {
 	if !next.IsValid() || next.IsUnspecified() {
 		// Exit position: payload is a raw IP packet; rewrite its source
 		// to the exit's own address and forward.
-		fwd := rewriteSrc(payload, r.Addr())
+		buf := capture.GetSerializeBuffer()
+		defer buf.Release()
+		fwd := rewriteSrcInto(buf, payload, r.Addr())
 		if fwd == nil {
 			return nil
 		}
@@ -131,7 +133,9 @@ func (r *Relay) handleCell(n *netsim.Network, cell []byte) []byte {
 		respPayload = resp
 	} else {
 		// Forward the inner cell to the next relay.
-		pkt, err := netsim.BuildPacket(r.Addr(), next,
+		buf := capture.GetSerializeBuffer()
+		defer buf.Release()
+		pkt, err := netsim.BuildPacketInto(buf, r.Addr(), next,
 			&capture.UDP{SrcPort: RelayPort, DstPort: RelayPort},
 			capture.Payload(payload))
 		if err != nil {
@@ -141,51 +145,55 @@ func (r *Relay) handleCell(n *netsim.Network, cell []byte) []byte {
 		if err != nil || resp == nil {
 			return nil
 		}
-		p := capture.NewPacket(resp, capture.TypeIPv4, capture.NoCopy)
-		u, ok := p.Layer(capture.TypeUDP).(*capture.UDP)
+		d := capture.AcquirePacketDecoder()
+		defer d.Release()
+		_ = d.Decode(resp, capture.TypeIPv4)
+		u, ok := d.UDP()
 		if !ok {
 			return nil
 		}
 		respPayload = u.LayerPayload()
 	}
-	// Wrap the response in this hop's layer on the way back.
-	out := make([]byte, len(respPayload))
-	copy(out, respPayload)
-	capture.Scramble(r.key, out)
-	return out
+	// Wrap the response in this hop's layer on the way back. respPayload
+	// is (or aliases) the exchange response this relay owns, so the
+	// scramble can run in place.
+	capture.Scramble(r.key, respPayload)
+	return respPayload
 }
 
-// rewriteSrc rebuilds a raw IP packet with a new source address,
-// preserving transport and payload. Only IPv4 exits are modeled.
-func rewriteSrc(pkt []byte, src netip.Addr) []byte {
-	p := capture.NewPacket(pkt, capture.TypeIPv4, capture.NoCopy)
-	nl := p.NetworkLayer()
-	if nl == nil {
+// rewriteSrcInto rebuilds a raw IP packet with a new source address,
+// preserving transport and payload, serializing into buf (the result
+// aliases buf). Only IPv4 exits are modeled.
+func rewriteSrcInto(buf *capture.SerializeBuffer, pkt []byte, src netip.Addr) []byte {
+	p := capture.AcquirePacketDecoder()
+	defer p.Release()
+	_ = p.Decode(pkt, capture.TypeIPv4)
+	_, dst, okAddr := p.Addrs()
+	if !okAddr {
 		return nil
 	}
-	dst, _ := netip.AddrFromSlice(nl.NetworkFlow().Dst())
 	var layers []capture.SerializableLayer
 	switch {
 	case p.Layer(capture.TypeTunnel) != nil:
-		tun := p.Layer(capture.TypeTunnel).(*capture.Tunnel)
+		tun, _ := p.Tunnel()
 		layers = []capture.SerializableLayer{
 			&capture.Tunnel{SessionID: tun.SessionID},
 			capture.Payload(tun.LayerPayload()),
 		}
 	case p.Layer(capture.TypeUDP) != nil:
-		u := p.Layer(capture.TypeUDP).(*capture.UDP)
+		u, _ := p.UDP()
 		layers = []capture.SerializableLayer{
 			&capture.UDP{SrcPort: u.SrcPort, DstPort: u.DstPort},
 			capture.Payload(u.LayerPayload()),
 		}
 	case p.Layer(capture.TypeTCP) != nil:
-		t := p.Layer(capture.TypeTCP).(*capture.TCP)
+		t, _ := p.TCP()
 		layers = []capture.SerializableLayer{
 			&capture.TCP{SrcPort: t.SrcPort, DstPort: t.DstPort, Flags: t.Flags},
 			capture.Payload(t.LayerPayload()),
 		}
 	case p.Layer(capture.TypeICMP) != nil:
-		ic := p.Layer(capture.TypeICMP).(*capture.ICMP)
+		ic, _ := p.ICMP()
 		layers = []capture.SerializableLayer{
 			&capture.ICMP{TypeCode: ic.TypeCode, ID: ic.ID, Seq: ic.Seq},
 			capture.Payload(ic.LayerPayload()),
@@ -193,7 +201,7 @@ func rewriteSrc(pkt []byte, src netip.Addr) []byte {
 	default:
 		return nil
 	}
-	out, err := netsim.BuildPacket(src, dst, layers...)
+	out, err := netsim.BuildPacketInto(buf, src, dst, layers...)
 	if err != nil {
 		return nil
 	}
@@ -251,7 +259,9 @@ func (c *Circuit) Send(pkt []byte) ([]byte, error) {
 	midCell := wrap(c.Middle.key, c.Exit.Addr(), exitCell)
 	guardCell := wrap(c.Guard.key, c.Middle.Addr(), midCell)
 
-	out, err := netsim.BuildPacket(c.src, c.Guard.Addr(),
+	buf := capture.GetSerializeBuffer()
+	defer buf.Release()
+	out, err := netsim.BuildPacketInto(buf, c.src, c.Guard.Addr(),
 		&capture.UDP{SrcPort: RelayPort, DstPort: RelayPort},
 		capture.Payload(guardCell))
 	if err != nil {
@@ -264,14 +274,16 @@ func (c *Circuit) Send(pkt []byte) ([]byte, error) {
 	if resp == nil {
 		return nil, nil
 	}
-	p := capture.NewPacket(resp, capture.TypeIPv4, capture.NoCopy)
-	u, ok := p.Layer(capture.TypeUDP).(*capture.UDP)
+	p := capture.AcquirePacketDecoder()
+	defer p.Release()
+	_ = p.Decode(resp, capture.TypeIPv4)
+	u, ok := p.UDP()
 	if !ok {
 		return nil, ErrBadCell
 	}
-	// Peel the response layers guard-out.
-	body := make([]byte, len(u.LayerPayload()))
-	copy(body, u.LayerPayload())
+	// Peel the response layers guard-out, in place: resp is owned by
+	// this exchange and the body slice aliases it, not the decoder.
+	body := u.LayerPayload()
 	capture.Scramble(c.Guard.key, body)
 	capture.Scramble(c.Middle.key, body)
 	capture.Scramble(c.Exit.key, body)

@@ -158,7 +158,9 @@ func (c *Client) tunnelSend(inner []byte) ([]byte, error) {
 	enc := make([]byte, len(inner))
 	copy(enc, inner)
 	capture.Scramble(c.VP.sessionKey, enc)
-	outer, err := netsim.BuildPacket(c.Stack.Host.Addr, c.VP.Addr(),
+	buf := capture.GetSerializeBuffer()
+	defer buf.Release()
+	outer, err := netsim.BuildPacketInto(buf, c.Stack.Host.Addr, c.VP.Addr(),
 		&capture.Tunnel{SessionID: c.VP.sessionKey},
 		capture.Payload(enc))
 	if err != nil {
@@ -173,13 +175,16 @@ func (c *Client) tunnelSend(inner []byte) ([]byte, error) {
 	if resp == nil {
 		return nil, nil
 	}
-	p := capture.NewPacket(resp, capture.TypeIPv4, capture.NoCopy)
-	tun, ok := p.Layer(capture.TypeTunnel).(*capture.Tunnel)
+	p := capture.AcquirePacketDecoder()
+	defer p.Release()
+	_ = p.Decode(resp, capture.TypeIPv4)
+	tun, ok := p.Tunnel()
 	if !ok {
 		return nil, fmt.Errorf("%w: non-tunnel response", ErrTunnelDown)
 	}
-	dec := make([]byte, len(tun.LayerPayload()))
-	copy(dec, tun.LayerPayload())
+	// resp is owned by this call, so unscramble the tunnel payload in
+	// place instead of copying it out first.
+	dec := tun.LayerPayload()
 	capture.Scramble(c.VP.sessionKey, dec)
 	return dec, nil
 }
@@ -198,7 +203,9 @@ func (c *Client) emitPeerTraffic() {
 		return
 	}
 	resolver := netip.AddrFrom4([4]byte{8, 8, 8, 8})
-	pkt, err := netsim.BuildPacket(c.Stack.Host.Addr, resolver,
+	buf := capture.GetSerializeBuffer()
+	defer buf.Release()
+	pkt, err := netsim.BuildPacketInto(buf, c.Stack.Host.Addr, resolver,
 		&capture.UDP{SrcPort: 53000, DstPort: 53},
 		capture.Payload(wire))
 	if err != nil {

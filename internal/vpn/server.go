@@ -54,19 +54,20 @@ func (vp *VantagePoint) installDemuxed(d *tunnelDemux) {
 // response back toward the client.
 func (vp *VantagePoint) serveTunnel(n *netsim.Network, env *ServerEnv, pkt []byte) [][]byte {
 	resolver := vp.resolver
-	outer := capture.NewPacket(pkt, capture.TypeIPv4, capture.NoCopy)
-	tun, ok := outer.Layer(capture.TypeTunnel).(*capture.Tunnel)
+	outer := capture.AcquirePacketDecoder()
+	defer outer.Release()
+	_ = outer.Decode(pkt, capture.TypeIPv4) // partial decodes handled below
+	tun, ok := outer.Tunnel()
 	if !ok {
 		return nil // not tunnel traffic; fall through to refusal upstream
 	}
 	if tun.SessionID != vp.sessionKey {
 		return nil // unknown session
 	}
-	onl := outer.NetworkLayer()
-	if onl == nil {
+	clientAddr, _, ok := outer.Addrs()
+	if !ok {
 		return nil
 	}
-	clientAddr, _ := netip.AddrFromSlice(onl.NetworkFlow().Src())
 
 	inner := make([]byte, len(tun.LayerPayload()))
 	copy(inner, tun.LayerPayload())
@@ -90,13 +91,13 @@ func (vp *VantagePoint) serveTunnel(n *netsim.Network, env *ServerEnv, pkt []byt
 // raw inner response packet (addressed back to the tunnel-internal
 // client), or nil.
 func (vp *VantagePoint) serveInner(n *netsim.Network, env *ServerEnv, resolver *dnssim.Resolver, inner []byte) []byte {
-	p := capture.NewPacket(inner, innerFirstLayer(inner), capture.NoCopy)
-	nl := p.NetworkLayer()
-	if nl == nil {
+	p := capture.AcquirePacketDecoder()
+	defer p.Release()
+	_ = p.Decode(inner, innerFirstLayer(inner)) // partial decodes handled below
+	src, dst, ok := p.Addrs()
+	if !ok {
 		return nil
 	}
-	src, _ := netip.AddrFromSlice(nl.NetworkFlow().Src())
-	dst, _ := netip.AddrFromSlice(nl.NetworkFlow().Dst())
 
 	// IPv6 through a tunnel the provider cannot carry is dropped.
 	if dst.Is6() && !vp.Provider.Spec.SupportsIPv6 {
@@ -112,7 +113,7 @@ func (vp *VantagePoint) serveInner(n *netsim.Network, env *ServerEnv, resolver *
 
 	// Tunnel-internal DNS service.
 	if dst == TunnelInternalDNS {
-		if u, ok := p.Layer(capture.TypeUDP).(*capture.UDP); ok && u.DstPort == 53 {
+		if u, ok := p.UDP(); ok && u.DstPort == 53 {
 			answer := resolver.HandleQuery(u.LayerPayload())
 			if answer == nil {
 				return nil
@@ -133,7 +134,7 @@ func (vp *VantagePoint) serveInner(n *netsim.Network, env *ServerEnv, resolver *
 	// as the tunnel gateway when the TTL dies here, and preserves the
 	// responder's address so traceroute through the tunnel shows the
 	// hops beyond the vantage point.
-	if ic, ok := p.Layer(capture.TypeICMP).(*capture.ICMP); ok {
+	if ic, ok := p.ICMP(); ok {
 		ttl := innerTTL(inner)
 		if ttl <= 1 {
 			out, err := netsim.BuildPacket(TunnelInternalDNS, src,
@@ -143,7 +144,9 @@ func (vp *VantagePoint) serveInner(n *netsim.Network, env *ServerEnv, resolver *
 			}
 			return out
 		}
-		fwd, err := netsim.BuildPacketTTL(ttl-1, egress, dst,
+		buf := capture.GetSerializeBuffer()
+		defer buf.Release()
+		fwd, err := netsim.BuildPacketTTLInto(buf, ttl-1, egress, dst,
 			&capture.ICMP{TypeCode: ic.TypeCode, ID: ic.ID, Seq: ic.Seq},
 			capture.Payload(ic.LayerPayload()))
 		if err != nil {
@@ -153,8 +156,10 @@ func (vp *VantagePoint) serveInner(n *netsim.Network, env *ServerEnv, resolver *
 		if err != nil || resp == nil {
 			return nil
 		}
-		rp := capture.NewPacket(resp, innerFirstLayer(resp), capture.NoCopy)
-		ric, ok := rp.Layer(capture.TypeICMP).(*capture.ICMP)
+		rp := capture.AcquirePacketDecoder()
+		defer rp.Release()
+		_ = rp.Decode(resp, innerFirstLayer(resp))
+		ric, ok := rp.ICMP()
 		if !ok {
 			return nil
 		}
@@ -162,10 +167,8 @@ func (vp *VantagePoint) serveInner(n *netsim.Network, env *ServerEnv, resolver *
 		// destination for echo replies, a mid-path router for Time
 		// Exceeded.
 		responder := dst
-		if rnl := rp.NetworkLayer(); rnl != nil {
-			if a, ok := netip.AddrFromSlice(rnl.NetworkFlow().Src()); ok {
-				responder = a
-			}
+		if a, _, ok := rp.Addrs(); ok && a.IsValid() {
+			responder = a
 		}
 		out, err := netsim.BuildPacket(responder, src,
 			&capture.ICMP{TypeCode: ric.TypeCode, ID: ric.ID, Seq: ric.Seq},
@@ -176,17 +179,19 @@ func (vp *VantagePoint) serveInner(n *netsim.Network, env *ServerEnv, resolver *
 		return out
 	}
 
-	if u, ok := p.Layer(capture.TypeUDP).(*capture.UDP); ok {
+	if u, ok := p.UDP(); ok {
 		return vp.forwardUDP(n, egress, src, dst, u)
 	}
-	if t, ok := p.Layer(capture.TypeTCP).(*capture.TCP); ok {
+	if t, ok := p.TCP(); ok {
 		return vp.forwardTCP(n, env, egress, src, dst, t)
 	}
 	return nil
 }
 
 func (vp *VantagePoint) forwardUDP(n *netsim.Network, egress, src, dst netip.Addr, u *capture.UDP) []byte {
-	fwd, err := netsim.BuildPacket(egress, dst,
+	buf := capture.GetSerializeBuffer()
+	defer buf.Release()
+	fwd, err := netsim.BuildPacketInto(buf, egress, dst,
 		&capture.UDP{SrcPort: u.SrcPort, DstPort: u.DstPort},
 		capture.Payload(u.LayerPayload()))
 	if err != nil {
@@ -196,8 +201,10 @@ func (vp *VantagePoint) forwardUDP(n *netsim.Network, egress, src, dst netip.Add
 	if err != nil || resp == nil {
 		return nil
 	}
-	rp := capture.NewPacket(resp, innerFirstLayer(resp), capture.NoCopy)
-	ru, ok := rp.Layer(capture.TypeUDP).(*capture.UDP)
+	rp := capture.AcquirePacketDecoder()
+	defer rp.Release()
+	_ = rp.Decode(resp, innerFirstLayer(resp))
+	ru, ok := rp.UDP()
 	if !ok {
 		return nil
 	}
@@ -268,7 +275,9 @@ func (vp *VantagePoint) forwardTCP(n *netsim.Network, env *ServerEnv, egress, sr
 // exchangeTCP forwards a TCP request payload from the egress address and
 // returns the response payload.
 func (vp *VantagePoint) exchangeTCP(n *netsim.Network, egress, dst netip.Addr, t *capture.TCP, payload []byte) []byte {
-	fwd, err := netsim.BuildPacket(egress, dst,
+	buf := capture.GetSerializeBuffer()
+	defer buf.Release()
+	fwd, err := netsim.BuildPacketInto(buf, egress, dst,
 		&capture.TCP{SrcPort: t.SrcPort, DstPort: t.DstPort, Flags: capture.FlagACK | capture.FlagPSH},
 		capture.Payload(payload))
 	if err != nil {
@@ -278,11 +287,15 @@ func (vp *VantagePoint) exchangeTCP(n *netsim.Network, egress, dst netip.Addr, t
 	if err != nil || resp == nil {
 		return nil
 	}
-	rp := capture.NewPacket(resp, innerFirstLayer(resp), capture.NoCopy)
-	rt, ok := rp.Layer(capture.TypeTCP).(*capture.TCP)
+	rp := capture.AcquirePacketDecoder()
+	defer rp.Release()
+	_ = rp.Decode(resp, innerFirstLayer(resp))
+	rt, ok := rp.TCP()
 	if !ok {
 		return nil
 	}
+	// The returned payload aliases resp (owned by this exchange), not
+	// the released decoder, so it stays valid for the caller.
 	return rt.LayerPayload()
 }
 

@@ -595,15 +595,18 @@ func RunLeakTests(env *Env) (*LeakResult, error) {
 	}
 
 	res := &LeakResult{}
+	d := capture.AcquirePacketDecoder()
 	for _, rec := range phys.Sink.Records()[mark:] {
 		if rec.Dir != capture.DirOut {
 			continue
 		}
-		p := capture.NewPacket(rec.Data, packetFirstLayer(rec.Data), capture.Default)
-		if u, ok := p.Layer(capture.TypeUDP).(*capture.UDP); ok && u.DstPort == 53 {
+		// Sink records own their bytes, so the NoCopy decode is safe.
+		_ = d.Decode(rec.Data, packetFirstLayer(rec.Data))
+		if u, ok := d.UDP(); ok && u.DstPort == 53 {
 			res.DNSLeakCount++
 		}
 	}
+	d.Release()
 	res.DNSLeak = res.DNSLeakCount > 0
 
 	// IPv6 probes: direct connections to known v6 addresses. Probe in
@@ -754,12 +757,15 @@ func RunP2PDetection(env *Env) (*P2PResult, error) {
 	legit := env.legitimateQueryNames()
 	res := &P2PResult{}
 	seen := map[string]bool{}
+	d := capture.AcquirePacketDecoder()
+	defer d.Release()
 	for _, rec := range phys.Sink.Records() {
 		if rec.Dir != capture.DirOut {
 			continue
 		}
-		p := capture.NewPacket(rec.Data, packetFirstLayer(rec.Data), capture.Default)
-		u, ok := p.Layer(capture.TypeUDP).(*capture.UDP)
+		// Sink records own their bytes, so the NoCopy decode is safe.
+		_ = d.Decode(rec.Data, packetFirstLayer(rec.Data))
+		u, ok := d.UDP()
 		if !ok || u.DstPort != 53 {
 			continue
 		}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# bench.sh — run the campaign Study benchmarks and append the numbers
+# to the BENCH trajectory file (see README.md, "Profiling and
+# benchmarks"). One full-study iteration takes a few seconds.
+#
+#   BENCH_OUT   trajectory file (default BENCH_3.json)
+#   BENCH_LABEL label for this run (default: short git hash, or "local")
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${BENCH_OUT:-BENCH_3.json}"
+label="${BENCH_LABEL:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}"
+
+go test -bench 'BenchmarkFullStudy$|BenchmarkStudySequential$' \
+    -benchtime 1x -benchmem -run '^$' . |
+    go run ./cmd/benchtrend -out "$out" -label "$label"
