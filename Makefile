@@ -11,14 +11,16 @@ test:
 race:
 	go test -race -short ./internal/study/... ./internal/faultsim/... ./internal/netsim/... ./internal/results/...
 
-# tier1 is the full verification gate: build, vet, tests, race subset,
-# study bench smoke, and the alloc-gated fast-path benches.
+# tier1 is the full verification gate: build, vet, tests, race subset
+# (the study wildcard covers internal/study/slotsched), study bench
+# smoke, and the alloc-gated fast-path and checkpoint-merge benches.
 tier1: build
 	go vet ./...
 	go test ./...
 	$(MAKE) race
 	go test -bench Study -benchtime 1x -run '^$$' .
 	go test -bench 'Exchange|BuildPacket|Deliver' -benchtime 1x -run '^$$' ./internal/netsim
+	go test -bench 'CheckpointMerge' -benchtime 1x -run '^$$' ./internal/study
 
 # bench runs the full-study benchmarks and appends the numbers to the
 # BENCH_*.json trajectory (override with BENCH_OUT / BENCH_LABEL).

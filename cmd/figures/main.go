@@ -254,9 +254,14 @@ func main() {
 
 	// ----- §6.6: peer-to-peer exit traffic -----
 	p2p := analysis.PeerExits(res.Reports)
+	p2pProvs := make([]string, 0, len(p2p.Exiting))
+	for prov := range p2p.Exiting {
+		p2pProvs = append(p2pProvs, prov)
+	}
+	sort.Strings(p2pProvs)
 	var p2pRows [][]string
-	for prov, names := range p2p.Exiting {
-		p2pRows = append(p2pRows, []string{prov, strings.Join(names, ", ")})
+	for _, prov := range p2pProvs {
+		p2pRows = append(p2pRows, []string{prov, strings.Join(p2p.Exiting[prov], ", ")})
 	}
 	report.Table(out, fmt.Sprintf("§6.6: Peer-exit traffic (unexpected DNS; %d providers scanned)", p2p.Tested),
 		[]string{"Provider", "Unattributable queries"}, p2pRows)

@@ -84,40 +84,56 @@ func (m *Message) Answer(addr netip.Addr) *Message {
 
 // Encode serializes the message to DNS wire format (no compression).
 func (m *Message) Encode() ([]byte, error) {
-	out := make([]byte, 12, 64)
-	binary.BigEndian.PutUint16(out[0:2], m.ID)
+	return m.AppendEncode(make([]byte, 0, 96))
+}
+
+// AppendEncode serializes the message to DNS wire format appended to
+// dst, returning the extended slice. Hot paths (resolver reply
+// encoding, client query encoding) pass a reusable scratch buffer to
+// keep the per-exchange encode allocation-free.
+func (m *Message) AppendEncode(dst []byte) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	hdr := dst[start:]
+	binary.BigEndian.PutUint16(hdr[0:2], m.ID)
 	var flags uint16
 	if m.Response {
 		flags |= 1 << 15 // QR
 	}
 	flags |= 1 << 8 // RD
 	flags |= uint16(m.RCode) & 0xF
-	binary.BigEndian.PutUint16(out[2:4], flags)
-	binary.BigEndian.PutUint16(out[4:6], uint16(len(m.Questions)))
-	binary.BigEndian.PutUint16(out[6:8], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(hdr[2:4], flags)
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(hdr[6:8], uint16(len(m.Answers)))
+	var err error
 	for _, q := range m.Questions {
-		n, err := encodeName(q.Name)
-		if err != nil {
+		if dst, err = appendName(dst, q.Name); err != nil {
 			return nil, err
 		}
-		out = append(out, n...)
-		out = binary.BigEndian.AppendUint16(out, q.Type)
-		out = binary.BigEndian.AppendUint16(out, 1) // class IN
+		dst = binary.BigEndian.AppendUint16(dst, q.Type)
+		dst = binary.BigEndian.AppendUint16(dst, 1) // class IN
 	}
 	for _, rr := range m.Answers {
-		n, err := encodeName(rr.Name)
-		if err != nil {
+		if dst, err = appendName(dst, rr.Name); err != nil {
 			return nil, err
 		}
-		out = append(out, n...)
-		out = binary.BigEndian.AppendUint16(out, rr.Type)
-		out = binary.BigEndian.AppendUint16(out, 1) // class IN
-		out = binary.BigEndian.AppendUint32(out, rr.TTL)
-		data := rr.Addr.AsSlice()
-		out = binary.BigEndian.AppendUint16(out, uint16(len(data)))
-		out = append(out, data...)
+		dst = binary.BigEndian.AppendUint16(dst, rr.Type)
+		dst = binary.BigEndian.AppendUint16(dst, 1) // class IN
+		dst = binary.BigEndian.AppendUint32(dst, rr.TTL)
+		switch {
+		case rr.Addr.Is4():
+			a := rr.Addr.As4()
+			dst = binary.BigEndian.AppendUint16(dst, 4)
+			dst = append(dst, a[:]...)
+		case rr.Addr.Is6():
+			a := rr.Addr.As16()
+			dst = binary.BigEndian.AppendUint16(dst, 16)
+			dst = append(dst, a[:]...)
+		default:
+			dst = binary.BigEndian.AppendUint16(dst, 0)
+		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Decode parses DNS wire format produced by Encode.
@@ -179,23 +195,36 @@ func Decode(data []byte) (*Message, error) {
 	return m, nil
 }
 
-func encodeName(name string) ([]byte, error) {
+// appendName appends the wire encoding of name to dst without any
+// intermediate allocation (strings.ToLower returns its input unchanged
+// for the already-lowercase names the simulator uses).
+func appendName(dst []byte, name string) ([]byte, error) {
 	name = strings.TrimSuffix(strings.ToLower(name), ".")
 	if name == "" {
-		return []byte{0}, nil
+		return append(dst, 0), nil
 	}
 	if len(name) > 253 {
 		return nil, fmt.Errorf("%w: name too long", ErrBadName)
 	}
-	var out []byte
-	for _, label := range strings.Split(name, ".") {
+	for len(name) > 0 {
+		label := name
+		if i := strings.IndexByte(name, '.'); i >= 0 {
+			label, name = name[:i], name[i+1:]
+			if name == "" {
+				// Trailing dot already trimmed; "a." leaves an empty
+				// final label only via "a..", which is malformed.
+				return nil, fmt.Errorf("%w: label %q", ErrBadName, "")
+			}
+		} else {
+			name = ""
+		}
 		if label == "" || len(label) > 63 {
 			return nil, fmt.Errorf("%w: label %q", ErrBadName, label)
 		}
-		out = append(out, byte(len(label)))
-		out = append(out, label...)
+		dst = append(dst, byte(len(label)))
+		dst = append(dst, label...)
 	}
-	return append(out, 0), nil
+	return append(dst, 0), nil
 }
 
 func decodeName(data []byte, off int) (string, int, error) {

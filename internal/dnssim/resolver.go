@@ -114,6 +114,28 @@ func (a *Authority) Resolve(name string, from netip.Addr) netip.Addr {
 	return netip.AddrFrom4([4]byte{192, 0, 2, 1})
 }
 
+// LogMark returns a trim point capturing the log length so far. The
+// campaign runner records one at campaign start and trims back to it at
+// every vantage-point slot boundary: tagged probe names are unique per
+// slot (they embed the virtual-clock nanos), so entries from finished
+// slots can never match a later OriginsOf query — trimming them bounds
+// the log's growth on a long-lived, slot-reset world.
+func (a *Authority) LogMark() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.log)
+}
+
+// TrimLog drops every origin record appended after mark (a value from
+// LogMark).
+func (a *Authority) TrimLog(mark int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if mark >= 0 && mark < len(a.log) {
+		a.log = a.log[:mark]
+	}
+}
+
 // Log returns a snapshot of the origin log.
 func (a *Authority) Log() []OriginRecord {
 	a.mu.Lock()
@@ -150,6 +172,12 @@ type Resolver struct {
 	Dir  *Directory
 	// Manipulate, when non-nil, rewrites every answer set.
 	Manipulate Manipulator
+
+	// scratch is the reusable response-encode buffer. Safe because a
+	// resolver answers one exchange at a time (netsim delivers on the
+	// originating goroutine and copies the returned payload into the
+	// reply packet before the next exchange can start).
+	scratch []byte
 }
 
 // HandleQuery processes one wire-format DNS query and returns the
@@ -181,10 +209,11 @@ func (r *Resolver) HandleQuery(query []byte) []byte {
 	for _, a := range addrs {
 		resp.Answer(a)
 	}
-	out, err := resp.Encode()
+	out, err := resp.AppendEncode(r.scratch[:0])
 	if err != nil {
 		return nil
 	}
+	r.scratch = out
 	return out
 }
 

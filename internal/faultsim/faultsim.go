@@ -156,6 +156,22 @@ func (s Stats) Total() int {
 	return s.Dropped + s.Flapped + s.Refused + s.Delayed + s.Blackouts + s.TunnelResets
 }
 
+// Sub returns the counter-wise difference s − o. The parallel campaign
+// executor snapshots a worker plan's Stats around each vantage-point
+// slot and absorbs only the per-slot delta into the parent plan, so
+// speculative slots that are later discarded (quarantine overtook them)
+// never inflate the campaign totals.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Dropped:      s.Dropped - o.Dropped,
+		Flapped:      s.Flapped - o.Flapped,
+		Refused:      s.Refused - o.Refused,
+		Delayed:      s.Delayed - o.Delayed,
+		Blackouts:    s.Blackouts - o.Blackouts,
+		TunnelResets: s.TunnelResets - o.TunnelResets,
+	}
+}
+
 // Plan is a seeded fault schedule ready to install on a network. Safe
 // for concurrent use.
 type Plan struct {

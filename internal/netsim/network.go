@@ -60,6 +60,7 @@ type Network struct {
 	rttModel  geo.RTTModel
 	mu        sync.RWMutex
 	hosts     map[netip.Addr]*Host
+	hostLog   []*Host // registration journal, backing HostMark/RewindHosts
 	rng       *simrand.Source
 	seed      uint64
 	faultHook FaultHook
@@ -108,7 +109,8 @@ func (n *Network) AddHost(h *Host) error {
 	if !h.Addr.IsValid() {
 		return fmt.Errorf("netsim: host %q has no address", h.Name)
 	}
-	if other, ok := n.hosts[h.Addr]; ok && other != h {
+	other, existed := n.hosts[h.Addr]
+	if existed && other != h {
 		return fmt.Errorf("netsim: address %v already owned by %q", h.Addr, other.Name)
 	}
 	n.hosts[h.Addr] = h
@@ -118,7 +120,44 @@ func (n *Network) AddHost(h *Host) error {
 		}
 		n.hosts[h.Addr6] = h
 	}
+	if !existed {
+		n.hostLog = append(n.hostLog, h)
+	}
 	return nil
+}
+
+// HostMark returns a rewind point capturing the hosts registered so
+// far. Pass it to RewindHosts to deregister everything added after it.
+func (n *Network) HostMark() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.hostLog)
+}
+
+// RewindHosts deregisters every host added after mark (a value from
+// HostMark), in reverse registration order. The campaign runner uses it
+// at vantage-point slot boundaries to undo the per-slot client machines
+// instead of rebuilding the whole world: a host's registry entry is the
+// only world-global state AddHost creates, so removal restores the
+// registry to its state at the mark. Live references to a removed Host
+// (e.g. a Stack built on it) stay usable for originating exchanges —
+// only lookups of its address stop resolving.
+func (n *Network) RewindHosts(mark int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if mark < 0 || mark >= len(n.hostLog) {
+		return
+	}
+	for i := len(n.hostLog) - 1; i >= mark; i-- {
+		h := n.hostLog[i]
+		if n.hosts[h.Addr] == h {
+			delete(n.hosts, h.Addr)
+		}
+		if h.Addr6.IsValid() && n.hosts[h.Addr6] == h {
+			delete(n.hosts, h.Addr6)
+		}
+	}
+	n.hostLog = n.hostLog[:mark]
 }
 
 // HostByAddr returns the host owning addr, or nil.

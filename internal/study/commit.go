@@ -1,0 +1,297 @@
+// Incremental canonical committer: the single authority over result
+// ordering for both the sequential and the parallel campaign paths.
+//
+// The old checkpoint path re-copied and re-sorted the entire Result
+// after every recorded vantage point (O(slots²) over a campaign). The
+// committer replaces it with an append-only canonical prefix plus a
+// rank-sorted queue of resumed records:
+//
+//   - Specs are committed strictly in canonical (slot-rank) order, so
+//     newly recorded outcomes append to the prefix already sorted.
+//   - A resumed checkpoint's records are sorted once by rank at
+//     construction (O(R log R)) and migrated into the prefix by
+//     monotone front pointers as commits pass their rank — before
+//     committing a spec with order o, every pending record with rank
+//     < o moves over; a pending record with rank == o IS that spec's
+//     resumed outcome (replayed, not re-measured).
+//   - A checkpoint snapshot is the cap-clamped prefix plus the not-yet-
+//     migrated pending tail: O(new outcomes) for a fresh campaign (four
+//     slice headers and one Result), O(remaining tail) when resuming.
+//
+// This reproduces exactly what sort-the-whole-Result produced at every
+// checkpoint: each record is either new (committed at its own rank) or
+// resumed (migrated at its rank), ranks never duplicate between the
+// two, and equal unknown ranks keep their resume order (stable sort at
+// construction, FIFO migration afterwards).
+package study
+
+import (
+	"fmt"
+	"sort"
+
+	"vpnscope/internal/vpntest"
+)
+
+type pendReport struct {
+	rank int
+	rep  *vpntest.VPReport
+}
+
+type pendFailure struct {
+	rank int
+	cf   ConnectFailure
+}
+
+type pendRecovery struct {
+	rank int
+	rec  Recovery
+}
+
+// provState is the per-provider circuit-breaker state the committer
+// replays in slot order — the one intra-provider ordering dependency of
+// the campaign.
+type provState struct {
+	streak      int  // consecutive vantage-point failures
+	quarantined bool // breaker tripped (this run or a resumed one)
+}
+
+// committer assembles the canonical campaign Result. It is not
+// goroutine-safe: the parallel executor drives it from a single
+// committing goroutine.
+type committer struct {
+	cfg  *RunConfig
+	rank slotRank
+	res  *Result // live canonical result; slices are append-only prefixes
+
+	done map[string]vpOutcome // vpKey → resumed outcome
+	prov map[int]*provState   // provider index → breaker state
+
+	pendReps []pendReport
+	pendCFs  []pendFailure
+	pendRecs []pendRecovery
+	pr, pf, pc int // migration front pointers
+
+	// onQuarantine, when set, is notified the moment a provider's
+	// breaker closes (fresh trip or resumed-skip replay). The parallel
+	// executor uses it to flag workers off the provider's remaining
+	// slots.
+	onQuarantine func(provIdx int)
+}
+
+// newCommitter builds the committer, absorbing cfg.Resume into the
+// pending queues and the done map.
+func newCommitter(cfg *RunConfig, rank slotRank) *committer {
+	c := &committer{
+		cfg:  cfg,
+		rank: rank,
+		res:  &Result{},
+		done: make(map[string]vpOutcome),
+		prov: make(map[int]*provState),
+	}
+	prev := cfg.Resume
+	if prev == nil {
+		return c
+	}
+	c.res.VPsAttempted = prev.VPsAttempted
+	for _, rep := range prev.Reports {
+		c.pendReps = append(c.pendReps, pendReport{rank.vpRank(rep.Provider, rep.VPLabel), rep})
+		c.done[vpKey(rep.Provider, rep.VPLabel)] = outcomeMeasured
+	}
+	for _, cf := range prev.ConnectFailures {
+		c.pendCFs = append(c.pendCFs, pendFailure{rank.vpRank(cf.Provider, cf.VPLabel), cf})
+		c.done[vpKey(cf.Provider, cf.VPLabel)] = outcomeFailed
+	}
+	for _, rec := range prev.Recoveries {
+		c.pendRecs = append(c.pendRecs, pendRecovery{rank.vpRank(rec.Provider, rec.VPLabel), rec})
+	}
+	sort.SliceStable(c.pendReps, func(i, j int) bool { return c.pendReps[i].rank < c.pendReps[j].rank })
+	sort.SliceStable(c.pendCFs, func(i, j int) bool { return c.pendCFs[i].rank < c.pendCFs[j].rank })
+	sort.SliceStable(c.pendRecs, func(i, j int) bool { return c.pendRecs[i].rank < c.pendRecs[j].rank })
+	for _, q := range prev.Quarantines {
+		c.res.Quarantines = append(c.res.Quarantines, Quarantine{
+			Provider:     q.Provider,
+			TrippedAfter: q.TrippedAfter,
+			SkippedVPs:   append([]string(nil), q.SkippedVPs...),
+		})
+		for _, label := range q.SkippedVPs {
+			c.done[vpKey(q.Provider, label)] = outcomeSkipped
+		}
+	}
+	sort.SliceStable(c.res.Quarantines, func(i, j int) bool {
+		return rank.provRank(c.res.Quarantines[i].Provider) < rank.provRank(c.res.Quarantines[j].Provider)
+	})
+	return c
+}
+
+func (c *committer) provState(idx int) *provState {
+	st, ok := c.prov[idx]
+	if !ok {
+		st = &provState{}
+		c.prov[idx] = st
+	}
+	return st
+}
+
+// migrate moves pending resumed records with rank < lim into the
+// canonical prefix. The front pointers only ever advance, so total
+// migration work over a whole campaign is O(resumed records).
+func (c *committer) migrate(lim int) {
+	for c.pr < len(c.pendReps) && c.pendReps[c.pr].rank < lim {
+		c.res.Reports = append(c.res.Reports, c.pendReps[c.pr].rep)
+		c.pr++
+	}
+	for c.pf < len(c.pendCFs) && c.pendCFs[c.pf].rank < lim {
+		c.res.ConnectFailures = append(c.res.ConnectFailures, c.pendCFs[c.pf].cf)
+		c.pf++
+	}
+	for c.pc < len(c.pendRecs) && c.pendRecs[c.pc].rank < lim {
+		c.res.Recoveries = append(c.res.Recoveries, c.pendRecs[c.pc].rec)
+		c.pc++
+	}
+}
+
+// prepare advances the canonical state to spec s and reports whether s
+// still needs a measurement. It migrates every pending record due
+// before s, replays s's resumed outcome into the breaker state (no
+// re-measurement, no checkpoint — matching the sequential runner's
+// resume semantics), trips the breaker when the streak demands it, and
+// skip-commits (record + checkpoint) when the provider is quarantined.
+func (c *committer) prepare(s slotSpec) (needMeasure bool, err error) {
+	st := c.provState(s.provIdx)
+	if outcome := c.done[s.key]; outcome != outcomeNone {
+		// Resumed: its own records carry rank == s.order.
+		c.migrate(s.order + 1)
+		switch outcome {
+		case outcomeMeasured:
+			st.streak = 0
+		case outcomeFailed:
+			st.streak++
+		case outcomeSkipped:
+			if !st.quarantined {
+				st.quarantined = true
+				if c.onQuarantine != nil {
+					c.onQuarantine(s.provIdx)
+				}
+			}
+		}
+		return false, nil
+	}
+	c.migrate(s.order)
+	if !st.quarantined && c.cfg.QuarantineAfter > 0 && st.streak >= c.cfg.QuarantineAfter {
+		c.insertQuarantine(Quarantine{Provider: s.provider, TrippedAfter: st.streak})
+		st.quarantined = true
+		if c.onQuarantine != nil {
+			c.onQuarantine(s.provIdx)
+		}
+	}
+	if st.quarantined {
+		c.res.VPsAttempted++
+		qi := -1
+		for i := range c.res.Quarantines {
+			if c.res.Quarantines[i].Provider == s.provider {
+				qi = i
+			}
+		}
+		if qi < 0 {
+			// Breaker closed by a resumed skip, but the interrupted
+			// run's quarantine record is missing from the checkpoint.
+			return false, fmt.Errorf("study: resumed quarantine record missing for %s", s.provider)
+		}
+		c.res.Quarantines[qi].SkippedVPs = append(c.res.Quarantines[qi].SkippedVPs, s.label)
+		return false, c.checkpoint()
+	}
+	return true, nil
+}
+
+// insertQuarantine places a fresh trip record at its canonical position
+// (provider-index order, before any foreign resumed records, which rank
+// after all known providers).
+func (c *committer) insertQuarantine(q Quarantine) {
+	r := c.rank.provRank(q.Provider)
+	pos := len(c.res.Quarantines)
+	for i := range c.res.Quarantines {
+		if c.rank.provRank(c.res.Quarantines[i].Provider) > r {
+			pos = i
+			break
+		}
+	}
+	c.res.Quarantines = append(c.res.Quarantines, Quarantine{})
+	copy(c.res.Quarantines[pos+1:], c.res.Quarantines[pos:])
+	c.res.Quarantines[pos] = q
+}
+
+// commit records a fresh measurement outcome for s (prepare must have
+// returned needMeasure) and checkpoints.
+func (c *committer) commit(s slotSpec, out vpResult) error {
+	st := c.provState(s.provIdx)
+	c.res.VPsAttempted++
+	if out.failure != nil {
+		c.res.ConnectFailures = append(c.res.ConnectFailures, *out.failure)
+		st.streak++
+	} else {
+		if out.recovery != nil {
+			c.res.Recoveries = append(c.res.Recoveries, *out.recovery)
+		}
+		c.res.Reports = append(c.res.Reports, out.report)
+		st.streak = 0
+	}
+	return c.checkpoint()
+}
+
+// checkpoint hands the user callback an O(new)-cost snapshot.
+func (c *committer) checkpoint() error {
+	if c.cfg.Checkpoint == nil {
+		return nil
+	}
+	if err := c.cfg.Checkpoint(c.snapshot()); err != nil {
+		return fmt.Errorf("study: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// snapshot builds a self-contained, canonically ordered view of the
+// in-progress result. The three vantage-point slices alias the live
+// prefix with their capacity clamped to their length: the committer
+// only ever appends past that length (an append on the clamped snapshot
+// itself reallocates), and prefix elements are never mutated after
+// commit, so the snapshot stays frozen while the campaign runs on.
+// Quarantine records DO mutate in place (SkippedVPs grows), so those
+// are struct-copied with the same cap-clamp on each SkippedVPs.
+func (c *committer) snapshot() *Result {
+	out := &Result{
+		VPsAttempted:    c.res.VPsAttempted,
+		Reports:         c.res.Reports[:len(c.res.Reports):len(c.res.Reports)],
+		ConnectFailures: c.res.ConnectFailures[:len(c.res.ConnectFailures):len(c.res.ConnectFailures)],
+		Recoveries:      c.res.Recoveries[:len(c.res.Recoveries):len(c.res.Recoveries)],
+	}
+	// Not-yet-migrated resumed records sort after every committed rank
+	// and are already rank-ordered; appending them to the cap-clamped
+	// prefix copies into a fresh array without disturbing the live one.
+	for i := c.pr; i < len(c.pendReps); i++ {
+		out.Reports = append(out.Reports, c.pendReps[i].rep)
+	}
+	for i := c.pf; i < len(c.pendCFs); i++ {
+		out.ConnectFailures = append(out.ConnectFailures, c.pendCFs[i].cf)
+	}
+	for i := c.pc; i < len(c.pendRecs); i++ {
+		out.Recoveries = append(out.Recoveries, c.pendRecs[i].rec)
+	}
+	if n := len(c.res.Quarantines); n > 0 {
+		out.Quarantines = make([]Quarantine, n)
+		copy(out.Quarantines, c.res.Quarantines)
+		for i := range out.Quarantines {
+			sk := out.Quarantines[i].SkippedVPs
+			out.Quarantines[i].SkippedVPs = sk[:len(sk):len(sk)]
+		}
+	}
+	return out
+}
+
+// finish migrates every remaining pending record (resumed outcomes for
+// slots after the last spec, plus records for vantage points this world
+// does not enumerate, which rank after all known ones) and returns the
+// completed canonical result.
+func (c *committer) finish() *Result {
+	c.migrate(int(^uint(0) >> 1)) // max int
+	return c.res
+}

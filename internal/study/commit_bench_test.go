@@ -1,0 +1,93 @@
+package study
+
+import (
+	"fmt"
+	"testing"
+
+	"vpnscope/internal/vpntest"
+)
+
+// benchCampaign fabricates a campaign's worth of slot specs and ranks:
+// nProv providers with vpsPer vantage points each.
+func benchCampaign(nProv, vpsPer int) ([]slotSpec, slotRank) {
+	rank := slotRank{vp: map[string]int{}, prov: map[string]int{}}
+	var specs []slotSpec
+	slot := 0
+	for p := 0; p < nProv; p++ {
+		prov := fmt.Sprintf("Prov%03d", p)
+		rank.prov[prov] = p
+		for v := 0; v < vpsPer; v++ {
+			label := fmt.Sprintf("vp%d.prov%03d (US)", v, p)
+			key := vpKey(prov, label)
+			rank.vp[key] = slot
+			specs = append(specs, slotSpec{
+				provIdx: p, vpIdx: v, order: slot, timeSlot: slot,
+				provider: prov, label: label, key: key,
+			})
+			slot++
+		}
+	}
+	return specs, rank
+}
+
+var benchCheckpointSink int
+
+// BenchmarkCheckpointMerge drives the incremental committer through a
+// full campaign with a checkpoint after every outcome — the path that
+// used to re-copy and re-sort the entire Result per recorded vantage
+// point (O(slots²) work and allocation over a campaign). The committer
+// hands each checkpoint a cap-clamped alias of its append-only
+// canonical prefix, so cost per outcome is O(1) amortized. The
+// allocs-per-outcome ceiling below fails the benchmark even under
+// -benchtime 1x (tier-1 runs it that way), so a regression back to
+// copy-per-checkpoint cannot land silently.
+func BenchmarkCheckpointMerge(b *testing.B) {
+	const nProv, vpsPer = 64, 8
+	const slots = nProv * vpsPer
+	specs, rank := benchCampaign(nProv, vpsPer)
+	reports := make([]*vpntest.VPReport, slots)
+	for i, s := range specs {
+		reports[i] = &vpntest.VPReport{Provider: s.provider, VPLabel: s.label}
+	}
+
+	run := func() {
+		cfg := &RunConfig{Checkpoint: func(r *Result) error {
+			benchCheckpointSink += r.VPsAttempted
+			return nil
+		}}
+		cfg.fill()
+		c := newCommitter(cfg, rank)
+		for _, s := range specs {
+			need, err := c.prepare(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !need {
+				b.Fatalf("slot %d unexpectedly resumed", s.order)
+			}
+			if err := c.commit(s, vpResult{report: reports[s.order]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if got := len(c.finish().Reports); got != slots {
+			b.Fatalf("committed %d reports, want %d", got, slots)
+		}
+	}
+
+	// Gate: the old canonicalize-per-checkpoint path rebuilt the rank
+	// maps and copied every record slice at each of the `slots`
+	// checkpoints — dozens of allocations per outcome, growing with
+	// campaign size. The incremental merger needs ~2 (one snapshot
+	// Result, amortized prefix growth). Ceiling 6 leaves slack for map
+	// resizing while still catching any quadratic relapse.
+	const allocCeiling = 6.0
+	if per := testing.AllocsPerRun(5, run) / slots; per > allocCeiling {
+		b.Fatalf("checkpoint merge allocates %.1f objects per outcome (ceiling %.0f): checkpoint path regressed", per, allocCeiling)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}

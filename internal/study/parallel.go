@@ -1,37 +1,32 @@
-// Parallel campaign executor: providers run as independent shards on
-// cloned worlds, and shard results merge in canonical slot order.
+// Parallel campaign executor, sharded at vantage-point granularity.
 //
 // PR 1's determinism contract made every vantage-point measurement a
 // pure function of (world options, global slot index, vantage point):
 // the slot pins the virtual clock, and every stochastic stream — netsim
 // jitter, fault draws, backoff jitter, the client machine's address —
 // is re-derived from (seed, vantage point) at the slot boundary. This
-// file cashes that in: since no measurement depends on campaign
-// history, whole providers can run concurrently on separate world
-// clones and still produce the identical bytes a sequential run would.
+// file cashes that in at the finest grain the contract allows: every
+// individual slot can be measured speculatively, on any worker, in any
+// order. Workers pull slots from a work-stealing scheduler
+// (internal/study/slotsched) and measure them on long-lived world
+// replicas that are *reset* at each slot boundary (World.beginSlot)
+// rather than rebuilt; the committing goroutine consumes measurements
+// in canonical slot order, replaying the one genuine inter-slot
+// dependency — the per-provider quarantine breaker — and discarding
+// speculative measurements a quarantine overtook. Output is therefore
+// byte-identical to the sequential path for any worker count, at every
+// checkpoint, for any kill/resume point.
 package study
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
+	"vpnscope/internal/faultsim"
+	"vpnscope/internal/study/slotsched"
 	"vpnscope/internal/vpn"
-	"vpnscope/internal/vpntest"
 )
-
-// activeProviders returns the indices of providers that are actively
-// tested (browser extensions are excluded from the campaign, §4).
-func (w *World) activeProviders() []int {
-	var out []int
-	for i, p := range w.Providers {
-		if p.Spec.Client != vpn.BrowserExtension {
-			out = append(out, i)
-		}
-	}
-	return out
-}
 
 // slotRank maps every enumerable outcome of this world to its canonical
 // position: vantage points rank by their global slot index, quarantine
@@ -73,174 +68,16 @@ func (r slotRank) provRank(provider string) int {
 	return len(r.prov)
 }
 
-// canonicalize copies a result into canonical slot order: vantage-point
-// records sorted by global slot, quarantine records by provider index,
-// unknown entries after all known ones in their original order. A fresh
-// sequential campaign already appends in this order, but a resumed or
-// parallel-merged one may not — so every Result the runner hands out
-// (final return or checkpoint) passes through here, which is what makes
-// the serialized envelope independent of execution order, worker count,
-// and interruption history. The copy is also what lets a checkpoint
-// callback retain the result while the campaign keeps appending.
-func (w *World) canonicalize(res *Result) *Result {
-	r := w.ranks()
-	out := &Result{VPsAttempted: res.VPsAttempted}
-	if len(res.Reports) > 0 {
-		out.Reports = append([]*vpntest.VPReport(nil), res.Reports...)
-		sort.SliceStable(out.Reports, func(i, j int) bool {
-			return r.vpRank(out.Reports[i].Provider, out.Reports[i].VPLabel) <
-				r.vpRank(out.Reports[j].Provider, out.Reports[j].VPLabel)
-		})
-	}
-	if len(res.ConnectFailures) > 0 {
-		out.ConnectFailures = append([]ConnectFailure(nil), res.ConnectFailures...)
-		sort.SliceStable(out.ConnectFailures, func(i, j int) bool {
-			return r.vpRank(out.ConnectFailures[i].Provider, out.ConnectFailures[i].VPLabel) <
-				r.vpRank(out.ConnectFailures[j].Provider, out.ConnectFailures[j].VPLabel)
-		})
-	}
-	if len(res.Recoveries) > 0 {
-		out.Recoveries = append([]Recovery(nil), res.Recoveries...)
-		sort.SliceStable(out.Recoveries, func(i, j int) bool {
-			return r.vpRank(out.Recoveries[i].Provider, out.Recoveries[i].VPLabel) <
-				r.vpRank(out.Recoveries[j].Provider, out.Recoveries[j].VPLabel)
-		})
-	}
-	for _, q := range res.Quarantines {
-		out.Quarantines = append(out.Quarantines, Quarantine{
-			Provider:     q.Provider,
-			TrippedAfter: q.TrippedAfter,
-			SkippedVPs:   append([]string(nil), q.SkippedVPs...),
-		})
-	}
-	sort.SliceStable(out.Quarantines, func(i, j int) bool {
-		return r.provRank(out.Quarantines[i].Provider) < r.provRank(out.Quarantines[j].Provider)
-	})
-	return out
-}
-
-// outcomeCount is the number of recorded vantage-point outcomes — what
-// VPsAttempted equals for any result the runner itself produced (the
-// zero-silent-drops invariant).
-func outcomeCount(res *Result) int {
-	n := len(res.Reports) + len(res.ConnectFailures)
-	for _, q := range res.Quarantines {
-		n += len(q.SkippedVPs)
-	}
-	return n
-}
-
-// splitResume partitions a resumed partial result into per-provider
-// shards, with outcomes for providers this world does not enumerate
-// collected into leftover (carried through verbatim so a foreign
-// checkpoint still round-trips). Each portion's VPsAttempted is its own
-// outcome count; the portions therefore reassemble to the original as
-// long as the checkpoint upholds the zero-silent-drops invariant, which
-// every runner-written checkpoint does.
-func splitResume(prev *Result, known map[string]int) (byProv map[string]*Result, leftover *Result) {
-	byProv = map[string]*Result{}
-	if prev == nil {
-		return byProv, nil
-	}
-	part := func(provider string) *Result {
-		if _, ok := known[provider]; !ok {
-			if leftover == nil {
-				leftover = &Result{}
-			}
-			return leftover
-		}
-		r, ok := byProv[provider]
-		if !ok {
-			r = &Result{}
-			byProv[provider] = r
-		}
-		return r
-	}
-	for _, rep := range prev.Reports {
-		part(rep.Provider).Reports = append(part(rep.Provider).Reports, rep)
-	}
-	for _, cf := range prev.ConnectFailures {
-		part(cf.Provider).ConnectFailures = append(part(cf.Provider).ConnectFailures, cf)
-	}
-	for _, rec := range prev.Recoveries {
-		part(rec.Provider).Recoveries = append(part(rec.Provider).Recoveries, rec)
-	}
-	for _, q := range prev.Quarantines {
-		part(q.Provider).Quarantines = append(part(q.Provider).Quarantines, Quarantine{
-			Provider:     q.Provider,
-			TrippedAfter: q.TrippedAfter,
-			SkippedVPs:   append([]string(nil), q.SkippedVPs...),
-		})
-	}
-	for _, r := range byProv {
-		r.VPsAttempted = outcomeCount(r)
-	}
-	if leftover != nil {
-		leftover.VPsAttempted = outcomeCount(leftover)
-	}
-	return byProv, leftover
-}
-
-// merger assembles per-provider shard results into one campaign result.
-// It also serializes user checkpoints: each shard checkpoint replaces
-// that provider's snapshot and re-emits the merged campaign, so the
-// user-visible checkpoint stream is always a consistent, canonically
-// ordered whole-campaign state.
-type merger struct {
-	mu       sync.Mutex
-	w        *World
-	user     func(*Result) error
-	perProv  []*Result // by provider index; pre-seeded with resumed portions
-	leftover *Result   // resumed outcomes for providers not in this world
-}
-
-// merged concatenates the current shard snapshots. Callers canonicalize
-// the concatenation, so only the multiset of outcomes (plus the
-// relative order of unknown-provider leftovers) matters here.
-func (m *merger) merged() *Result {
-	out := &Result{}
-	parts := append([]*Result(nil), m.perProv...)
-	parts = append(parts, m.leftover)
-	for _, r := range parts {
-		if r == nil {
-			continue
-		}
-		out.VPsAttempted += r.VPsAttempted
-		out.Reports = append(out.Reports, r.Reports...)
-		out.ConnectFailures = append(out.ConnectFailures, r.ConnectFailures...)
-		out.Recoveries = append(out.Recoveries, r.Recoveries...)
-		out.Quarantines = append(out.Quarantines, r.Quarantines...)
-	}
-	return out
-}
-
-// checkpoint is the per-shard RunConfig.Checkpoint: snap is the shard's
-// canonicalized self-contained snapshot (see runState.checkpoint).
-func (m *merger) checkpoint(idx int, snap *Result) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.perProv[idx] = snap
-	return m.user(m.w.canonicalize(m.merged()))
-}
-
-// setFinal records a shard's final result once the shard stops
-// mutating it.
-func (m *merger) setFinal(idx int, res *Result) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.perProv[idx] = res
-}
-
-// shardWorld builds an independent replica of this world for one
+// buildWorkerWorld builds an independent replica of this world for one
 // worker: same Options (hence the same seed-derived hosts, providers,
-// and baseline) and the same fault profile. Shards share no mutable
+// and baseline) and the same fault profile. Replicas share no mutable
 // simulation state — each has its own clock, RNG streams, and fault
 // plan — which is what makes parallel execution race-free without a
 // single lock in the simulation hot path.
-func (w *World) shardWorld() (*World, error) {
+func (w *World) buildWorkerWorld() (*World, error) {
 	cw, err := Build(w.Opts)
 	if err != nil {
-		return nil, fmt.Errorf("study: building shard world: %w", err)
+		return nil, fmt.Errorf("study: building worker world: %w", err)
 	}
 	if w.faults != nil {
 		cw.EnableFaults(w.faults.Profile())
@@ -248,108 +85,138 @@ func (w *World) shardWorld() (*World, error) {
 	return cw, nil
 }
 
-// runParallel executes the campaign as a worker pool over provider
-// shards. Each worker lazily builds one world clone and reuses it for
-// every provider it picks up; a shard runs its provider with the
-// provider's global start slot and that provider's slice of the resumed
-// checkpoint. Results merge in canonical slot order, so the output is
-// byte-identical to the sequential path for any worker count.
-func (w *World) runParallel(cfg RunConfig) (*Result, error) {
-	active := w.activeProviders()
-	r := w.ranks()
-	byProv, leftover := splitResume(cfg.Resume, r.prov)
-	m := &merger{w: w, user: cfg.Checkpoint, perProv: make([]*Result, len(w.Providers)), leftover: leftover}
-
-	// Per-provider start slots: the cumulative vantage-point count over
-	// active providers, exactly the sequential runner's st.slot walk.
-	startSlot := make([]int, len(w.Providers))
-	resume := make([]*Result, len(w.Providers))
-	slot := 0
-	for i, p := range w.Providers {
-		startSlot[i] = slot
-		if p.Spec.Client == vpn.BrowserExtension {
-			continue
+// runParallelSlots executes specs as a worker pool over individual
+// vantage-point slots. Workers measure speculatively and publish
+// results keyed by spec index; the calling goroutine is the committer,
+// walking specs in canonical order and blocking until each needed
+// result arrives.
+//
+// Quarantine is the one ordering dependency, handled with a monotone
+// per-provider flag: the committer sets it (via the committer's
+// onQuarantine hook, or pre-seeded from resumed skips) before it ever
+// advances past the provider's quarantined slots, and workers check it
+// before measuring. A worker can still race past the check and deliver
+// a stale measurement for a slot the breaker voided — the committer
+// deletes such deliveries at skip-commit time, and the slot's fault
+// counters (carried as a per-slot delta) are never absorbed, so
+// discarded speculation leaves no trace in the final bytes or stats.
+// The flag can never be set while the committer is blocked waiting on
+// that provider's slot (only the committer sets flags, and it only does
+// so when prepare says the slot is skipped, not needed), so every
+// needed slot is eventually measured and delivered: no deadlock.
+func (w *World) runParallelSlots(specs []slotSpec, c *committer, workers int) (*Result, error) {
+	cfg := c.cfg
+	flags := make([]atomic.Bool, len(w.Providers))
+	c.onQuarantine = func(provIdx int) { flags[provIdx].Store(true) }
+	var needIdx []int
+	for i, s := range specs {
+		switch c.done[s.key] {
+		case outcomeNone:
+			needIdx = append(needIdx, i)
+		case outcomeSkipped:
+			// Resumed quarantine: flag the provider up front so workers
+			// never measure its remaining un-resumed slots.
+			flags[s.provIdx].Store(true)
 		}
-		slot += len(p.VPs)
-		if portion := byProv[p.Name()]; portion != nil {
-			resume[i] = portion
-			// Pre-seed the merger so a checkpoint taken before this
-			// provider's shard starts still carries its resumed outcomes.
-			m.perProv[i] = portion
-		}
+	}
+	sched := slotsched.New(needIdx, workers)
+
+	var (
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		delivered = make(map[int]*vpResult)
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+	)
+	deliver := func(i int, out *vpResult) {
+		mu.Lock()
+		delivered[i] = out
+		cond.Broadcast()
+		mu.Unlock()
 	}
 
-	workers := cfg.Parallel
-	if workers > len(active) {
-		workers = len(active)
-	}
-	jobs := make(chan int)
-	var stop atomic.Bool
-	var wg sync.WaitGroup
-	var errMu sync.Mutex
-	errByProv := map[int]error{}
-	fail := func(idx int, err error) {
-		errMu.Lock()
-		errByProv[idx] = err
-		errMu.Unlock()
-		stop.Store(true)
-	}
-	for n := 0; n < workers; n++ {
+	for k := 0; k < workers; k++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
 			var cw *World
-			defer func() {
-				if cw != nil && w.faults != nil && cw.faults != nil {
-					w.faults.Absorb(cw.faults.Stats())
+			for {
+				i, ok := sched.Next(id)
+				if !ok {
+					return
 				}
-			}()
-			for idx := range jobs {
 				if stop.Load() {
-					continue
+					continue // drain the scheduler, measure nothing
+				}
+				s := specs[i]
+				if flags[s.provIdx].Load() {
+					continue // committer skip-commits this slot itself
 				}
 				if cw == nil {
 					var err error
-					if cw, err = w.shardWorld(); err != nil {
-						fail(idx, err)
+					if cw, err = w.buildWorkerWorld(); err != nil {
+						// Surface per slot: the committer reports the
+						// first failure in canonical order, like the
+						// sequential path would.
+						deliver(i, &vpResult{err: err})
 						continue
 					}
+					cw.markCampaign()
 				}
-				shardCfg := cfg
-				shardCfg.Resume = resume[idx]
-				shardCfg.Checkpoint = nil
-				if cfg.Checkpoint != nil {
-					i := idx
-					shardCfg.Checkpoint = func(res *Result) error { return m.checkpoint(i, res) }
+				var before faultsim.Stats
+				if cw.faults != nil {
+					before = cw.faults.Stats()
 				}
-				st := cw.newRunState(shardCfg)
-				st.slot = startSlot[idx]
-				err := cw.runProvider(cw.Providers[idx], st)
-				m.setFinal(idx, st.res)
-				if err != nil {
-					fail(idx, err)
+				out := cw.measureVP(cfg, s)
+				if cw.faults != nil {
+					out.faultDelta = cw.faults.Stats().Sub(before)
 				}
+				deliver(i, &out)
 			}
-		}()
+		}(k)
 	}
-	for _, idx := range active {
-		if stop.Load() {
+
+	var retErr error
+	for i, s := range specs {
+		needMeasure, err := c.prepare(s)
+		if err != nil {
+			retErr = err
 			break
 		}
-		jobs <- idx
-	}
-	close(jobs)
-	wg.Wait()
-
-	res := w.canonicalize(m.merged())
-	// Mirror the sequential path's error: the failure the provider walk
-	// would have hit first.
-	var firstErr error
-	first := -1
-	for idx, err := range errByProv {
-		if first < 0 || idx < first {
-			first, firstErr = idx, err
+		if !needMeasure {
+			// Resumed or quarantine-skipped: drop any speculative
+			// measurement a worker already published for this slot.
+			mu.Lock()
+			delete(delivered, i)
+			mu.Unlock()
+			continue
+		}
+		mu.Lock()
+		out := delivered[i]
+		for out == nil {
+			cond.Wait()
+			out = delivered[i]
+		}
+		delete(delivered, i)
+		mu.Unlock()
+		if out.err != nil {
+			retErr = out.err
+			break
+		}
+		// The slot is committing: fold its fault counters into the
+		// campaign plan, exactly matching what a sequential run of this
+		// slot would have drawn.
+		if w.faults != nil {
+			w.faults.Absorb(out.faultDelta)
+		}
+		if err := c.commit(s, *out); err != nil {
+			retErr = err
+			break
 		}
 	}
-	return res, firstErr
+	stop.Store(true)
+	// Wake any worker parked inside deliver's lock handoff and let the
+	// pool drain the scheduler.
+	wg.Wait()
+	return c.finish(), retErr
 }

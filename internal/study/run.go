@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"vpnscope/internal/faultsim"
 	"vpnscope/internal/simrand"
 	"vpnscope/internal/vpn"
 	"vpnscope/internal/vpntest"
@@ -113,19 +114,25 @@ type RunConfig struct {
 	// error aborts the campaign, returning the partial Result alongside
 	// the error. Checkpoint calls are serialized (even under Parallel)
 	// and always receive a self-contained snapshot in canonical slot
-	// order.
+	// order, built at O(new outcomes) cost by the incremental committer
+	// (see commit.go).
 	Checkpoint func(*Result) error
 	// Parallel is the campaign worker count (default GOMAXPROCS;
-	// minimum 1). Each worker runs whole providers as independent
-	// shards on its own world clone — rebuilt from the same Options,
-	// seed, and fault profile, so it has its own virtual clock, netsim
-	// stack view, and per-VP fault/jitter streams — and shard results
-	// merge in canonical slot order. Any Parallel value therefore
-	// serializes byte-identically to Parallel=1.
+	// minimum 1). The campaign is sharded at vantage-point granularity:
+	// a work-stealing scheduler (internal/study/slotsched) hands slots
+	// to workers, each of which owns one long-lived world replica —
+	// built once from the same Options, seed, and fault profile, then
+	// *reset* at every slot boundary (clock rewound, per-VP RNG/fault
+	// streams re-derived, per-slot hosts deregistered) instead of
+	// rebuilt. A single committer consumes measurements in canonical
+	// slot order, replaying quarantine decisions deterministically and
+	// discarding speculative slots a quarantine overtook, so any
+	// Parallel value serializes byte-identically to Parallel=1.
 	//
 	// Set Parallel to 1 when the World was mutated after Build (e.g. a
-	// test marking hosts down or swapping Config hooks): shard clones
-	// are rebuilt from Options and cannot observe such mutations.
+	// test marking hosts down or swapping Config hooks): worker
+	// replicas are rebuilt from Options and cannot observe such
+	// mutations.
 	Parallel int
 }
 
@@ -165,15 +172,6 @@ const (
 	outcomeSkipped
 )
 
-// runState carries the campaign loop's bookkeeping.
-type runState struct {
-	w    *World
-	cfg  RunConfig
-	res  *Result
-	done map[string]vpOutcome // provider\x00label → resumed outcome
-	slot int                  // global vantage-point slot index
-}
-
 func vpKey(provider, label string) string { return provider + "\x00" + label }
 
 // vpLabel is the canonical display label of a vantage point, used as
@@ -182,50 +180,176 @@ func vpLabel(vp *vpn.VantagePoint) string {
 	return fmt.Sprintf("%s (%s)", vp.ID(), vp.ClaimedCountry)
 }
 
-// newRunState builds the runner state, cloning any resumed partial
-// result so the checkpoint's slices are never aliased.
-func (w *World) newRunState(cfg RunConfig) *runState {
-	st := &runState{w: w, cfg: cfg, res: &Result{}, done: make(map[string]vpOutcome)}
-	if prev := cfg.Resume; prev != nil {
-		st.res.VPsAttempted = prev.VPsAttempted
-		st.res.Reports = append(st.res.Reports, prev.Reports...)
-		st.res.ConnectFailures = append(st.res.ConnectFailures, prev.ConnectFailures...)
-		st.res.Recoveries = append(st.res.Recoveries, prev.Recoveries...)
-		for _, q := range prev.Quarantines {
-			st.res.Quarantines = append(st.res.Quarantines, Quarantine{
-				Provider:     q.Provider,
-				TrippedAfter: q.TrippedAfter,
-				SkippedVPs:   append([]string(nil), q.SkippedVPs...),
-			})
-		}
-		for _, rep := range prev.Reports {
-			st.done[vpKey(rep.Provider, rep.VPLabel)] = outcomeMeasured
-		}
-		for _, cf := range prev.ConnectFailures {
-			st.done[vpKey(cf.Provider, cf.VPLabel)] = outcomeFailed
-		}
-		for _, q := range prev.Quarantines {
-			for _, label := range q.SkippedVPs {
-				st.done[vpKey(q.Provider, label)] = outcomeSkipped
-			}
-		}
-	}
-	return st
+// slotSpec pins one vantage-point measurement. order is the record's
+// canonical rank (the global slot index over the whole campaign);
+// timeSlot is the virtual-time slot the measurement runs in. They
+// coincide for a full campaign; RunProvider numbers its virtual-time
+// slots from zero (the provider runs standalone) while keeping global
+// ranks so resumed whole-campaign checkpoints still merge in order.
+type slotSpec struct {
+	provIdx  int // index into World.Providers
+	vpIdx    int // index into the provider's VPs
+	order    int // canonical rank for result ordering
+	timeSlot int // virtual-time slot (clock pin + client sequence)
+	provider string
+	label    string
+	key      string
 }
 
-// checkpoint streams the in-progress result out after a new outcome.
-// The callback receives a canonicalized copy, never the live result:
-// the copy is in canonical slot order regardless of resume history, and
-// the runner's later appends cannot race with a callback that retains
-// it (the parallel merger does exactly that).
-func (st *runState) checkpoint() error {
-	if st.cfg.Checkpoint == nil {
+// campaignSpecs enumerates the full campaign: every vantage point of
+// every actively tested provider (browser extensions are excluded from
+// active testing, §4), in provider order.
+func (w *World) campaignSpecs() []slotSpec {
+	var specs []slotSpec
+	slot := 0
+	for pi, p := range w.Providers {
+		if p.Spec.Client == vpn.BrowserExtension {
+			continue
+		}
+		for vi, vp := range p.VPs {
+			label := vpLabel(vp)
+			specs = append(specs, slotSpec{
+				provIdx: pi, vpIdx: vi, order: slot, timeSlot: slot,
+				provider: p.Name(), label: label, key: vpKey(p.Name(), label),
+			})
+			slot++
+		}
+	}
+	return specs
+}
+
+// providerSpecs enumerates a single provider's slots for RunProvider:
+// virtual time restarts at slot zero, canonical order keeps the global
+// rank.
+func (w *World) providerSpecs(pi int) []slotSpec {
+	p := w.Providers[pi]
+	if p.Spec.Client == vpn.BrowserExtension {
 		return nil
 	}
-	if err := st.cfg.Checkpoint(st.w.canonicalize(st.res)); err != nil {
-		return fmt.Errorf("study: checkpoint: %w", err)
+	r := w.ranks()
+	var specs []slotSpec
+	for vi, vp := range p.VPs {
+		label := vpLabel(vp)
+		specs = append(specs, slotSpec{
+			provIdx: pi, vpIdx: vi, order: r.vpRank(p.Name(), label), timeSlot: vi,
+			provider: p.Name(), label: label, key: vpKey(p.Name(), label),
+		})
 	}
-	return nil
+	return specs
+}
+
+// vpResult is one vantage point's measurement outcome: exactly one of
+// report or failure is set (a recovery only ever accompanies a report).
+type vpResult struct {
+	report   *vpntest.VPReport
+	failure  *ConnectFailure
+	recovery *Recovery
+	// faultDelta is the slice of fault-plan counters this slot incurred
+	// on a worker world; the committer absorbs it into the campaign
+	// plan only if the slot commits (speculative slots a quarantine
+	// overtook are discarded, counters included).
+	faultDelta faultsim.Stats
+	// err is a campaign-level failure (today only a worker-world build
+	// error), surfaced by the committer in slot order.
+	err error
+}
+
+// markCampaign records the world's pre-campaign snapshot marks; every
+// beginSlot rewinds back to them. Called once per campaign on each
+// measuring world (the primary for sequential runs, each worker replica
+// for parallel ones).
+func (w *World) markCampaign() {
+	w.hostMark = w.Net.HostMark()
+	w.authMark = w.Authority.LogMark()
+}
+
+// beginSlot resets the world at a vantage-point slot boundary — the
+// snapshot/reset alternative to rebuilding via Build(w.Opts). Together
+// these make every measurement a pure function of (world options, slot,
+// vantage point), independent of which slots the world ran before:
+//
+//   - per-slot client hosts deregister (RewindHosts), restoring the
+//     netsim registry to its pre-campaign state;
+//   - the authority origin log trims back (slot-unique tagged names
+//     make old entries unreachable anyway; trimming bounds memory);
+//   - the virtual clock jumps (not advances) to the slot's absolute
+//     base, so the slot's timeline is identical however the world got
+//     here;
+//   - the netsim jitter/reliability stream, the fault plan's stream,
+//     and the MITM CA serial base re-derive from (seed, slot identity).
+func (w *World) beginSlot(cfg *RunConfig, s slotSpec) {
+	w.Net.RewindHosts(w.hostMark)
+	w.Authority.TrimLog(w.authMark)
+	w.Net.Clock.Jump(campaignBase + time.Duration(s.timeSlot)*cfg.VPSlot)
+	w.Net.ResetStream(s.key)
+	if w.faults != nil {
+		w.faults.Reset(s.key)
+	}
+	w.Providers[s.provIdx].BeginSlot(s.timeSlot)
+}
+
+// measureVP measures one vantage point inside its own virtual-time
+// slot. Client teardown is deferred so a suite panic can never leak a
+// connected client onto the next slot.
+func (w *World) measureVP(cfg *RunConfig, s slotSpec) vpResult {
+	p := w.Providers[s.provIdx]
+	vp := p.VPs[s.vpIdx]
+	w.beginSlot(cfg, s)
+	backoffRNG := simrand.New(w.Opts.Seed).Fork("campaign").Fork(s.key)
+
+	stack, err := w.newClientStackAt(clientSeqBase + s.timeSlot)
+	if err != nil {
+		// A client machine that cannot even be provisioned is a
+		// recorded failure, not a campaign abort.
+		return vpResult{failure: &ConnectFailure{
+			Provider: s.provider, VPLabel: s.label, Err: err.Error(),
+		}}
+	}
+
+	var client *vpn.Client
+	attempts := 0
+	for attempts < cfg.ConnectAttempts {
+		attempts++
+		client, err = vpn.Connect(stack, vp)
+		if err == nil {
+			break
+		}
+		if attempts == cfg.ConnectAttempts {
+			return vpResult{failure: &ConnectFailure{
+				Provider: s.provider, VPLabel: s.label, Err: err.Error(), Attempts: attempts,
+			}}
+		}
+		// Exponential backoff with jitter, on the virtual clock.
+		wait := cfg.BackoffBase << (attempts - 1)
+		if wait > cfg.BackoffMax {
+			wait = cfg.BackoffMax
+		}
+		jitter := 0.5 + backoffRNG.Float64()
+		w.Net.Clock.Advance(time.Duration(float64(wait) * jitter))
+	}
+	var out vpResult
+	if attempts > 1 {
+		out.recovery = &Recovery{Provider: s.provider, VPLabel: s.label, Attempts: attempts}
+	}
+	defer client.Disconnect()
+
+	opts := vpntest.SuiteOptions{
+		CollectCaptures: w.Opts.CollectCaptures,
+		TestBudget:      cfg.TestBudget,
+		SuiteBudget:     cfg.SuiteBudget,
+	}
+	if s.vpIdx >= w.Opts.MaxFullSuiteVPs {
+		opts.PingOnly = true
+	}
+	if p.Spec.Client == vpn.ThirdPartyOpenVPN {
+		// §6.5: DNS/IPv6 leak and failure tests ran only against
+		// providers shipping their own client software.
+		opts.SkipLeaks = true
+		opts.SkipFailure = true
+	}
+	env := vpntest.NewEnv(w.Config, w.Baseline, stack, s.provider, s.label, vp.ClaimedCountry)
+	out.report = vpntest.RunSuite(env, opts)
+	return out
 }
 
 // Run executes the full campaign with default resilience settings: for
@@ -238,21 +362,12 @@ func (w *World) Run() (*Result, error) {
 
 // RunWith executes the full campaign under cfg. On a checkpoint error
 // the partial Result is returned alongside the error. With cfg.Parallel
-// greater than one (the default is GOMAXPROCS) providers run as
-// concurrent shards; the returned Result — and every checkpoint — is
-// byte-identical to a sequential run.
+// greater than one (the default is GOMAXPROCS) vantage-point slots run
+// concurrently on worker world replicas; the returned Result — and
+// every checkpoint — is byte-identical to a sequential run.
 func (w *World) RunWith(cfg RunConfig) (*Result, error) {
 	cfg.fill()
-	if cfg.Parallel > 1 && len(w.activeProviders()) > 1 {
-		return w.runParallel(cfg)
-	}
-	st := w.newRunState(cfg)
-	for _, p := range w.Providers {
-		if err := w.runProvider(p, st); err != nil {
-			return w.canonicalize(st.res), err
-		}
-	}
-	return w.canonicalize(st.res), nil
+	return w.runCampaign(cfg, w.campaignSpecs())
 }
 
 // RunProvider measures a single provider (used by cmd/vpnaudit).
@@ -263,169 +378,62 @@ func (w *World) RunProvider(name string) (*Result, error) {
 // RunProviderWith measures a single provider under cfg.
 func (w *World) RunProviderWith(name string, cfg RunConfig) (*Result, error) {
 	cfg.fill()
-	for _, p := range w.Providers {
+	for i, p := range w.Providers {
 		if p.Name() == name {
-			st := w.newRunState(cfg)
-			if err := w.runProvider(p, st); err != nil {
-				return w.canonicalize(st.res), err
-			}
-			return w.canonicalize(st.res), nil
+			return w.runCampaign(cfg, w.providerSpecs(i))
 		}
 	}
 	return nil, fmt.Errorf("study: unknown provider %q", name)
 }
 
-func (w *World) runProvider(p *vpn.Provider, st *runState) error {
-	if p.Spec.Client == vpn.BrowserExtension {
-		return nil // excluded from active testing (§4)
-	}
-	streak := 0          // consecutive vantage-point failures
-	quarantined := false // breaker tripped (this run or a resumed one)
-	quarantineIdx := -1  // index into st.res.Quarantines once tripped
-	for i, vp := range p.VPs {
-		label := vpLabel(vp)
-		key := vpKey(p.Name(), label)
-		slot := st.slot
-		st.slot++
-
-		// Already recorded by a resumed checkpoint: keep the slot
-		// reserved (so later vantage points land on identical virtual
-		// times) and reconstruct the breaker streak from the recorded
-		// outcome.
-		if outcome := st.done[key]; outcome != outcomeNone {
-			switch outcome {
-			case outcomeMeasured:
-				streak = 0
-			case outcomeFailed:
-				streak++
-			case outcomeSkipped:
-				quarantined = true
-			}
-			continue
+// runCampaign drives specs through the committer, sequentially or on
+// the parallel executor. The parallel path requires more than one
+// provider in play: a single-provider campaign (RunProvider, or a
+// one-provider world) stays on the primary world so post-Build
+// mutations — which worker replicas cannot observe — keep applying.
+func (w *World) runCampaign(cfg RunConfig, specs []slotSpec) (*Result, error) {
+	c := newCommitter(&cfg, w.ranks())
+	schedulable := 0
+	multiProvider := false
+	for _, s := range specs {
+		if c.done[s.key] == outcomeNone {
+			schedulable++
 		}
-
-		if !quarantined && st.cfg.QuarantineAfter > 0 && streak >= st.cfg.QuarantineAfter {
-			st.res.Quarantines = append(st.res.Quarantines, Quarantine{
-				Provider: p.Name(), TrippedAfter: streak,
-			})
-			quarantineIdx = len(st.res.Quarantines) - 1
-			quarantined = true
-		}
-		if quarantined {
-			st.res.VPsAttempted++
-			if quarantineIdx < 0 {
-				// Breaker tripped in the interrupted run; reopen its
-				// record to append the vantage points we skip now.
-				for qi := range st.res.Quarantines {
-					if st.res.Quarantines[qi].Provider == p.Name() {
-						quarantineIdx = qi
-					}
-				}
-				if quarantineIdx < 0 {
-					return fmt.Errorf("study: resumed quarantine record missing for %s", p.Name())
-				}
-			}
-			st.res.Quarantines[quarantineIdx].SkippedVPs =
-				append(st.res.Quarantines[quarantineIdx].SkippedVPs, label)
-			if err := st.checkpoint(); err != nil {
-				return err
-			}
-			continue
-		}
-
-		measured, err := w.runVP(p, vp, i, slot, label, st)
-		if err != nil {
-			return err
-		}
-		if measured {
-			streak = 0
-		} else {
-			streak++
-		}
-		if err := st.checkpoint(); err != nil {
-			return err
+		if s.provIdx != specs[0].provIdx {
+			multiProvider = true
 		}
 	}
-	return nil
+	// Clamp against schedulable slots, not provider count: with
+	// vantage-point sharding every un-resumed slot is independent work.
+	workers := cfg.Parallel
+	if workers > schedulable {
+		workers = schedulable
+	}
+	if workers > 1 && multiProvider {
+		return w.runParallelSlots(specs, c, workers)
+	}
+	return w.runSequential(specs, c)
 }
 
-// runVP measures one vantage point inside its own virtual-time slot,
-// reporting whether it was measured (false → it landed in
-// ConnectFailures). Client teardown is deferred so a suite panic can
-// never leak a connected client onto the next vantage point.
-func (w *World) runVP(p *vpn.Provider, vp *vpn.VantagePoint, vpIdx, slot int, label string, st *runState) (bool, error) {
-	st.res.VPsAttempted++
-
-	// Pin the vantage point to its slot and re-derive every stochastic
-	// stream from (seed, vantage point) so the measurement is a pure
-	// function of the world — not of campaign history. This is the
-	// resume- and parallel-determinism contract; see DESIGN.md. Jump
-	// (not AdvanceTo) because a shard may run a later provider before an
-	// earlier one: the slot's absolute virtual time must not depend on
-	// where the clock happens to be.
-	w.Net.Clock.Jump(campaignBase + time.Duration(slot)*st.cfg.VPSlot)
-	key := vpKey(p.Name(), label)
-	w.Net.ResetStream(key)
-	if w.faults != nil {
-		w.faults.Reset(key)
-	}
-	backoffRNG := simrand.New(w.Opts.Seed).Fork("campaign").Fork(key)
-
-	stack, err := w.newClientStackAt(clientSeqBase + slot)
-	if err != nil {
-		// A client machine that cannot even be provisioned is a
-		// recorded failure, not a campaign abort.
-		st.res.ConnectFailures = append(st.res.ConnectFailures, ConnectFailure{
-			Provider: p.Name(), VPLabel: label, Err: err.Error(),
-		})
-		return false, nil
-	}
-
-	var client *vpn.Client
-	attempts := 0
-	for attempts < st.cfg.ConnectAttempts {
-		attempts++
-		client, err = vpn.Connect(stack, vp)
-		if err == nil {
-			break
+// runSequential measures every spec in canonical order on the primary
+// world, resetting it at each slot boundary.
+func (w *World) runSequential(specs []slotSpec, c *committer) (*Result, error) {
+	w.markCampaign()
+	for _, s := range specs {
+		needMeasure, err := c.prepare(s)
+		if err != nil {
+			return c.finish(), err
 		}
-		if attempts == st.cfg.ConnectAttempts {
-			st.res.ConnectFailures = append(st.res.ConnectFailures, ConnectFailure{
-				Provider: p.Name(), VPLabel: label, Err: err.Error(), Attempts: attempts,
-			})
-			return false, nil
+		if !needMeasure {
+			continue
 		}
-		// Exponential backoff with jitter, on the virtual clock.
-		wait := st.cfg.BackoffBase << (attempts - 1)
-		if wait > st.cfg.BackoffMax {
-			wait = st.cfg.BackoffMax
+		out := w.measureVP(c.cfg, s)
+		if out.err != nil {
+			return c.finish(), out.err
 		}
-		jitter := 0.5 + backoffRNG.Float64()
-		w.Net.Clock.Advance(time.Duration(float64(wait) * jitter))
+		if err := c.commit(s, out); err != nil {
+			return c.finish(), err
+		}
 	}
-	if attempts > 1 {
-		st.res.Recoveries = append(st.res.Recoveries, Recovery{
-			Provider: p.Name(), VPLabel: label, Attempts: attempts,
-		})
-	}
-	defer client.Disconnect()
-
-	opts := vpntest.SuiteOptions{
-		CollectCaptures: w.Opts.CollectCaptures,
-		TestBudget:      st.cfg.TestBudget,
-		SuiteBudget:     st.cfg.SuiteBudget,
-	}
-	if vpIdx >= w.Opts.MaxFullSuiteVPs {
-		opts.PingOnly = true
-	}
-	if p.Spec.Client == vpn.ThirdPartyOpenVPN {
-		// §6.5: DNS/IPv6 leak and failure tests ran only against
-		// providers shipping their own client software.
-		opts.SkipLeaks = true
-		opts.SkipFailure = true
-	}
-	env := vpntest.NewEnv(w.Config, w.Baseline, stack, p.Name(), label, vp.ClaimedCountry)
-	report := vpntest.RunSuite(env, opts)
-	st.res.Reports = append(st.res.Reports, report)
-	return true, nil
+	return c.finish(), nil
 }

@@ -1,0 +1,116 @@
+package study
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"vpnscope/internal/ecosystem"
+	"vpnscope/internal/faultsim"
+	"vpnscope/internal/vpn"
+	"vpnscope/internal/vpntest"
+)
+
+// marshalOutcome serializes one slot's measurement outcome so two
+// worlds' measurements can be compared byte-for-byte.
+func marshalOutcome(t *testing.T, out vpResult) []byte {
+	t.Helper()
+	if out.err != nil {
+		t.Fatalf("measureVP returned campaign error: %v", out.err)
+	}
+	enc, err := json.Marshal(struct {
+		Report   *vpntest.VPReport
+		Failure  *ConnectFailure
+		Recovery *Recovery
+	}{out.report, out.failure, out.recovery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+// TestSlotResetFidelity is the snapshot/reset executor's core property:
+// a long-lived world reset at slot boundaries (beginSlot) measures slot
+// k byte-identically to a freshly built world measuring slot k as its
+// very first act. The long-lived world runs under an active fault plan
+// and deliberately skips one provider's tail (the history a tripped
+// quarantine breaker leaves behind), so the fresh worlds compare
+// against a replica whose measurement history diverged — which is
+// exactly the situation every parallel worker replica is in.
+func TestSlotResetFidelity(t *testing.T) {
+	all := ecosystem.TestedSpecs(11, 3)
+	if len(all) < 3 {
+		t.Fatalf("need 3 tested providers, have %d", len(all))
+	}
+	opts := Options{Seed: 11, ExtraTLSHosts: 10, LandmarkCount: 20,
+		Providers: []vpn.ProviderSpec{all[0], all[1], all[2]}}
+
+	build := func() *World {
+		w, err := Build(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.EnableFaults(faultsim.Lossy)
+		w.markCampaign()
+		return w
+	}
+	cfg := &RunConfig{}
+	cfg.fill()
+
+	long := build()
+	specs := long.campaignSpecs()
+	longOut := make([][]byte, len(specs))
+	for i, s := range specs {
+		// Skip provider 0 past its first vantage point, as a quarantine
+		// trip would: those slots are never measured on the long-lived
+		// world, yet later providers' slots must still match a fresh
+		// world exactly.
+		if s.provIdx == 0 && s.vpIdx > 0 {
+			continue
+		}
+		longOut[i] = marshalOutcome(t, long.measureVP(cfg, s))
+	}
+
+	for i, s := range specs {
+		if longOut[i] == nil {
+			continue
+		}
+		fresh := build()
+		got := marshalOutcome(t, fresh.measureVP(cfg, s))
+		if !bytes.Equal(got, longOut[i]) {
+			t.Errorf("slot %d (%s / %s): reset world diverges from fresh world\nreset: %s\nfresh: %s",
+				i, s.provider, s.label, longOut[i], got)
+		}
+	}
+}
+
+// TestSlotResetRewindsWorldState pins the mechanics behind the fidelity
+// property: per-slot client hosts deregister and the authority origin
+// log trims back to the campaign mark at every slot boundary, so a
+// thousand-slot campaign cannot grow the world.
+func TestSlotResetRewindsWorldState(t *testing.T) {
+	opts := Options{Seed: 11, ExtraTLSHosts: 10, LandmarkCount: 20,
+		Providers: []vpn.ProviderSpec{ecosystem.TestedSpecs(11, 2)[0]}}
+	w, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.markCampaign()
+	cfg := &RunConfig{}
+	cfg.fill()
+	specs := w.campaignSpecs()
+	hosts0, log0 := w.Net.HostMark(), w.Authority.LogMark()
+	for _, s := range specs {
+		out := w.measureVP(cfg, s)
+		if out.err != nil {
+			t.Fatal(out.err)
+		}
+	}
+	w.beginSlot(cfg, specs[0])
+	if got := w.Net.HostMark(); got != hosts0 {
+		t.Errorf("host registry grew across slots: mark %d, want %d", got, hosts0)
+	}
+	if got := w.Authority.LogMark(); got != log0 {
+		t.Errorf("authority origin log grew across slots: mark %d, want %d", got, log0)
+	}
+}

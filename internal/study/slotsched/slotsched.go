@@ -1,0 +1,122 @@
+// Package slotsched is the campaign executor's work-stealing slot
+// scheduler. The campaign is embarrassingly parallel at vantage-point
+// granularity (every slot is a pure function of the world options and
+// the slot index), but slot costs are wildly uneven: full-suite slots
+// take many times longer than ping-only ones, and quarantine can void a
+// provider's tail. A static partition therefore strands workers at the
+// end of the longest shard — exactly the idle tail the provider-sharded
+// executor suffered from. This scheduler hands each worker a contiguous
+// block of slots (provider locality keeps a worker's world warm on one
+// provider's servers) and lets an idle worker steal from the back of
+// the most loaded victim.
+//
+// Determinism note: the scheduler only decides *which worker measures
+// which slot and when*; result ordering is owned entirely by the
+// committer, which consumes measurements in canonical slot order. Any
+// interleaving the scheduler produces yields byte-identical campaign
+// output.
+package slotsched
+
+import "sync"
+
+// Scheduler distributes a fixed set of slot indices across workers.
+// Every slot is handed out exactly once. Safe for concurrent use by the
+// workers it was sized for.
+type Scheduler struct {
+	queues []*deque
+}
+
+// deque is one worker's slot queue. The owner pops from the front
+// (ascending slot order, which keeps the committer's next-needed slot
+// flowing), thieves steal from the back (the victim's farthest-out
+// work, minimizing contention on what the victim touches next).
+type deque struct {
+	mu    sync.Mutex
+	slots []int // front at slots[0]
+}
+
+func (d *deque) popFront() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.slots) == 0 {
+		return 0, false
+	}
+	s := d.slots[0]
+	d.slots = d.slots[1:]
+	return s, true
+}
+
+func (d *deque) popBack() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.slots) == 0 {
+		return 0, false
+	}
+	s := d.slots[len(d.slots)-1]
+	d.slots = d.slots[:len(d.slots)-1]
+	return s, true
+}
+
+func (d *deque) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.slots)
+}
+
+// New builds a scheduler over slots for the given worker count
+// (minimum 1). Slots are split into contiguous blocks, one per worker,
+// preserving order within each block.
+func New(slots []int, workers int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Scheduler{queues: make([]*deque, workers)}
+	n := len(slots)
+	for i := 0; i < workers; i++ {
+		lo, hi := i*n/workers, (i+1)*n/workers
+		block := make([]int, hi-lo)
+		copy(block, slots[lo:hi])
+		s.queues[i] = &deque{slots: block}
+	}
+	return s
+}
+
+// Next returns the next slot for worker (an index in [0, workers)).
+// The worker's own queue drains front-first; once empty, the worker
+// steals from the back of the victim with the most remaining work.
+// ok is false only when every queue is empty — the campaign is fully
+// handed out.
+func (s *Scheduler) Next(worker int) (slot int, ok bool) {
+	if slot, ok = s.queues[worker].popFront(); ok {
+		return slot, true
+	}
+	for {
+		victim, best := -1, 0
+		for i, q := range s.queues {
+			if i == worker {
+				continue
+			}
+			if n := q.size(); n > best {
+				victim, best = i, n
+			}
+		}
+		if victim < 0 {
+			return 0, false
+		}
+		// The victim may drain between the size scan and the steal;
+		// rescan rather than give up, so a slot is never stranded.
+		if slot, ok = s.queues[victim].popBack(); ok {
+			return slot, true
+		}
+	}
+}
+
+// Remaining reports how many slots are still queued (racy under
+// concurrent Next calls; intended for tests and diagnostics).
+func (s *Scheduler) Remaining() int {
+	n := 0
+	for _, q := range s.queues {
+		n += q.size()
+	}
+	return n
+}

@@ -1,0 +1,119 @@
+package slotsched
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+// Every slot must be delivered exactly once, no matter how workers
+// interleave.
+func TestAllSlotsDeliveredOnce(t *testing.T) {
+	const n, workers = 1000, 8
+	slots := make([]int, n)
+	for i := range slots {
+		slots[i] = i
+	}
+	s := New(slots, workers)
+
+	var mu sync.Mutex
+	got := map[int]int{}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for {
+				slot, ok := s.Next(id)
+				if !ok {
+					return
+				}
+				mu.Lock()
+				got[slot]++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if len(got) != n {
+		t.Fatalf("delivered %d distinct slots, want %d", len(got), n)
+	}
+	for slot, count := range got {
+		if count != 1 {
+			t.Errorf("slot %d delivered %d times", slot, count)
+		}
+	}
+	if rem := s.Remaining(); rem != 0 {
+		t.Errorf("scheduler reports %d slots remaining after drain", rem)
+	}
+}
+
+// A worker whose own queue is empty must steal the rest of the campaign
+// from its victims, not starve.
+func TestStealingUnderImbalance(t *testing.T) {
+	const n, workers = 64, 4
+	slots := make([]int, n)
+	for i := range slots {
+		slots[i] = i * 10
+	}
+	s := New(slots, workers)
+
+	// Only worker 3 drains; workers 0–2 never call Next. Worker 3's own
+	// block is n/4 slots — everything else must arrive via steals.
+	var got []int
+	for {
+		slot, ok := s.Next(3)
+		if !ok {
+			break
+		}
+		got = append(got, slot)
+	}
+	if len(got) != n {
+		t.Fatalf("single active worker drained %d slots, want %d", len(got), n)
+	}
+	sort.Ints(got)
+	for i, slot := range got {
+		if slot != i*10 {
+			t.Fatalf("slot set corrupted at %d: got %d want %d", i, slot, i*10)
+		}
+	}
+}
+
+// Owners consume their own block in ascending order (front-first), the
+// property that keeps the committer's next-needed slot flowing.
+func TestOwnerOrderAscending(t *testing.T) {
+	slots := []int{5, 6, 7, 8, 9, 10, 11, 12}
+	s := New(slots, 2)
+	var got []int
+	for i := 0; i < 4; i++ {
+		slot, ok := s.Next(0)
+		if !ok {
+			t.Fatalf("worker 0 starved at pop %d", i)
+		}
+		got = append(got, slot)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("owner pops not ascending: %v", got)
+		}
+	}
+	if got[0] != 5 {
+		t.Fatalf("worker 0 should start at its block head, got %d", got[0])
+	}
+}
+
+func TestEmptyAndSingleWorker(t *testing.T) {
+	s := New(nil, 3)
+	if _, ok := s.Next(1); ok {
+		t.Fatal("empty scheduler handed out a slot")
+	}
+	s = New([]int{42}, 1)
+	slot, ok := s.Next(0)
+	if !ok || slot != 42 {
+		t.Fatalf("single-slot scheduler: got (%d, %v)", slot, ok)
+	}
+	if _, ok := s.Next(0); ok {
+		t.Fatal("drained scheduler handed out a slot")
+	}
+}

@@ -85,6 +85,11 @@ type World struct {
 	vpByAddr    map[netip.Addr]*vpn.VantagePoint
 	clientSeq   int
 	faults      *faultsim.Plan
+	// hostMark/authMark are the pre-campaign snapshot marks captured by
+	// markCampaign; beginSlot rewinds the host registry and authority
+	// log back to them at every slot boundary.
+	hostMark int
+	authMark int
 }
 
 // Well-known public resolver addresses.

@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"vpnscope/internal/capture"
 )
 
 // Certificate is a simulated X.509 leaf or root certificate.
@@ -64,6 +66,17 @@ func (ca *CA) Issue(subject string) Certificate {
 	c := Certificate{Subject: subject, Issuer: ca.Name, Serial: ca.serial}
 	c.Sig = ca.sign(c)
 	return c
+}
+
+// ResetSerial pins the CA's serial counter to base, making subsequently
+// issued serials (base+1, base+2, …) a pure function of base and the
+// issue order since the reset. An on-the-fly MITM CA otherwise numbers
+// its leaves by global issue order, which would make certificate
+// fingerprints depend on how many interceptions happened earlier in a
+// campaign; the runner resets the counter to a slot-derived base at
+// every vantage-point boundary so fingerprints stay history-free.
+func (ca *CA) ResetSerial(base uint64) {
+	ca.serial = base
 }
 
 // sign computes the signature over the certificate's identity fields.
@@ -125,13 +138,19 @@ const (
 )
 
 // EncodeClientHello frames an application request for host over TLS.
+// The frame is staged in a pooled serialize buffer and copied out at
+// exact size, so the hot handshake path costs one allocation.
 func EncodeClientHello(host string, inner []byte) []byte {
-	var b bytes.Buffer
-	b.WriteString(helloMagic)
-	b.WriteString(host)
-	b.WriteByte('\n')
-	b.Write(inner)
-	return b.Bytes()
+	sb := capture.GetSerializeBuffer()
+	defer sb.Release()
+	front := sb.Prepend(len(helloMagic) + len(host) + 1 + len(inner))
+	n := copy(front, helloMagic)
+	n += copy(front[n:], host)
+	front[n] = '\n'
+	copy(front[n+1:], inner)
+	out := make([]byte, len(front))
+	copy(out, front)
+	return out
 }
 
 // ParseClientHello splits a framed hello into SNI and inner request.
@@ -161,12 +180,16 @@ func EncodeServerHello(cert Certificate, inner []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tlssim: encoding certificate: %w", err)
 	}
-	var b bytes.Buffer
-	b.WriteString(helloRespMagic)
-	b.Write(cj)
-	b.WriteByte('\n')
-	b.Write(inner)
-	return b.Bytes(), nil
+	sb := capture.GetSerializeBuffer()
+	defer sb.Release()
+	front := sb.Prepend(len(helloRespMagic) + len(cj) + 1 + len(inner))
+	n := copy(front, helloRespMagic)
+	n += copy(front[n:], cj)
+	front[n] = '\n'
+	copy(front[n+1:], inner)
+	out := make([]byte, len(front))
+	copy(out, front)
+	return out, nil
 }
 
 // ParseServerHello splits a framed server hello. A parse failure on

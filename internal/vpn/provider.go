@@ -202,6 +202,20 @@ type Provider struct {
 // Name returns the provider's name.
 func (p *Provider) Name() string { return p.Spec.Name }
 
+// BeginSlot resets the provider's slot-scoped stochastic state at a
+// vantage-point slot boundary. Today that is only the MITM CA's serial
+// counter: pinning it to a slot-derived base makes intercepted-leaf
+// fingerprints a pure function of (slot, issue order within the slot)
+// instead of global campaign history, which is what lets a worker
+// measure slots in any order and still produce the bytes a sequential
+// run would. The 32-bit shift leaves room for any realistic number of
+// per-slot issuances without colliding with a neighboring slot's range.
+func (p *Provider) BeginSlot(slot int) {
+	if p.MITMCA != nil {
+		p.MITMCA.ResetSerial(uint64(slot) << 32)
+	}
+}
+
 // TunnelInternalClient and TunnelInternalDNS are the RFC 1918 addresses
 // used inside every tunnel: the client's tunnel interface and the
 // provider's tunnel-internal resolver.

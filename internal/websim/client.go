@@ -39,6 +39,9 @@ type Client struct {
 	MaxRedirects int
 
 	nextID uint16
+	// dnsScratch is the reusable query-encode buffer; the stack copies
+	// what it keeps, so the wire bytes are dead once QueryUDP returns.
+	dnsScratch []byte
 }
 
 // Client errors.
@@ -69,10 +72,11 @@ func (c *Client) ResolveVia(server netip.Addr, host string, v6 bool) (netip.Addr
 		qtype = dnssim.TypeAAAA
 	}
 	c.nextID++
-	wire, err := dnssim.NewQuery(c.nextID, host, qtype).Encode()
+	wire, err := dnssim.NewQuery(c.nextID, host, qtype).AppendEncode(c.dnsScratch[:0])
 	if err != nil {
 		return netip.Addr{}, err
 	}
+	c.dnsScratch = wire
 	respWire, err := c.Stack.QueryUDP(server, 53, wire)
 	if err != nil {
 		return netip.Addr{}, fmt.Errorf("resolving %q via %v: %w", host, server, err)

@@ -1,16 +1,23 @@
 #!/bin/sh
 # bench.sh — run the campaign Study benchmarks and append the numbers
 # to the BENCH trajectory file (see README.md, "Profiling and
-# benchmarks"). One full-study iteration takes a few seconds.
+# benchmarks"). One full-study iteration takes a few seconds; the
+# scaling sweep repeats the campaign at workers ∈ {1,2,4,8}.
 #
-#   BENCH_OUT   trajectory file (default BENCH_3.json)
+#   BENCH_OUT   trajectory file (default BENCH_4.json)
 #   BENCH_LABEL label for this run (default: short git hash, or "local")
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${BENCH_OUT:-BENCH_3.json}"
+out="${BENCH_OUT:-BENCH_4.json}"
 label="${BENCH_LABEL:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}"
 
-go test -bench 'BenchmarkFullStudy$|BenchmarkStudySequential$' \
+go test -bench 'BenchmarkFullStudy$|BenchmarkStudySequential$|BenchmarkStudyParallelScaling/' \
     -benchtime 1x -benchmem -run '^$' . |
+    go run ./cmd/benchtrend -out "$out" -label "$label"
+
+# Checkpoint-merge cost (the allocs-per-outcome gate lives inside the
+# benchmark itself and fails the run on a quadratic relapse).
+go test -bench 'BenchmarkCheckpointMerge$' \
+    -benchtime 100x -benchmem -run '^$' ./internal/study |
     go run ./cmd/benchtrend -out "$out" -label "$label"
