@@ -12,12 +12,14 @@ race:
 	go test -race -short ./internal/study/... ./internal/faultsim/... ./internal/netsim/... ./internal/results/...
 
 # tier1 is the full verification gate: build, vet, tests, race subset
-# (the study wildcard covers internal/study/slotsched), study bench
-# smoke, and the alloc-gated fast-path and checkpoint-merge benches.
+# (the study wildcard covers internal/study/slotsched), the telemetry
+# sink race suite, study bench smoke, and the alloc-gated fast-path and
+# checkpoint-merge benches.
 tier1: build
 	go vet ./...
 	go test ./...
 	$(MAKE) race
+	go test -race ./internal/telemetry/...
 	go test -bench Study -benchtime 1x -run '^$$' .
 	go test -bench 'Exchange|BuildPacket|Deliver' -benchtime 1x -run '^$$' ./internal/netsim
 	go test -bench 'CheckpointMerge' -benchtime 1x -run '^$$' ./internal/study

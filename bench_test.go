@@ -20,6 +20,7 @@ import (
 	"vpnscope/internal/report"
 	"vpnscope/internal/stats"
 	"vpnscope/internal/study"
+	"vpnscope/internal/telemetry"
 	"vpnscope/internal/torsim"
 	"vpnscope/internal/vpn"
 	"vpnscope/internal/vpntest"
@@ -408,6 +409,67 @@ func BenchmarkStudyParallelScaling(b *testing.B) {
 			benchmarkStudy(b, workers)
 		})
 	}
+}
+
+// BenchmarkTelemetryOverhead quantifies the observability tax: the same
+// lossy parallel campaign with the telemetry sink disabled ("off", the
+// default state every other benchmark runs in) versus enabled with a
+// full complement of counters, histograms, and span tracks ("on"). The
+// "record" sub-benchmark times the raw instrumentation path and
+// enforces its zero-allocation ceiling — the property that lets every
+// hot seam carry a nil-guarded record site for free.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	runStudy := func(b *testing.B) {
+		w, err := study.Build(study.Options{Seed: 2018})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.EnableFaults(faultsim.Lossy)
+		res, err := w.RunWith(study.RunConfig{Parallel: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Reports) == 0 {
+			b.Fatal("campaign measured nothing")
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		telemetry.Disable()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runStudy(b)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		telemetry.Enable()
+		defer telemetry.Disable()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runStudy(b)
+		}
+	})
+	b.Run("record", func(b *testing.B) {
+		tel := telemetry.Enable()
+		defer telemetry.Disable()
+		tel.EnsureWorkerTracks(1)
+		tel.ObserveTest("geo", time.Millisecond)
+		sp := telemetry.Span{Kind: "slot", Slot: 1, Provider: "p", VP: "vp"}
+		record := func() {
+			tel.M.Exchanges.Add(1)
+			tel.M.RawFault(telemetry.FaultDropped)
+			tel.SlotWall.Observe(time.Millisecond)
+			tel.ObserveTest("geo", time.Millisecond)
+			tel.RecordSpan(0, sp)
+		}
+		if allocs := testing.AllocsPerRun(100, record); allocs > 0 {
+			b.Fatalf("record path allocates %.1f objects per op, ceiling is 0", allocs)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			record()
+		}
+	})
 }
 
 // BenchmarkAblationPingOnlyVsFull quantifies the cost saved by the

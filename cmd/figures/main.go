@@ -9,6 +9,8 @@
 //	figures [-seed N] [-full-vps N] [-provider NAME] [-faults PROFILE]
 //	        [-checkpoint FILE] [-resume FILE] [-retries N] [-quarantine N]
 //	        [-parallel N] [-cpuprofile FILE] [-memprofile FILE]
+//	        [-blockprofile FILE] [-mutexprofile FILE]
+//	        [-metrics FILE] [-trace FILE] [-progress]
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"vpnscope/internal/analysis"
 	"vpnscope/internal/faultsim"
@@ -25,6 +28,7 @@ import (
 	"vpnscope/internal/report"
 	"vpnscope/internal/results"
 	"vpnscope/internal/study"
+	"vpnscope/internal/telemetry"
 )
 
 func main() {
@@ -42,13 +46,34 @@ func main() {
 	parallel := flag.Int("parallel", 0, "campaign worker shards; results are byte-identical for any value (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (pprof format) to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (pprof format) to this file on exit")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile (pprof format) to this file on exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile (pprof format) to this file on exit")
+	metricsOut := flag.String("metrics", "", "write a telemetry metrics snapshot (JSON) to this file")
+	traceOut := flag.String("trace", "", "write a campaign trace (Chrome trace-event JSON, load in chrome://tracing) to this file")
+	progress := flag.Bool("progress", false, "print a periodic progress line to stderr")
 	flag.Parse()
 
-	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	stopProf, err := profiling.Start(profiling.Config{
+		CPUProfile:   *cpuprofile,
+		MemProfile:   *memprofile,
+		BlockProfile: *blockprofile,
+		MutexProfile: *mutexprofile,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer stopProf()
+
+	var tel *telemetry.Sink
+	stopProgress := func() {}
+	if *metricsOut != "" || *traceOut != "" || *progress {
+		tel = telemetry.Enable()
+		defer telemetry.Disable()
+		if *progress {
+			stopProgress = tel.StartProgress(os.Stderr, 2*time.Second)
+			defer stopProgress()
+		}
+	}
 
 	w, err := study.Build(study.Options{Seed: *seed, MaxFullSuiteVPs: *fullVPs})
 	if err != nil {
@@ -89,9 +114,11 @@ func main() {
 	} else {
 		res, err = w.RunWith(cfg)
 	}
+	stopProgress() // final progress line before the report starts
 	if err != nil {
 		log.Fatal(err)
 	}
+	writeTelemetry(tel, *metricsOut, *traceOut)
 	out := os.Stdout
 
 	if *jsonPath != "" {
@@ -292,6 +319,33 @@ func main() {
 				{"Tunnel-reset drops", fmt.Sprint(s.TunnelResets)},
 			})
 	}
+	if tel != nil {
+		report.WriteTelemetrySummary(out, tel.Snapshot())
+	}
+}
+
+// writeTelemetry dumps the metrics snapshot and/or trace file. Failures
+// are logged, not fatal: the study results are already in hand.
+func writeTelemetry(tel *telemetry.Sink, metricsPath, tracePath string) {
+	if tel == nil {
+		return
+	}
+	write := func(path string, fn func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Print(err)
+			return
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			log.Printf("writing %s: %v", path, err)
+		}
+	}
+	write(metricsPath, func(f *os.File) error { return tel.WriteMetricsTo(f) })
+	write(tracePath, func(f *os.File) error { return tel.WriteTraceTo(f) })
 }
 
 func toRows(xs []string) [][]string {

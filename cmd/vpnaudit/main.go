@@ -7,7 +7,8 @@
 //
 //	vpnaudit -provider NordVPN [-seed N] [-list] [-faults PROFILE] [-retries N]
 //	         [-checkpoint FILE] [-resume FILE] [-quarantine N] [-parallel N]
-//	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-cpuprofile FILE] [-memprofile FILE] [-blockprofile FILE]
+//	         [-mutexprofile FILE] [-metrics FILE] [-trace FILE] [-progress]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"path/filepath"
 	"vpnscope/internal/ecosystem"
@@ -23,6 +25,7 @@ import (
 	"vpnscope/internal/profiling"
 	"vpnscope/internal/report"
 	"vpnscope/internal/results"
+	"vpnscope/internal/telemetry"
 
 	"vpnscope/internal/study"
 	"vpnscope/internal/vpntest"
@@ -43,13 +46,34 @@ func main() {
 	parallel := flag.Int("parallel", 0, "campaign worker shards; results are byte-identical for any value (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (pprof format) to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (pprof format) to this file on exit")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile (pprof format) to this file on exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile (pprof format) to this file on exit")
+	metricsOut := flag.String("metrics", "", "write a telemetry metrics snapshot (JSON) to this file")
+	traceOut := flag.String("trace", "", "write a campaign trace (Chrome trace-event JSON, load in chrome://tracing) to this file")
+	progress := flag.Bool("progress", false, "print a periodic progress line to stderr")
 	flag.Parse()
 
-	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	stopProf, err := profiling.Start(profiling.Config{
+		CPUProfile:   *cpuprofile,
+		MemProfile:   *memprofile,
+		BlockProfile: *blockprofile,
+		MutexProfile: *mutexprofile,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer stopProf()
+
+	var tel *telemetry.Sink
+	stopProgress := func() {}
+	if *metricsOut != "" || *traceOut != "" || *progress {
+		tel = telemetry.Enable()
+		defer telemetry.Disable()
+		if *progress {
+			stopProgress = tel.StartProgress(os.Stderr, 2*time.Second)
+			defer stopProgress()
+		}
+	}
 
 	if *list {
 		for _, name := range ecosystem.TestedNames() {
@@ -93,9 +117,11 @@ func main() {
 		cfg.Checkpoint = results.CheckpointFunc(*checkpoint, opts...)
 	}
 	res, err := w.RunProviderWith(*provider, cfg)
+	stopProgress() // final progress line before the report starts
 	if err != nil {
 		log.Fatal(err)
 	}
+	writeTelemetry(tel, *metricsOut, *traceOut)
 	out := os.Stdout
 	for _, rec := range res.Recoveries {
 		fmt.Fprintf(out, "~~ connected after %d attempts: %s\n", rec.Attempts, rec.VPLabel)
@@ -116,6 +142,33 @@ func main() {
 		}
 	}
 	report.WriteCollectionHealth(out, res)
+	if tel != nil {
+		report.WriteTelemetrySummary(out, tel.Snapshot())
+	}
+}
+
+// writeTelemetry dumps the metrics snapshot and/or trace file. Failures
+// are logged, not fatal: the audit results are already in hand.
+func writeTelemetry(tel *telemetry.Sink, metricsPath, tracePath string) {
+	if tel == nil {
+		return
+	}
+	write := func(path string, fn func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Print(err)
+			return
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			log.Printf("writing %s: %v", path, err)
+		}
+	}
+	write(metricsPath, func(f *os.File) error { return tel.WriteMetricsTo(f) })
+	write(tracePath, func(f *os.File) error { return tel.WriteTraceTo(f) })
 }
 
 // writePcap dumps one vantage point's trace as <dir>/<label>.pcap.

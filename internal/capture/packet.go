@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+
+	"vpnscope/internal/telemetry"
 )
 
 // Packet is a decoded stack of layers over a single buffer of packet
@@ -294,13 +296,21 @@ func (b *SerializeBuffer) Prepend(n int) []byte {
 func (b *SerializeBuffer) Clear() { b.start = len(b.buf) }
 
 var serializeBufferPool = sync.Pool{
-	New: func() any { return NewSerializeBuffer() },
+	New: func() any {
+		if t := telemetry.Active(); t != nil {
+			t.M.SerializeBufferNews.Add(1)
+		}
+		return NewSerializeBuffer()
+	},
 }
 
 // GetSerializeBuffer returns a cleared buffer from a process-wide pool.
 // Pair it with Release once every slice obtained from Bytes() is either
 // copied or dead; the pool reuses the backing array.
 func GetSerializeBuffer() *SerializeBuffer {
+	if t := telemetry.Active(); t != nil {
+		t.M.SerializeBufferGets.Add(1)
+	}
 	b := serializeBufferPool.Get().(*SerializeBuffer)
 	b.Clear()
 	return b

@@ -29,6 +29,7 @@ import (
 	"vpnscope/internal/capture"
 	"vpnscope/internal/netsim"
 	"vpnscope/internal/simrand"
+	"vpnscope/internal/telemetry"
 )
 
 // Profile parameterizes a fault plan. The zero value injects nothing.
@@ -154,6 +155,39 @@ type Stats struct {
 // Total is the number of exchanges a fault touched.
 func (s Stats) Total() int {
 	return s.Dropped + s.Flapped + s.Refused + s.Delayed + s.Blackouts + s.TunnelResets
+}
+
+// faultKind names one injection kind; kindNone means no fault fired.
+// The non-none values map positionally onto telemetry.FaultKind.
+type faultKind int
+
+const (
+	kindNone faultKind = iota
+	kindDropped
+	kindFlapped
+	kindRefused
+	kindDelayed
+	kindBlackout
+	kindTunnelReset
+)
+
+// counter returns the Stats field for kind k (nil for kindNone).
+func (s *Stats) counter(k faultKind) *int {
+	switch k {
+	case kindDropped:
+		return &s.Dropped
+	case kindFlapped:
+		return &s.Flapped
+	case kindRefused:
+		return &s.Refused
+	case kindDelayed:
+		return &s.Delayed
+	case kindBlackout:
+		return &s.Blackouts
+	case kindTunnelReset:
+		return &s.TunnelResets
+	}
+	return nil
 }
 
 // Sub returns the counter-wise difference s − o. The parallel campaign
@@ -298,12 +332,19 @@ const maxOutageSpan = 12 * time.Second
 func (p *Plan) decide(now time.Duration, dst netip.Addr, proto capture.IPProtocol) netsim.FaultAction {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	act, counter := p.schedule(now, dst, proto)
+	act, kind := p.schedule(now, dst, proto)
 	if act.Drop && now-p.lastPass >= maxOutageSpan {
-		act, counter = netsim.FaultAction{}, nil
+		act, kind = netsim.FaultAction{}, kindNone
 	}
-	if counter != nil {
-		*counter++
+	if kind != kindNone {
+		*p.stats.counter(kind)++
+		// Raw per-injection counters are execution-shape telemetry: a
+		// parallel run's worker plans draw faults for speculative slots
+		// that are later discarded, so these can exceed the committed
+		// totals the campaign section reports.
+		if t := telemetry.Active(); t != nil {
+			t.M.RawFault(telemetry.FaultKind(kind - 1))
+		}
 	}
 	if !act.Drop {
 		p.lastPass = now
@@ -312,38 +353,38 @@ func (p *Plan) decide(now time.Duration, dst netip.Addr, proto capture.IPProtoco
 }
 
 // schedule evaluates the raw fault schedule at now, before the outage
-// clamp. It returns the action and the stat counter to bump if the
+// clamp. It returns the action and the fault kind to record if the
 // action survives the clamp. Stochastic draws are consumed here in a
 // fixed order so the stream stays reproducible regardless of clamping.
-func (p *Plan) schedule(now time.Duration, dst netip.Addr, proto capture.IPProtocol) (netsim.FaultAction, *int) {
+func (p *Plan) schedule(now time.Duration, dst netip.Addr, proto capture.IPProtocol) (netsim.FaultAction, faultKind) {
 	prof := &p.profile
 
 	// Link flap: the whole uplink is down; everything drops.
 	if inWindow(now, prof.FlapEvery, prof.FlapLen, p.flapOff) {
-		return netsim.FaultAction{Drop: true}, &p.stats.Flapped
+		return netsim.FaultAction{Drop: true}, kindFlapped
 	}
 	// Tunnel reset: the vantage point stops terminating tunnel frames.
 	if proto == capture.ProtoTunnel && inWindow(now, prof.TunnelResetEvery, prof.TunnelResetLen, p.tunnelOff) {
-		return netsim.FaultAction{Drop: true}, &p.stats.TunnelResets
+		return netsim.FaultAction{Drop: true}, kindTunnelReset
 	}
 	// Resolver blackout.
 	if p.resolvers[dst] && inWindow(now, prof.DNSBlackoutEvery, prof.DNSBlackoutLen, p.dnsOff) {
-		return netsim.FaultAction{Drop: true}, &p.stats.Blackouts
+		return netsim.FaultAction{Drop: true}, kindBlackout
 	}
 	// Connect-time refusal: ICMP reachability checks against a vantage
 	// point (the only ICMP a client sends straight at a VP address).
 	if proto == capture.ProtoICMP && p.vps[dst] && p.rng.Bool(prof.ConnectRefusalRate) {
-		return netsim.FaultAction{Refuse: true}, &p.stats.Refused
+		return netsim.FaultAction{Refuse: true}, kindRefused
 	}
 	// Packet loss, continuous or burst-scheduled.
 	lossActive := prof.PacketLoss > 0 &&
 		(prof.LossBurstEvery <= 0 || inWindow(now, prof.LossBurstEvery, prof.LossBurstLen, p.lossOff))
 	if lossActive && p.rng.Bool(prof.PacketLoss) {
-		return netsim.FaultAction{Drop: true}, &p.stats.Dropped
+		return netsim.FaultAction{Drop: true}, kindDropped
 	}
 	// Latency spike.
 	if prof.LatencySpike > 0 && p.rng.Bool(prof.LatencySpikeRate) {
-		return netsim.FaultAction{Delay: prof.LatencySpike}, &p.stats.Delayed
+		return netsim.FaultAction{Delay: prof.LatencySpike}, kindDelayed
 	}
-	return netsim.FaultAction{}, nil
+	return netsim.FaultAction{}, kindNone
 }

@@ -11,6 +11,7 @@ import (
 	"vpnscope/internal/capture"
 	"vpnscope/internal/geo"
 	"vpnscope/internal/simrand"
+	"vpnscope/internal/telemetry"
 )
 
 // Errors returned by exchanges.
@@ -224,6 +225,9 @@ func (n *Network) RTTBetween(a, b *Host) time.Duration {
 // time (one RTT for UDP/ICMP, two for TCP's handshake-plus-request, plus
 // Timeout on failures that time out).
 func (n *Network) Exchange(from *Host, pkt []byte) ([]byte, error) {
+	if t := telemetry.Active(); t != nil {
+		t.M.Exchanges.Add(1)
+	}
 	dst, proto, err := peekIP(pkt)
 	if err != nil {
 		return nil, err

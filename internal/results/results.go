@@ -24,6 +24,7 @@ import (
 	"syscall"
 
 	"vpnscope/internal/study"
+	"vpnscope/internal/telemetry"
 	"vpnscope/internal/vpntest"
 )
 
@@ -170,7 +171,15 @@ func CheckpointFunc(path string, opts ...Option) func(*study.Result) error {
 			return fmt.Errorf("results: checkpoint: %w", err)
 		}
 		defer os.Remove(tmp.Name())
-		if err := Save(tmp, res, opts...); err != nil {
+		// Count serialized bytes only when telemetry is on, keeping the
+		// disabled path free of the extra writer indirection.
+		var cw *countingWriter
+		var dst io.Writer = tmp
+		if telemetry.Active() != nil {
+			cw = &countingWriter{w: tmp}
+			dst = cw
+		}
+		if err := Save(dst, res, opts...); err != nil {
 			tmp.Close()
 			return err
 		}
@@ -188,8 +197,26 @@ func CheckpointFunc(path string, opts ...Option) func(*study.Result) error {
 		if err := os.Rename(tmp.Name(), path); err != nil {
 			return fmt.Errorf("results: checkpoint: %w", err)
 		}
+		if cw != nil {
+			if t := telemetry.Active(); t != nil {
+				t.M.CheckpointBytes.Add(cw.n)
+			}
+		}
 		return syncDir(filepath.Dir(path))
 	}
+}
+
+// countingWriter counts bytes passing through to w for the telemetry
+// checkpoint-size counter.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // syncDir fsyncs a directory so a just-renamed checkpoint's directory

@@ -28,7 +28,9 @@ package study
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"vpnscope/internal/telemetry"
 	"vpnscope/internal/vpntest"
 )
 
@@ -161,6 +163,10 @@ func (c *committer) prepare(s slotSpec) (needMeasure bool, err error) {
 	if outcome := c.done[s.key]; outcome != outcomeNone {
 		// Resumed: its own records carry rank == s.order.
 		c.migrate(s.order + 1)
+		if tel := telemetry.Active(); tel != nil {
+			tel.M.SlotsDone.Add(1)
+			tel.M.SlotsResumed.Add(1)
+		}
 		switch outcome {
 		case outcomeMeasured:
 			st.streak = 0
@@ -180,12 +186,19 @@ func (c *committer) prepare(s slotSpec) (needMeasure bool, err error) {
 	if !st.quarantined && c.cfg.QuarantineAfter > 0 && st.streak >= c.cfg.QuarantineAfter {
 		c.insertQuarantine(Quarantine{Provider: s.provider, TrippedAfter: st.streak})
 		st.quarantined = true
+		if tel := telemetry.Active(); tel != nil {
+			tel.M.QuarantineTrips.Add(1)
+		}
 		if c.onQuarantine != nil {
 			c.onQuarantine(s.provIdx)
 		}
 	}
 	if st.quarantined {
 		c.res.VPsAttempted++
+		if tel := telemetry.Active(); tel != nil {
+			tel.M.SlotsDone.Add(1)
+			tel.M.QuarantineSkipped.Add(1)
+		}
 		qi := -1
 		for i := range c.res.Quarantines {
 			if c.res.Quarantines[i].Provider == s.provider {
@@ -222,6 +235,12 @@ func (c *committer) insertQuarantine(q Quarantine) {
 
 // commit records a fresh measurement outcome for s (prepare must have
 // returned needMeasure) and checkpoints.
+//
+// Deterministic campaign telemetry is recorded here, not at measure
+// time: the committer runs single-threaded in canonical slot order and
+// never sees the speculative slots the parallel executor discards, so
+// the `campaign` counters and virtual-time histograms come out
+// identical for any worker count.
 func (c *committer) commit(s slotSpec, out vpResult) error {
 	st := c.provState(s.provIdx)
 	c.res.VPsAttempted++
@@ -235,6 +254,27 @@ func (c *committer) commit(s slotSpec, out vpResult) error {
 		c.res.Reports = append(c.res.Reports, out.report)
 		st.streak = 0
 	}
+	if tel := telemetry.Active(); tel != nil {
+		tel.M.SlotsDone.Add(1)
+		tel.M.SlotsCommitted.Add(1)
+		d := out.faultDelta
+		tel.M.AddCommittedFaults(int64(d.Dropped), int64(d.Flapped), int64(d.Refused),
+			int64(d.Delayed), int64(d.Blackouts), int64(d.TunnelResets))
+		if out.failure != nil {
+			tel.M.ConnectFailures.Add(1)
+		} else {
+			tel.M.Reports.Add(1)
+			if out.recovery != nil {
+				tel.M.Recoveries.Add(1)
+			}
+			if rep := out.report; rep != nil {
+				tel.SuiteVirtual.Observe(rep.FinishedAt - rep.StartedAt)
+				for _, tt := range rep.TestTimings {
+					tel.ObserveTest(tt.Test, tt.Virtual)
+				}
+			}
+		}
+	}
 	return c.checkpoint()
 }
 
@@ -243,7 +283,23 @@ func (c *committer) checkpoint() error {
 	if c.cfg.Checkpoint == nil {
 		return nil
 	}
-	if err := c.cfg.Checkpoint(c.snapshot()); err != nil {
+	tel := telemetry.Active()
+	var t0 time.Time
+	if tel != nil {
+		t0 = time.Now()
+	}
+	err := c.cfg.Checkpoint(c.snapshot())
+	if tel != nil {
+		d := time.Since(t0)
+		tel.M.Checkpoints.Add(1)
+		tel.CheckpointWall.Observe(d)
+		tel.RecordCommitSpan(telemetry.Span{
+			Kind:      "checkpoint",
+			WallStart: t0,
+			WallDur:   d,
+		})
+	}
+	if err != nil {
 		return fmt.Errorf("study: checkpoint: %w", err)
 	}
 	return nil

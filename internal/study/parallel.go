@@ -22,9 +22,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
-	"vpnscope/internal/faultsim"
 	"vpnscope/internal/study/slotsched"
+	"vpnscope/internal/telemetry"
 	"vpnscope/internal/vpn"
 )
 
@@ -120,6 +121,10 @@ func (w *World) runParallelSlots(specs []slotSpec, c *committer, workers int) (*
 		}
 	}
 	sched := slotsched.New(needIdx, workers)
+	tel := telemetry.Active()
+	if tel != nil {
+		tel.EnsureWorkerTracks(workers)
+	}
 
 	var (
 		mu        sync.Mutex
@@ -141,7 +146,7 @@ func (w *World) runParallelSlots(specs []slotSpec, c *committer, workers int) (*
 			defer wg.Done()
 			var cw *World
 			for {
-				i, ok := sched.Next(id)
+				i, from, ok := sched.NextFrom(id)
 				if !ok {
 					return
 				}
@@ -162,15 +167,17 @@ func (w *World) runParallelSlots(specs []slotSpec, c *committer, workers int) (*
 						continue
 					}
 					cw.markCampaign()
+					cw.telWorker = id
+					if tel != nil {
+						tel.M.WorkerWorldBuilds.Add(1)
+					}
 				}
-				var before faultsim.Stats
-				if cw.faults != nil {
-					before = cw.faults.Stats()
+				if from == id {
+					cw.telStealFrom = -1
+				} else {
+					cw.telStealFrom = from
 				}
 				out := cw.measureVP(cfg, s)
-				if cw.faults != nil {
-					out.faultDelta = cw.faults.Stats().Sub(before)
-				}
 				deliver(i, &out)
 			}
 		}(k)
@@ -187,12 +194,23 @@ func (w *World) runParallelSlots(specs []slotSpec, c *committer, workers int) (*
 			// Resumed or quarantine-skipped: drop any speculative
 			// measurement a worker already published for this slot.
 			mu.Lock()
+			if _, speculative := delivered[i]; speculative && tel != nil {
+				tel.M.SpeculativeDiscards.Add(1)
+			}
 			delete(delivered, i)
 			mu.Unlock()
 			continue
 		}
 		mu.Lock()
 		out := delivered[i]
+		if out == nil && tel != nil {
+			waitStart := time.Now()
+			for out == nil {
+				cond.Wait()
+				out = delivered[i]
+			}
+			tel.M.CommitWaitNs.Add(time.Since(waitStart).Nanoseconds())
+		}
 		for out == nil {
 			cond.Wait()
 			out = delivered[i]
@@ -218,5 +236,11 @@ func (w *World) runParallelSlots(specs []slotSpec, c *committer, workers int) (*
 	// Wake any worker parked inside deliver's lock handoff and let the
 	// pool drain the scheduler.
 	wg.Wait()
+	if tel != nil {
+		st := sched.Stats()
+		tel.M.Steals.Add(st.Steals)
+		tel.M.VictimScans.Add(st.VictimScans)
+		tel.M.StealRescans.Add(st.Rescans)
+	}
 	return c.finish(), retErr
 }

@@ -7,6 +7,7 @@ import (
 
 	"vpnscope/internal/faultsim"
 	"vpnscope/internal/simrand"
+	"vpnscope/internal/telemetry"
 	"vpnscope/internal/vpn"
 	"vpnscope/internal/vpntest"
 )
@@ -252,6 +253,9 @@ type vpResult struct {
 	// err is a campaign-level failure (today only a worker-world build
 	// error), surfaced by the committer in slot order.
 	err error
+	// attempts is how many connect attempts the slot consumed (0 when
+	// the client machine could not be provisioned); telemetry only.
+	attempts int
 }
 
 // markCampaign records the world's pre-campaign snapshot marks; every
@@ -261,6 +265,7 @@ type vpResult struct {
 func (w *World) markCampaign() {
 	w.hostMark = w.Net.HostMark()
 	w.authMark = w.Authority.LogMark()
+	w.telStealFrom = -1 // until the parallel executor says otherwise
 }
 
 // beginSlot resets the world at a vantage-point slot boundary — the
@@ -289,9 +294,58 @@ func (w *World) beginSlot(cfg *RunConfig, s slotSpec) {
 }
 
 // measureVP measures one vantage point inside its own virtual-time
-// slot. Client teardown is deferred so a suite panic can never leak a
-// connected client onto the next slot.
+// slot, bracketing the measurement with telemetry: the slot's fault-
+// counter delta (absorbed by the committer only if the slot commits)
+// and, when a sink is enabled, a trace span on the measuring worker's
+// track. Works identically for the sequential world and parallel
+// worker replicas.
 func (w *World) measureVP(cfg *RunConfig, s slotSpec) vpResult {
+	tel := telemetry.Active()
+	var wallStart time.Time
+	if tel != nil {
+		tel.M.SlotsMeasured.Add(1)
+		wallStart = time.Now()
+	}
+	var before faultsim.Stats
+	if w.faults != nil {
+		before = w.faults.Stats()
+	}
+
+	out := w.measureSlot(cfg, s)
+
+	if w.faults != nil {
+		out.faultDelta = w.faults.Stats().Sub(before)
+	}
+	if tel != nil {
+		wallDur := time.Since(wallStart)
+		virtStart := campaignBase + time.Duration(s.timeSlot)*cfg.VPSlot
+		outcome := "measured"
+		if out.failure != nil {
+			outcome = "failed"
+		}
+		tel.RecordSpan(w.telWorker, telemetry.Span{
+			Kind:       "slot",
+			Slot:       s.order,
+			Provider:   s.provider,
+			VP:         s.label,
+			WallStart:  wallStart,
+			WallDur:    wallDur,
+			VirtStart:  virtStart,
+			VirtDur:    w.Net.Clock.Now() - virtStart,
+			Attempts:   out.attempts,
+			Faults:     out.faultDelta.Total(),
+			StolenFrom: w.telStealFrom,
+			Outcome:    outcome,
+		})
+		tel.SlotWall.Observe(wallDur)
+	}
+	return out
+}
+
+// measureSlot is measureVP's measurement body. Client teardown is
+// deferred so a suite panic can never leak a connected client onto the
+// next slot.
+func (w *World) measureSlot(cfg *RunConfig, s slotSpec) vpResult {
 	p := w.Providers[s.provIdx]
 	vp := p.VPs[s.vpIdx]
 	w.beginSlot(cfg, s)
@@ -317,7 +371,7 @@ func (w *World) measureVP(cfg *RunConfig, s slotSpec) vpResult {
 		if attempts == cfg.ConnectAttempts {
 			return vpResult{failure: &ConnectFailure{
 				Provider: s.provider, VPLabel: s.label, Err: err.Error(), Attempts: attempts,
-			}}
+			}, attempts: attempts}
 		}
 		// Exponential backoff with jitter, on the virtual clock.
 		wait := cfg.BackoffBase << (attempts - 1)
@@ -328,6 +382,7 @@ func (w *World) measureVP(cfg *RunConfig, s slotSpec) vpResult {
 		w.Net.Clock.Advance(time.Duration(float64(wait) * jitter))
 	}
 	var out vpResult
+	out.attempts = attempts
 	if attempts > 1 {
 		out.recovery = &Recovery{Provider: s.provider, VPLabel: s.label, Attempts: attempts}
 	}
@@ -392,6 +447,9 @@ func (w *World) RunProviderWith(name string, cfg RunConfig) (*Result, error) {
 // one-provider world) stays on the primary world so post-Build
 // mutations — which worker replicas cannot observe — keep applying.
 func (w *World) runCampaign(cfg RunConfig, specs []slotSpec) (*Result, error) {
+	if tel := telemetry.Active(); tel != nil {
+		tel.AddSlotsTotal(len(specs))
+	}
 	c := newCommitter(&cfg, w.ranks())
 	schedulable := 0
 	multiProvider := false

@@ -17,13 +17,48 @@
 // output.
 package slotsched
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Scheduler distributes a fixed set of slot indices across workers.
 // Every slot is handed out exactly once. Safe for concurrent use by the
 // workers it was sized for.
 type Scheduler struct {
-	queues []*deque
+	queues   []*deque
+	enqueued int64
+
+	handed      atomic.Int64
+	ownPops     atomic.Int64
+	steals      atomic.Int64
+	victimScans atomic.Int64
+	rescans     atomic.Int64
+}
+
+// Stats is a point-in-time view of the scheduler's counters. Handed is
+// always OwnPops + Steals, and conservation demands Handed == Enqueued
+// once every Next call has returned false (see the conservation test).
+type Stats struct {
+	Enqueued    int64 // slots the scheduler was built over
+	Handed      int64 // slots handed to workers so far
+	OwnPops     int64 // slots a worker took from its own queue
+	Steals      int64 // slots stolen from another worker's queue
+	VictimScans int64 // queues inspected while hunting for a victim
+	Rescans     int64 // victim scans retried after a steal race
+}
+
+// Stats returns the scheduler's counters. Safe to call concurrently
+// with Next; values are individually atomic.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Enqueued:    s.enqueued,
+		Handed:      s.handed.Load(),
+		OwnPops:     s.ownPops.Load(),
+		Steals:      s.steals.Load(),
+		VictimScans: s.victimScans.Load(),
+		Rescans:     s.rescans.Load(),
+	}
 }
 
 // deque is one worker's slot queue. The owner pops from the front
@@ -70,7 +105,7 @@ func New(slots []int, workers int) *Scheduler {
 	if workers < 1 {
 		workers = 1
 	}
-	s := &Scheduler{queues: make([]*deque, workers)}
+	s := &Scheduler{queues: make([]*deque, workers), enqueued: int64(len(slots))}
 	n := len(slots)
 	for i := 0; i < workers; i++ {
 		lo, hi := i*n/workers, (i+1)*n/workers
@@ -87,8 +122,19 @@ func New(slots []int, workers int) *Scheduler {
 // ok is false only when every queue is empty — the campaign is fully
 // handed out.
 func (s *Scheduler) Next(worker int) (slot int, ok bool) {
+	slot, _, ok = s.NextFrom(worker)
+	return slot, ok
+}
+
+// NextFrom is Next plus provenance: from is the queue the slot came
+// off (== worker for an own-queue pop, the victim index for a steal;
+// -1 when ok is false). The telemetry layer uses it to tag each slot
+// span with its steal origin.
+func (s *Scheduler) NextFrom(worker int) (slot, from int, ok bool) {
 	if slot, ok = s.queues[worker].popFront(); ok {
-		return slot, true
+		s.ownPops.Add(1)
+		s.handed.Add(1)
+		return slot, worker, true
 	}
 	for {
 		victim, best := -1, 0
@@ -96,18 +142,22 @@ func (s *Scheduler) Next(worker int) (slot int, ok bool) {
 			if i == worker {
 				continue
 			}
+			s.victimScans.Add(1)
 			if n := q.size(); n > best {
 				victim, best = i, n
 			}
 		}
 		if victim < 0 {
-			return 0, false
+			return 0, -1, false
 		}
 		// The victim may drain between the size scan and the steal;
 		// rescan rather than give up, so a slot is never stranded.
 		if slot, ok = s.queues[victim].popBack(); ok {
-			return slot, true
+			s.steals.Add(1)
+			s.handed.Add(1)
+			return slot, victim, true
 		}
+		s.rescans.Add(1)
 	}
 }
 

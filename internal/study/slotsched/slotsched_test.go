@@ -117,3 +117,76 @@ func TestEmptyAndSingleWorker(t *testing.T) {
 		t.Fatal("drained scheduler handed out a slot")
 	}
 }
+
+// Conservation: however workers interleave and however many slots are
+// stolen, the scheduler hands out exactly the slots it was built over —
+// Handed == Enqueued, and every hand-out is either an own-queue pop or
+// a steal (OwnPops + Steals == Handed). NextFrom's provenance must
+// agree with the steal counter.
+func TestStatsConservation(t *testing.T) {
+	const n = 500
+	slots := make([]int, n)
+	for i := range slots {
+		slots[i] = i
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		s := New(slots, workers)
+
+		var mu sync.Mutex
+		got := map[int]int{}
+		var stolen int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				for {
+					slot, from, ok := s.NextFrom(id)
+					if !ok {
+						if from != -1 {
+							t.Errorf("workers=%d: exhausted NextFrom reported origin %d, want -1", workers, from)
+						}
+						return
+					}
+					mu.Lock()
+					got[slot]++
+					if from != id {
+						stolen++
+					}
+					mu.Unlock()
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		if len(got) != n {
+			t.Fatalf("workers=%d: delivered %d distinct slots, want %d", workers, len(got), n)
+		}
+		for slot, count := range got {
+			if count != 1 {
+				t.Fatalf("workers=%d: slot %d delivered %d times", workers, slot, count)
+			}
+		}
+		st := s.Stats()
+		if st.Enqueued != n {
+			t.Fatalf("workers=%d: Enqueued = %d, want %d", workers, st.Enqueued, n)
+		}
+		if st.Handed != st.Enqueued {
+			t.Fatalf("workers=%d: Handed = %d, want Enqueued = %d", workers, st.Handed, st.Enqueued)
+		}
+		if st.OwnPops+st.Steals != st.Handed {
+			t.Fatalf("workers=%d: OwnPops(%d) + Steals(%d) != Handed(%d)",
+				workers, st.OwnPops, st.Steals, st.Handed)
+		}
+		if st.Steals != stolen {
+			t.Fatalf("workers=%d: Stats.Steals = %d but NextFrom reported %d foreign origins",
+				workers, st.Steals, stolen)
+		}
+		if workers == 1 && st.Steals != 0 {
+			t.Fatalf("single worker stole %d slots from itself", st.Steals)
+		}
+		if st.Rescans > st.VictimScans {
+			t.Fatalf("workers=%d: Rescans(%d) > VictimScans(%d)", workers, st.Rescans, st.VictimScans)
+		}
+	}
+}

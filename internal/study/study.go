@@ -90,6 +90,12 @@ type World struct {
 	// log back to them at every slot boundary.
 	hostMark int
 	authMark int
+	// telWorker/telStealFrom identify, for telemetry spans only, which
+	// executor worker measures on this world and where its current slot
+	// came from (-1 = the worker's own queue). The sequential runner
+	// uses worker 0; the parallel executor stamps each replica.
+	telWorker    int
+	telStealFrom int
 }
 
 // Well-known public resolver addresses.

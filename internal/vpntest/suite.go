@@ -9,7 +9,17 @@ import (
 	"vpnscope/internal/capture"
 	"vpnscope/internal/geo"
 	"vpnscope/internal/netsim"
+	"vpnscope/internal/telemetry"
 )
+
+// TestTiming records one executed suite step's virtual-time cost.
+// Collected only while telemetry is enabled, and excluded from result
+// serialization (the campaign's committer folds timings into telemetry
+// histograms instead), so enabling it cannot change result bytes.
+type TestTiming struct {
+	Test    string
+	Virtual time.Duration
+}
 
 // VPReport is everything the suite learned about one vantage point —
 // the per-vantage-point analogue of the paper's per-run logs and packet
@@ -44,6 +54,11 @@ type VPReport struct {
 
 	// Errors collects per-test failures without aborting the run.
 	Errors []string
+
+	// TestTimings holds per-test virtual durations for telemetry; only
+	// populated while a telemetry sink is enabled and never serialized
+	// with results (see TestTiming).
+	TestTimings []TestTiming `json:"-"`
 }
 
 // WriteCaptures writes the run's packet trace in pcap format.
@@ -97,6 +112,7 @@ func RunSuite(env *Env, opts SuiteOptions) *VPReport {
 	}
 	clock := env.Stack.Net.Clock
 	start := clock.Now()
+	collectTimings := telemetry.Active() != nil
 	step := func(test string, fn func() error) {
 		if opts.SuiteBudget > 0 && clock.Now()-start >= opts.SuiteBudget {
 			r.Errors = append(r.Errors,
@@ -106,6 +122,9 @@ func RunSuite(env *Env, opts SuiteOptions) *VPReport {
 		began := clock.Now()
 		if err := runRecovered(fn); err != nil {
 			r.Errors = append(r.Errors, fmt.Sprintf("%s: %v", test, err))
+		}
+		if collectTimings {
+			r.TestTimings = append(r.TestTimings, TestTiming{Test: test, Virtual: clock.Now() - began})
 		}
 		if opts.TestBudget > 0 {
 			if spent := clock.Now() - began; spent > opts.TestBudget {

@@ -4,15 +4,22 @@
 # benchmarks"). One full-study iteration takes a few seconds; the
 # scaling sweep repeats the campaign at workers ∈ {1,2,4,8}.
 #
-#   BENCH_OUT   trajectory file (default BENCH_4.json)
+#   BENCH_OUT   trajectory file (default BENCH_5.json)
 #   BENCH_LABEL label for this run (default: short git hash, or "local")
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${BENCH_OUT:-BENCH_4.json}"
+out="${BENCH_OUT:-BENCH_5.json}"
 label="${BENCH_LABEL:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}"
 
 go test -bench 'BenchmarkFullStudy$|BenchmarkStudySequential$|BenchmarkStudyParallelScaling/' \
+    -benchtime 1x -benchmem -run '^$' . |
+    go run ./cmd/benchtrend -out "$out" -label "$label"
+
+# Observability tax: the same campaign with the telemetry sink off vs
+# on, plus the raw record path (its zero-alloc gate lives inside the
+# benchmark and fails the run if an instrumentation site regresses).
+go test -bench 'BenchmarkTelemetryOverhead/' \
     -benchtime 1x -benchmem -run '^$' . |
     go run ./cmd/benchtrend -out "$out" -label "$label"
 
