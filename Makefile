@@ -1,6 +1,6 @@
 # Convenience targets; the authoritative tier-1 line lives in ROADMAP.md.
 
-.PHONY: build test race tier1 bench
+.PHONY: build test race tier1 bench loadtest
 
 build:
 	go build ./...
@@ -13,13 +13,15 @@ race:
 
 # tier1 is the full verification gate: build, vet, tests, race subset
 # (the study wildcard covers internal/study/slotsched), the telemetry
-# sink race suite, study bench smoke, and the alloc-gated fast-path and
+# sink race suite, the daemon race suite (admission, drain, kill -9
+# chaos), study bench smoke, and the alloc-gated fast-path and
 # checkpoint-merge benches.
 tier1: build
 	go vet ./...
 	go test ./...
 	$(MAKE) race
 	go test -race ./internal/telemetry/...
+	go test -race ./internal/server/...
 	go test -bench Study -benchtime 1x -run '^$$' .
 	go test -bench 'Exchange|BuildPacket|Deliver' -benchtime 1x -run '^$$' ./internal/netsim
 	go test -bench 'CheckpointMerge' -benchtime 1x -run '^$$' ./internal/study
@@ -28,3 +30,9 @@ tier1: build
 # BENCH_*.json trajectory (override with BENCH_OUT / BENCH_LABEL).
 bench:
 	sh scripts/bench.sh
+
+# loadtest drives a real vpnscoped daemon with concurrent clients and
+# reports campaigns/sec and p99 time-to-first-result (override with
+# LOADTEST_CAMPAIGNS / LOADTEST_CLIENTS).
+loadtest:
+	sh scripts/loadtest.sh

@@ -14,12 +14,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"vpnscope/internal/analysis"
@@ -87,7 +91,12 @@ func main() {
 		w.EnableFaults(profile)
 	}
 
-	cfg := study.RunConfig{ConnectAttempts: *retries, QuarantineAfter: *quarantine, Parallel: *parallel}
+	// SIGINT/SIGTERM cancel the campaign at the next vantage-point slot
+	// boundary: with -checkpoint, the interrupted run resumes via
+	// -resume and regenerates identical figures.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	cfg := study.RunConfig{ConnectAttempts: *retries, QuarantineAfter: *quarantine, Parallel: *parallel, Ctx: ctx}
 	if *resume != "" {
 		partial, env, err := results.LoadFile(*resume)
 		if err != nil {
@@ -115,6 +124,19 @@ func main() {
 		res, err = w.RunWith(cfg)
 	}
 	stopProgress() // final progress line before the report starts
+	if errors.Is(err, study.ErrCanceled) {
+		stopSignals() // a second signal now kills the process the hard way
+		at := 0
+		if res != nil {
+			at = res.VPsAttempted
+		}
+		if *checkpoint != "" {
+			log.Printf("interrupted after %d vantage points; resume with -resume %s", at, *checkpoint)
+		} else {
+			log.Printf("interrupted after %d vantage points (no -checkpoint, progress not saved)", at)
+		}
+		os.Exit(130)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,11 +12,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"path/filepath"
@@ -96,7 +100,12 @@ func main() {
 		}
 		w.EnableFaults(profile)
 	}
-	cfg := study.RunConfig{ConnectAttempts: *retries, QuarantineAfter: *quarantine, Parallel: *parallel}
+	// SIGINT/SIGTERM cancel the audit at the next vantage-point slot
+	// boundary: the latest checkpoint (when -checkpoint is set) is
+	// already durable, so an interrupted audit resumes with -resume.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	cfg := study.RunConfig{ConnectAttempts: *retries, QuarantineAfter: *quarantine, Parallel: *parallel, Ctx: ctx}
 	if *resume != "" {
 		partial, env, err := results.LoadFile(*resume)
 		if err != nil {
@@ -118,6 +127,19 @@ func main() {
 	}
 	res, err := w.RunProviderWith(*provider, cfg)
 	stopProgress() // final progress line before the report starts
+	if errors.Is(err, study.ErrCanceled) {
+		stopSignals() // a second signal now kills the process the hard way
+		at := 0
+		if res != nil {
+			at = res.VPsAttempted
+		}
+		if *checkpoint != "" {
+			log.Printf("interrupted after %d vantage points; resume with -resume %s", at, *checkpoint)
+		} else {
+			log.Printf("interrupted after %d vantage points (no -checkpoint, progress not saved)", at)
+		}
+		os.Exit(130)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

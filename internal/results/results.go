@@ -158,51 +158,99 @@ func LoadFile(path string) (*study.Result, *Envelope, error) {
 	return Load(f)
 }
 
+// Injectable seams for the atomic-write steps, overridden by the
+// injected-failure tests so every error branch of WriteFileAtomic is
+// exercised without a real disk fault.
+var (
+	createTemp = os.CreateTemp
+	syncFile   = func(f *os.File) error { return f.Sync() }
+	closeFile  = func(f *os.File) error { return f.Close() }
+	renameFile = os.Rename
+)
+
+// WriteFileAtomic is the durability primitive behind CheckpointFunc and
+// SaveFile: write writes the content to a temp file in path's
+// directory, the temp file is fsynced, renamed over path, and the
+// directory entry fsynced — so a crash or power loss at any step leaves
+// either the old file or the new one, never a truncation. On failure
+// the orphaned temp file is removed and the returned error names the
+// path (and the failing step).
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := createTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("results: writing %s: creating temp: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("results: writing %s: %w", path, err)
+	}
+	// Flush to stable storage before the rename publishes the file:
+	// rename is atomic against crashes only once the data it points
+	// at is durable, otherwise power loss can leave a truncated or
+	// empty checkpoint under the final name.
+	if err := syncFile(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("results: writing %s: fsync: %w", path, err)
+	}
+	if err := closeFile(tmp); err != nil {
+		return fmt.Errorf("results: writing %s: close: %w", path, err)
+	}
+	if err := renameFile(tmpName, path); err != nil {
+		return fmt.Errorf("results: writing %s: rename: %w", path, err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("results: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// SaveFile writes a result envelope to path with WriteFileAtomic's
+// durability discipline — the file-shaped form of Save, used for final
+// campaign envelopes that must survive a crash mid-write.
+func SaveFile(path string, res *study.Result, opts ...Option) error {
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		return Save(w, res, opts...)
+	})
+}
+
 // CheckpointFunc returns a study.RunConfig.Checkpoint callback that
-// streams each partial result to path, writing a temp file, fsyncing,
-// and renaming so a crash — or a power loss — never corrupts or
-// truncates the previous checkpoint. The envelope is marked Partial;
-// re-save the final result without Partial once the campaign returns.
+// streams each partial result to path via WriteFileAtomic, so a crash —
+// or a power loss — never corrupts or truncates the previous
+// checkpoint. The envelope is marked Partial; re-save the final result
+// without Partial once the campaign returns.
 func CheckpointFunc(path string, opts ...Option) func(*study.Result) error {
 	opts = append([]Option{Partial()}, opts...)
 	return func(res *study.Result) error {
-		tmp, err := os.CreateTemp(filepath.Dir(path), ".checkpoint-*")
+		var bytesOut int64
+		err := WriteFileAtomic(path, func(w io.Writer) error {
+			// Count serialized bytes only when telemetry is on, keeping
+			// the disabled path free of the extra writer indirection.
+			var cw *countingWriter
+			dst := w
+			if telemetry.Active() != nil {
+				cw = &countingWriter{w: w}
+				dst = cw
+			}
+			if err := Save(dst, res, opts...); err != nil {
+				return err
+			}
+			if cw != nil {
+				bytesOut = cw.n
+			}
+			return nil
+		})
 		if err != nil {
-			return fmt.Errorf("results: checkpoint: %w", err)
-		}
-		defer os.Remove(tmp.Name())
-		// Count serialized bytes only when telemetry is on, keeping the
-		// disabled path free of the extra writer indirection.
-		var cw *countingWriter
-		var dst io.Writer = tmp
-		if telemetry.Active() != nil {
-			cw = &countingWriter{w: tmp}
-			dst = cw
-		}
-		if err := Save(dst, res, opts...); err != nil {
-			tmp.Close()
 			return err
 		}
-		// Flush to stable storage before the rename publishes the file:
-		// rename is atomic against crashes only once the data it points
-		// at is durable, otherwise power loss can leave a truncated or
-		// empty checkpoint under the final name.
-		if err := tmp.Sync(); err != nil {
-			tmp.Close()
-			return fmt.Errorf("results: checkpoint: %w", err)
-		}
-		if err := tmp.Close(); err != nil {
-			return fmt.Errorf("results: checkpoint: %w", err)
-		}
-		if err := os.Rename(tmp.Name(), path); err != nil {
-			return fmt.Errorf("results: checkpoint: %w", err)
-		}
-		if cw != nil {
+		if bytesOut > 0 {
 			if t := telemetry.Active(); t != nil {
-				t.M.CheckpointBytes.Add(cw.n)
+				t.M.CheckpointBytes.Add(bytesOut)
 			}
 		}
-		return syncDir(filepath.Dir(path))
+		return nil
 	}
 }
 
@@ -225,11 +273,11 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
-		return fmt.Errorf("results: checkpoint: %w", err)
+		return fmt.Errorf("syncing dir: %w", err)
 	}
 	defer d.Close()
 	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
-		return fmt.Errorf("results: checkpoint: %w", err)
+		return fmt.Errorf("syncing dir: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,547 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"vpnscope/internal/results"
+	"vpnscope/internal/study"
+	"vpnscope/internal/vpn"
+)
+
+// Config tunes the daemon. The zero value is not runnable: StateDir is
+// required (campaign durability is not optional); everything else
+// defaults via fill.
+type Config struct {
+	// StateDir holds campaign specs, checkpoints, results, and error
+	// markers. It is the daemon's only durable state: a daemon restarted
+	// over the same StateDir resumes every in-flight campaign.
+	StateDir string
+	// QueueBound caps how many admitted campaigns may wait for fleet
+	// capacity (running campaigns don't count). Submissions beyond it
+	// get 429 + Retry-After. Default 16.
+	QueueBound int
+	// FleetWorkers is the shared worker-fleet size: the sum of Workers
+	// across running campaigns never exceeds it. Default GOMAXPROCS.
+	FleetWorkers int
+	// MaxPerTenant caps one tenant's queued+running campaigns; over it,
+	// submissions get 429 + Retry-After. Zero = no per-tenant quota.
+	MaxPerTenant int
+	// DrainGrace is how long a drain waits for running campaigns to
+	// finish naturally before canceling them at the next slot boundary
+	// (they checkpoint and resume on the next start). Default 0: cancel
+	// immediately — in-flight work is checkpointed, not lost.
+	DrainGrace time.Duration
+	// RetryAfter is the backpressure hint attached to 429/503 responses.
+	// Default 2s.
+	RetryAfter time.Duration
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() error {
+	if c.StateDir == "" {
+		return errors.New("server: Config.StateDir is required")
+	}
+	if c.QueueBound <= 0 {
+		c.QueueBound = 16
+	}
+	if c.FleetWorkers <= 0 {
+		c.FleetWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// State is a campaign's lifecycle position.
+type State string
+
+const (
+	// StateQueued: admitted (spec durably recorded), waiting for fleet
+	// capacity. Recovered in-flight campaigns re-enter here.
+	StateQueued State = "queued"
+	// StateRunning: measuring on fleet workers, checkpointing after
+	// every vantage-point outcome.
+	StateRunning State = "running"
+	// StateDone: finished; the final envelope is on disk and served by
+	// the result endpoint.
+	StateDone State = "done"
+	// StateFailed: terminally failed (run error, deadline, client
+	// cancellation, or panic); never resumed.
+	StateFailed State = "failed"
+	// StateInterrupted: stopped by a drain with its checkpoint durable;
+	// the next daemon start re-queues and resumes it.
+	StateInterrupted State = "interrupted"
+)
+
+// terminal reports whether no further transition can happen in this
+// process (interrupted campaigns transition only via restart).
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateInterrupted
+}
+
+// Event is one entry in a campaign's progress stream.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"` // queued|started|progress|done|failed|interrupted
+	// SlotsDone/SlotsTotal track vantage-point slots (total is known
+	// once the world is built).
+	SlotsDone  int `json:"slots_done"`
+	SlotsTotal int `json:"slots_total,omitempty"`
+	// Reports/Failures are committed outcome counts so far.
+	Reports  int    `json:"reports"`
+	Failures int    `json:"failures"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// campaign is one submission's in-memory state. All mutable fields are
+// guarded by mu; events only ever append, and cond broadcasts on every
+// append so streamers can tail.
+type campaign struct {
+	id     string
+	spec   CampaignSpec
+	seq    int // admission order, preserved across restart by id sort
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	state      State
+	errText    string
+	slotsTotal int
+	events     []Event
+	cancel     context.CancelCauseFunc // non-nil while running
+	resumedVPs int                     // VPs already decided by the recovered checkpoint
+	done       chan struct{}           // closed when the runner goroutine exits
+}
+
+func newCampaign(id string, seq int, spec CampaignSpec) *campaign {
+	c := &campaign{id: id, seq: seq, spec: spec, state: StateQueued, done: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// emit appends an event (seq assigned under the lock) and wakes
+// streamers. Callers must not hold c.mu.
+func (c *campaign) emit(ev Event) {
+	c.mu.Lock()
+	ev.Seq = len(c.events)
+	c.events = append(c.events, ev)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// setState transitions the campaign and emits the matching event.
+func (c *campaign) setState(s State, detail string) {
+	c.mu.Lock()
+	c.state = s
+	if s == StateFailed {
+		c.errText = detail
+	}
+	ev := Event{Type: string(s), SlotsTotal: c.slotsTotal, Detail: detail}
+	ev.Seq = len(c.events)
+	c.events = append(c.events, ev)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// workers clamps the spec's requested worker count to the fleet.
+func (c *campaign) workers(fleet int) int {
+	w := c.spec.Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > fleet {
+		w = fleet
+	}
+	return w
+}
+
+// Daemon is the resident campaign service. Create with New, start the
+// scheduler with Start, expose Handler over HTTP, stop with Drain.
+type Daemon struct {
+	cfg Config
+
+	mu        sync.Mutex
+	queueCond *sync.Cond // queue non-empty, or draining
+	fleetCond *sync.Cond // fleet tokens released, or draining
+	campaigns map[string]*campaign
+	order     []*campaign // admission order, for listing
+	queue     []*campaign
+	fleetFree int
+	idSeq     int
+	draining  bool
+
+	schedDone  chan struct{}
+	runnersWG  sync.WaitGroup
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+// Sentinel cancellation causes, distinguishable via context.Cause.
+var (
+	errDraining       = errors.New("server: daemon draining")
+	errClientCanceled = errors.New("server: canceled by client")
+)
+
+// New creates a daemon over cfg.StateDir and recovers its durable
+// state: done and failed campaigns re-register for the read endpoints,
+// and every in-flight campaign (spec present, no result, no error
+// marker) re-enters the queue in its original admission order, to be
+// resumed from its checkpoint.
+func New(cfg Config) (*Daemon, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:       cfg,
+		campaigns: map[string]*campaign{},
+		fleetFree: cfg.FleetWorkers,
+		schedDone: make(chan struct{}),
+	}
+	d.queueCond = sync.NewCond(&d.mu)
+	d.fleetCond = sync.NewCond(&d.mu)
+	d.baseCtx, d.baseCancel = context.WithCancel(context.Background())
+	if err := d.recoverState(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Start launches the scheduler. Call once.
+func (d *Daemon) Start() {
+	go d.schedule()
+}
+
+// schedule is the admission-to-fleet pump: strictly FIFO, it parks
+// until the queue head can get its worker tokens, then hands the
+// campaign to an isolated runner goroutine. FIFO (no head-of-line
+// bypass) keeps scheduling fair and starvation-free: the head campaign
+// always gets the next released tokens.
+func (d *Daemon) schedule() {
+	defer close(d.schedDone)
+	for {
+		d.mu.Lock()
+		for len(d.queue) == 0 && !d.draining {
+			d.queueCond.Wait()
+		}
+		if d.draining {
+			d.mu.Unlock()
+			return
+		}
+		c := d.queue[0]
+		need := c.workers(d.cfg.FleetWorkers)
+		for d.fleetFree < need && !d.draining {
+			d.fleetCond.Wait()
+		}
+		if d.draining {
+			d.mu.Unlock()
+			return
+		}
+		d.queue = d.queue[1:]
+		d.fleetFree -= need
+		d.runnersWG.Add(1)
+		d.mu.Unlock()
+		go d.runCampaign(c, need)
+	}
+}
+
+// runCampaign executes one campaign on `need` fleet tokens, with panic
+// isolation: a panic anywhere in the build or measurement stack marks
+// this campaign failed and releases its tokens; the daemon, the other
+// campaigns, and the fleet live on.
+func (d *Daemon) runCampaign(c *campaign, need int) {
+	defer d.runnersWG.Done()
+	defer close(c.done)
+	defer func() {
+		d.mu.Lock()
+		d.fleetFree += need
+		d.fleetCond.Broadcast()
+		d.mu.Unlock()
+	}()
+	defer func() {
+		if r := recover(); r != nil {
+			detail := fmt.Sprintf("panic: %v", r)
+			d.cfg.Logf("campaign %s: %s", c.id, detail)
+			d.writeErrorMarker(c.id, detail)
+			c.setState(StateFailed, detail)
+		}
+	}()
+
+	ctx, cancel := context.WithCancelCause(d.baseCtx)
+	defer cancel(nil)
+	if c.spec.TimeoutSec > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, time.Duration(c.spec.TimeoutSec*float64(time.Second)))
+		defer tcancel()
+	}
+	c.mu.Lock()
+	c.cancel = cancel
+	c.state = StateRunning
+	c.mu.Unlock()
+
+	w, err := buildWorldFn(&c.spec)
+	if err != nil {
+		d.failCampaign(c, fmt.Sprintf("building world: %v", err))
+		return
+	}
+	slotsTotal := 0
+	for _, p := range w.Providers {
+		if p.Spec.Client == vpn.BrowserExtension {
+			continue
+		}
+		slotsTotal += len(p.VPs)
+	}
+
+	// Resume a prior daemon life's checkpoint, if one survived.
+	var resume *study.Result
+	resumed := 0
+	if partial, env, err := results.LoadFile(d.ckptPath(c.id)); err == nil {
+		if env.Seed != c.spec.Seed {
+			d.failCampaign(c, fmt.Sprintf("checkpoint seed %d does not match spec seed %d", env.Seed, c.spec.Seed))
+			return
+		}
+		resume = partial
+		resumed = partial.VPsAttempted
+	}
+	c.mu.Lock()
+	c.slotsTotal = slotsTotal
+	c.resumedVPs = resumed
+	c.mu.Unlock()
+	c.emit(Event{Type: "started", SlotsTotal: slotsTotal, SlotsDone: resumed,
+		Detail: fmt.Sprintf("workers=%d resumed=%d", need, resumed)})
+
+	ckpt := results.CheckpointFunc(d.ckptPath(c.id), c.spec.envelopeOptions()...)
+	progress := func(r *study.Result) error {
+		if err := ckpt(r); err != nil {
+			return err
+		}
+		c.emit(Event{Type: "progress", SlotsDone: r.VPsAttempted, SlotsTotal: slotsTotal,
+			Reports: len(r.Reports), Failures: len(r.ConnectFailures)})
+		return nil
+	}
+
+	res, err := runStudyFn(w, c.spec.runConfig(ctx, need, progress, resume))
+	switch {
+	case err == nil:
+		if err := results.SaveFile(d.resultPath(c.id), res, c.spec.envelopeOptions()...); err != nil {
+			d.failCampaign(c, fmt.Sprintf("saving result: %v", err))
+			return
+		}
+		c.setState(StateDone, "")
+		d.cfg.Logf("campaign %s: done (%d reports, %d failures)", c.id, len(res.Reports), len(res.ConnectFailures))
+	case errors.Is(err, study.ErrCanceled):
+		cause := context.Cause(ctx)
+		switch {
+		case errors.Is(cause, errDraining):
+			// The checkpoint is durable; the next daemon start resumes.
+			c.setState(StateInterrupted, "draining: checkpointed for resume")
+			at := 0
+			if res != nil {
+				at = res.VPsAttempted
+			}
+			d.cfg.Logf("campaign %s: interrupted by drain at %d/%d slots", c.id, at, slotsTotal)
+		case errors.Is(cause, errClientCanceled):
+			d.failCampaign(c, "canceled by client")
+		case errors.Is(ctx.Err(), context.DeadlineExceeded):
+			d.failCampaign(c, fmt.Sprintf("deadline exceeded after %.0fs", c.spec.TimeoutSec))
+		default:
+			d.failCampaign(c, fmt.Sprintf("canceled: %v", cause))
+		}
+	default:
+		d.failCampaign(c, err.Error())
+	}
+}
+
+// failCampaign marks a campaign terminally failed, durably: the error
+// marker stops crash recovery from resurrecting it.
+func (d *Daemon) failCampaign(c *campaign, detail string) {
+	d.cfg.Logf("campaign %s: failed: %s", c.id, detail)
+	d.writeErrorMarker(c.id, detail)
+	c.setState(StateFailed, detail)
+}
+
+// Submit admits a campaign: validation, drain gate, tenant quota, queue
+// bound, then durable spec persistence — in that order. The returned
+// campaign is queued; a SubmitError carries the HTTP status and
+// Retry-After for the refusal cases.
+func (d *Daemon) Submit(spec CampaignSpec) (*campaign, error) {
+	if err := spec.validate(); err != nil {
+		return nil, &SubmitError{Status: 400, Err: err}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		return nil, &SubmitError{Status: 503, RetryAfter: d.cfg.RetryAfter, Err: errDraining}
+	}
+	if d.cfg.MaxPerTenant > 0 {
+		active := 0
+		for _, c := range d.campaigns {
+			c.mu.Lock()
+			busy := c.state == StateQueued || c.state == StateRunning
+			c.mu.Unlock()
+			if busy && c.spec.tenant() == spec.tenant() {
+				active++
+			}
+		}
+		if active >= d.cfg.MaxPerTenant {
+			return nil, &SubmitError{Status: 429, RetryAfter: d.cfg.RetryAfter,
+				Err: fmt.Errorf("server: tenant %q at quota (%d active campaigns)", spec.tenant(), active)}
+		}
+	}
+	if len(d.queue) >= d.cfg.QueueBound {
+		return nil, &SubmitError{Status: 429, RetryAfter: d.cfg.RetryAfter,
+			Err: fmt.Errorf("server: queue full (%d campaigns waiting)", len(d.queue))}
+	}
+	d.idSeq++
+	id := fmt.Sprintf("c%08d", d.idSeq)
+	c := newCampaign(id, d.idSeq, spec)
+	// Durability before admission: the spec hits disk (fsynced) before
+	// the caller hears 202, so an admitted campaign can never be lost
+	// to a crash.
+	if err := d.writeSpec(c); err != nil {
+		d.idSeq--
+		return nil, &SubmitError{Status: 500, Err: err}
+	}
+	d.campaigns[id] = c
+	d.order = append(d.order, c)
+	d.queue = append(d.queue, c)
+	c.events = append(c.events, Event{Type: string(StateQueued)})
+	d.queueCond.Signal()
+	d.cfg.Logf("campaign %s: admitted (tenant=%s queue=%d)", id, spec.tenant(), len(d.queue))
+	return c, nil
+}
+
+// SubmitError is an admission refusal with its HTTP shape.
+type SubmitError struct {
+	Status     int
+	RetryAfter time.Duration
+	Err        error
+}
+
+func (e *SubmitError) Error() string { return e.Err.Error() }
+func (e *SubmitError) Unwrap() error { return e.Err }
+
+// Cancel cancels a queued or running campaign on a client's behalf.
+func (d *Daemon) Cancel(id string) error {
+	d.mu.Lock()
+	c := d.campaigns[id]
+	if c == nil {
+		d.mu.Unlock()
+		return fmt.Errorf("server: unknown campaign %s", id)
+	}
+	// If still queued, drop it from the queue so the scheduler never
+	// starts it.
+	for i, q := range d.queue {
+		if q == c {
+			d.queue = append(d.queue[:i], d.queue[i+1:]...)
+			d.mu.Unlock()
+			d.failCampaign(c, "canceled by client")
+			return nil
+		}
+	}
+	d.mu.Unlock()
+	c.mu.Lock()
+	cancel := c.cancel
+	state := c.state
+	c.mu.Unlock()
+	if state.terminal() {
+		return fmt.Errorf("server: campaign %s already %s", id, state)
+	}
+	if cancel != nil {
+		cancel(errClientCanceled)
+	}
+	return nil
+}
+
+// Drain gracefully stops the daemon: admission closes (Submit returns
+// 503), the scheduler exits leaving queued campaigns durably on disk,
+// running campaigns get DrainGrace to finish naturally and are then
+// canceled — stopping at their next slot boundary with a durable
+// checkpoint. Drain returns once every runner has exited; the caller
+// can then stop the HTTP listener and exit 0.
+func (d *Daemon) Drain() {
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		<-d.schedDone
+		d.runnersWG.Wait()
+		return
+	}
+	d.draining = true
+	d.queueCond.Broadcast()
+	d.fleetCond.Broadcast()
+	d.mu.Unlock()
+	<-d.schedDone
+
+	finished := make(chan struct{})
+	go func() {
+		d.runnersWG.Wait()
+		close(finished)
+	}()
+	if d.cfg.DrainGrace > 0 {
+		select {
+		case <-finished:
+			return
+		case <-time.After(d.cfg.DrainGrace):
+		}
+	}
+	// Cancel every running campaign, and keep sweeping: a campaign the
+	// scheduler had already popped but not yet marked running at the
+	// first sweep still gets canceled on a later one.
+	for {
+		d.cancelRunning(errDraining)
+		select {
+		case <-finished:
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// cancelRunning cancels every campaign currently in StateRunning with
+// the given cause. Idempotent per campaign.
+func (d *Daemon) cancelRunning(cause error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range d.campaigns {
+		c.mu.Lock()
+		cancel := c.cancel
+		running := c.state == StateRunning
+		c.mu.Unlock()
+		if running && cancel != nil {
+			cancel(cause)
+		}
+	}
+}
+
+// Draining reports whether admission is closed.
+func (d *Daemon) Draining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+// Campaign looks up a campaign by id.
+func (d *Daemon) Campaign(id string) (*campaign, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.campaigns[id]
+	return c, ok
+}
+
+// Campaigns lists every known campaign in admission order.
+func (d *Daemon) Campaigns() []*campaign {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*campaign, len(d.order))
+	copy(out, d.order)
+	return out
+}

@@ -1,0 +1,261 @@
+// HTTP/JSON surface of the daemon.
+//
+//	POST   /campaigns             submit a CampaignSpec → 202 {id}
+//	GET    /campaigns             list campaigns
+//	GET    /campaigns/{id}        status JSON
+//	GET    /campaigns/{id}/result final envelope (200 once done)
+//	GET    /campaigns/{id}/events NDJSON progress stream (tails live)
+//	DELETE /campaigns/{id}        cancel
+//	GET    /healthz               process liveness (always 200)
+//	GET    /readyz                admission readiness (503 while draining)
+//	GET    /metricsz              live telemetry snapshot
+//
+// Backpressure is part of the contract, not an error path: refused
+// submissions carry Retry-After, and a draining daemon answers 503
+// everywhere new work could enter.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"vpnscope/internal/telemetry"
+)
+
+// Handler returns the daemon's HTTP API.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", d.handleSubmit)
+	mux.HandleFunc("GET /campaigns", d.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", d.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/result", d.handleResult)
+	mux.HandleFunc("GET /campaigns/{id}/events", d.handleEvents)
+	mux.HandleFunc("DELETE /campaigns/{id}", d.handleCancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if d.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	mux.HandleFunc("GET /metricsz", func(w http.ResponseWriter, r *http.Request) {
+		tel := telemetry.Active()
+		if tel == nil {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "telemetry disabled (start vpnscoped with -metrics)"})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := tel.WriteMetricsTo(w); err != nil {
+			d.cfg.Logf("metricsz: %v", err)
+		}
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec CampaignSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("decoding spec: %v", err)})
+		return
+	}
+	c, err := d.Submit(spec)
+	if err != nil {
+		var se *SubmitError
+		if errors.As(err, &se) {
+			if se.RetryAfter > 0 {
+				secs := int(se.RetryAfter.Round(time.Second) / time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+			}
+			writeJSON(w, se.Status, map[string]string{"error": se.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"id":     c.id,
+		"status": "/campaigns/" + c.id,
+		"events": "/campaigns/" + c.id + "/events",
+		"result": "/campaigns/" + c.id + "/result",
+	})
+}
+
+// statusView is the wire form of a campaign's status.
+type statusView struct {
+	ID         string       `json:"id"`
+	State      State        `json:"state"`
+	Spec       CampaignSpec `json:"spec"`
+	SlotsDone  int          `json:"slots_done"`
+	SlotsTotal int          `json:"slots_total,omitempty"`
+	Reports    int          `json:"reports"`
+	Failures   int          `json:"failures"`
+	Error      string       `json:"error,omitempty"`
+}
+
+func (c *campaign) status() statusView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := statusView{
+		ID:         c.id,
+		State:      c.state,
+		Spec:       c.spec,
+		SlotsTotal: c.slotsTotal,
+		Error:      c.errText,
+	}
+	// The latest progress event carries the committed counts.
+	for i := len(c.events) - 1; i >= 0; i-- {
+		ev := c.events[i]
+		if ev.Type == "progress" || ev.Type == "started" {
+			v.SlotsDone = ev.SlotsDone
+			v.Reports = ev.Reports
+			v.Failures = ev.Failures
+			break
+		}
+	}
+	return v
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
+	var out []statusView
+	for _, c := range d.Campaigns() {
+		out = append(out, c.status())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out})
+}
+
+func (d *Daemon) campaignOr404(w http.ResponseWriter, r *http.Request) (*campaign, bool) {
+	c, ok := d.Campaign(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown campaign " + r.PathValue("id")})
+	}
+	return c, ok
+}
+
+func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c, ok := d.campaignOr404(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, c.status())
+}
+
+func (d *Daemon) handleResult(w http.ResponseWriter, r *http.Request) {
+	c, ok := d.campaignOr404(w, r)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	state := c.state
+	c.mu.Unlock()
+	if state != StateDone {
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": fmt.Sprintf("campaign %s is %s, result not available", c.id, state)})
+		return
+	}
+	f, err := os.Open(d.resultPath(c.id))
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/json")
+	http.ServeContent(w, r, c.id+".result.json", time.Time{}, f)
+}
+
+func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
+	c, ok := d.campaignOr404(w, r)
+	if !ok {
+		return
+	}
+	if err := d.Cancel(c.id); err != nil {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": c.id, "status": "cancel requested"})
+}
+
+// handleEvents streams the campaign's event log as NDJSON: the buffered
+// history first, then live events as they land, ending when the
+// campaign reaches a terminal state or the client goes away. `?from=N`
+// skips the first N events.
+func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
+	c, ok := d.campaignOr404(w, r)
+	if !ok {
+		return
+	}
+	from := 0
+	if s := r.URL.Query().Get("from"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad from parameter"})
+			return
+		}
+		from = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// Wake the tailing loop when the client disconnects: the campaign
+	// cond has no idea about the HTTP request's lifetime.
+	ctx := r.Context()
+	stopWake := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stopWake()
+
+	cursor := from
+	for {
+		c.mu.Lock()
+		for cursor >= len(c.events) && !c.state.terminal() && ctx.Err() == nil {
+			c.cond.Wait()
+		}
+		batch := make([]Event, len(c.events)-cursor)
+		copy(batch, c.events[cursor:])
+		terminal := c.state.terminal()
+		c.mu.Unlock()
+		if ctx.Err() != nil {
+			return
+		}
+		for _, ev := range batch {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		cursor += len(batch)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal && len(batch) == 0 {
+			return
+		}
+		if terminal {
+			// Drain any events emitted between the copy and now, then
+			// loop once more to exit through the empty-batch path.
+			continue
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// ServeConfig wraps a daemon Config with the process-level knobs the
+// CLI (and the chaos-test subprocess) share.
+type ServeConfig struct {
+	Config
+	// Addr is the HTTP listen address (e.g. "127.0.0.1:8080"; ":0"
+	// picks a free port).
+	Addr string
+	// Ready, when set, is called with the bound address once the
+	// listener is accepting — before any signal can stop the daemon.
+	Ready func(addr string)
+}
+
+// Serve runs the full daemon lifecycle: recover state, start the
+// scheduler, serve HTTP on Addr, and block until SIGINT/SIGTERM. On
+// signal it drains — admission closes, queued specs stay durable,
+// running campaigns finish or checkpoint — then stops the listener and
+// returns nil, so the process can exit 0. A second signal aborts the
+// wait and returns an error.
+func Serve(cfg ServeConfig) error {
+	d, err := New(cfg.Config)
+	if err != nil {
+		return err
+	}
+	d.Start()
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: d.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	if cfg.Ready != nil {
+		cfg.Ready(ln.Addr().String())
+	}
+	cfg.Logf("vpnscoped listening on %s (state %s, fleet %d, queue %d)",
+		ln.Addr(), cfg.StateDir, d.cfg.FleetWorkers, d.cfg.QueueBound)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	select {
+	case sig := <-sigc:
+		cfg.Logf("received %v: draining (admission closed, in-flight campaigns finishing or checkpointing)", sig)
+		drained := make(chan struct{})
+		go func() {
+			d.Drain()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case sig2 := <-sigc:
+			return errors.New("second signal (" + sig2.String() + ") before drain finished")
+		}
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+		cfg.Logf("drain complete, exiting")
+		return nil
+	case err := <-serveErr:
+		return err
+	}
+}

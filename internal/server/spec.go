@@ -1,0 +1,213 @@
+// Package server is the campaign-as-a-service layer: a resident daemon
+// that accepts campaign specs over an HTTP/JSON API, multiplexes
+// concurrent campaigns over a bounded shared worker fleet (and the
+// study package's world-template cache), streams progress events, and
+// survives crashes — every running campaign checkpoints after each
+// vantage-point outcome, and a restarted daemon resumes all in-flight
+// campaigns byte-identically to an uninterrupted run.
+//
+// The robustness contract, stated once and tested in chaos_test.go:
+//
+//	admission → queue → fleet → committer → drain
+//
+//   - Admission is explicit: a bounded queue with 429/Retry-After
+//     backpressure when full, plus per-tenant quotas. Nothing is ever
+//     accepted that the daemon has not durably recorded (the spec file
+//     is fsynced before the 202 goes out).
+//   - Execution is isolated: each campaign runs under its own context
+//     (deadline, drain, or client cancellation stop it at the next
+//     vantage-point slot boundary) and its own panic shield — one
+//     poisoned campaign cannot take down the fleet.
+//   - Results are deterministic: the final envelope of a campaign that
+//     was queued, preempted, crashed, and resumed is byte-identical to
+//     the same spec run uninterrupted in one shot (RunOneShot), because
+//     the study layer's slot-aligned determinism contract makes every
+//     checkpoint a resumable pure prefix.
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"vpnscope/internal/ecosystem"
+	"vpnscope/internal/faultsim"
+	"vpnscope/internal/results"
+	"vpnscope/internal/study"
+	"vpnscope/internal/vpn"
+)
+
+// CampaignSpec is the submission payload: everything a campaign needs
+// to be reproduced from scratch. A spec is the unit of durability — the
+// daemon persists it verbatim at admission, and crash recovery re-runs
+// it (resuming its checkpoint) with no other state.
+type CampaignSpec struct {
+	// Seed drives every stochastic element of the world and campaign.
+	Seed uint64 `json:"seed"`
+	// Providers restricts the campaign to a subset of the tested
+	// catalog (empty = all 62). Unknown names are rejected at admission.
+	Providers []string `json:"providers,omitempty"`
+	// FaultProfile names a faultsim profile to run under (empty = clean).
+	FaultProfile string `json:"fault_profile,omitempty"`
+	// Workers is how many fleet workers the campaign wants (clamped to
+	// [1, Config.FleetWorkers]; results are byte-identical regardless).
+	Workers int `json:"workers,omitempty"`
+	// ConnectAttempts / QuarantineAfter forward to study.RunConfig.
+	ConnectAttempts int `json:"connect_attempts,omitempty"`
+	QuarantineAfter int `json:"quarantine_after,omitempty"`
+	// TimeoutSec is a wall-clock deadline; a campaign over it is failed
+	// at the next slot boundary. Zero = no deadline.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// Tenant is the quota key (empty = "default").
+	Tenant string `json:"tenant,omitempty"`
+
+	// World-size knobs, forwarded to study.Options (zero = that
+	// package's defaults). Small values make cheap smoke campaigns.
+	VPsPerProvider  int `json:"vps_per_provider,omitempty"`
+	ExtraTLSHosts   int `json:"extra_tls_hosts,omitempty"`
+	LandmarkCount   int `json:"landmark_count,omitempty"`
+	MaxFullSuiteVPs int `json:"max_full_suite_vps,omitempty"`
+}
+
+// tenant returns the quota key.
+func (s *CampaignSpec) tenant() string {
+	if s.Tenant == "" {
+		return "default"
+	}
+	return s.Tenant
+}
+
+// validate checks everything admission can check without building a
+// world: fault-profile and provider names must resolve.
+func (s *CampaignSpec) validate() error {
+	if s.FaultProfile != "" {
+		if _, err := faultsim.ByName(s.FaultProfile); err != nil {
+			return err
+		}
+	}
+	if len(s.Providers) > 0 {
+		known := map[string]bool{}
+		for _, n := range ecosystem.TestedNames() {
+			known[n] = true
+		}
+		for _, n := range s.Providers {
+			if !known[n] {
+				return fmt.Errorf("server: unknown provider %q", n)
+			}
+		}
+	}
+	if s.TimeoutSec < 0 {
+		return fmt.Errorf("server: negative timeout")
+	}
+	return nil
+}
+
+// buildOptions resolves the spec to study.Options. The provider subset
+// is materialized from the tested catalog at the spec's seed and VP
+// count, exactly as a one-shot caller would.
+func (s *CampaignSpec) buildOptions() study.Options {
+	opts := study.Options{
+		Seed:            s.Seed,
+		VPsPerProvider:  s.VPsPerProvider,
+		ExtraTLSHosts:   s.ExtraTLSHosts,
+		LandmarkCount:   s.LandmarkCount,
+		MaxFullSuiteVPs: s.MaxFullSuiteVPs,
+	}
+	if len(s.Providers) > 0 {
+		vps := s.VPsPerProvider
+		if vps == 0 {
+			vps = 5 // study.Options.fill's default
+		}
+		all := ecosystem.TestedSpecs(s.Seed, vps)
+		want := map[string]bool{}
+		for _, n := range s.Providers {
+			want[n] = true
+		}
+		var subset []vpn.ProviderSpec
+		for _, ps := range all {
+			if want[ps.Name] {
+				subset = append(subset, ps)
+			}
+		}
+		opts.Providers = subset
+	}
+	return opts
+}
+
+// envelopeOptions are the serialization options every envelope of this
+// spec — checkpoints and final results, daemon-run or one-shot — is
+// written with, so byte comparison across paths is meaningful.
+func (s *CampaignSpec) envelopeOptions() []results.Option {
+	opts := []results.Option{results.WithSeed(s.Seed)}
+	if s.FaultProfile != "" {
+		opts = append(opts, results.WithFaultProfile(s.FaultProfile))
+	}
+	return opts
+}
+
+// runConfig assembles the study.RunConfig for this spec. checkpoint and
+// resume may be nil.
+func (s *CampaignSpec) runConfig(ctx context.Context, workers int, checkpoint func(*study.Result) error, resume *study.Result) study.RunConfig {
+	return study.RunConfig{
+		ConnectAttempts: s.ConnectAttempts,
+		QuarantineAfter: s.QuarantineAfter,
+		Parallel:        workers,
+		Ctx:             ctx,
+		Checkpoint:      checkpoint,
+		Resume:          resume,
+	}
+}
+
+// buildWorldFn builds the spec's world; a test seam so admission and
+// isolation tests can substitute instant or poisoned worlds.
+var buildWorldFn = func(spec *CampaignSpec) (*study.World, error) {
+	w, err := study.Build(spec.buildOptions())
+	if err != nil {
+		return nil, err
+	}
+	if spec.FaultProfile != "" {
+		profile, err := faultsim.ByName(spec.FaultProfile)
+		if err != nil {
+			return nil, err
+		}
+		w.EnableFaults(profile)
+	}
+	return w, nil
+}
+
+// runStudyFn executes a built world's campaign; a test seam so fleet
+// and backpressure tests can hold campaigns open deterministically.
+var runStudyFn = func(w *study.World, cfg study.RunConfig) (*study.Result, error) {
+	return w.RunWith(cfg)
+}
+
+// RunOneShot runs a campaign spec synchronously in-process, with no
+// daemon, queue, or persistence — the reference execution the daemon's
+// crash-recovery chaos tests compare against, and the engine behind
+// `vpnscoped -oneshot`.
+func RunOneShot(ctx context.Context, spec CampaignSpec) (*study.Result, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	w, err := buildWorldFn(&spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.TimeoutSec > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.TimeoutSec*float64(time.Second)))
+		defer cancel()
+	}
+	return runStudyFn(w, spec.runConfig(ctx, spec.Workers, nil, nil))
+}
+
+// EnvelopeBytes serializes a result under the spec's envelope options —
+// the byte-identity currency of the chaos tests.
+func EnvelopeBytes(spec CampaignSpec, res *study.Result) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := results.Save(&buf, res, spec.envelopeOptions()...); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

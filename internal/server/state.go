@@ -1,0 +1,125 @@
+// Durable campaign state. The state directory is the daemon's whole
+// memory:
+//
+//	<id>.spec.json    the submission, fsynced before admission succeeds
+//	<id>.ckpt.json    the latest checkpoint (atomic rename per outcome)
+//	<id>.result.json  the final envelope of a finished campaign
+//	<id>.error        the terminal-failure marker (never resumed)
+//
+// Crash recovery is a pure function of this layout: spec with result →
+// done; spec with error marker → failed; spec alone (checkpoint or
+// not) → in-flight, re-queued in admission order and resumed. Every
+// file is written atomically (results.WriteFileAtomic), so a kill -9
+// at any instant leaves a directory recovery can always parse.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"vpnscope/internal/results"
+)
+
+// writeFileAtomic is the shared durability primitive (temp + fsync +
+// rename + dir sync, orphan cleanup on failure).
+var writeFileAtomic = results.WriteFileAtomic
+
+func (d *Daemon) specPath(id string) string   { return filepath.Join(d.cfg.StateDir, id+".spec.json") }
+func (d *Daemon) ckptPath(id string) string   { return filepath.Join(d.cfg.StateDir, id+".ckpt.json") }
+func (d *Daemon) resultPath(id string) string { return filepath.Join(d.cfg.StateDir, id+".result.json") }
+func (d *Daemon) errorPath(id string) string  { return filepath.Join(d.cfg.StateDir, id+".error") }
+
+// specFile is the on-disk admission record.
+type specFile struct {
+	ID   string       `json:"id"`
+	Spec CampaignSpec `json:"spec"`
+}
+
+// writeSpec durably records an admission.
+func (d *Daemon) writeSpec(c *campaign) error {
+	return writeFileAtomic(d.specPath(c.id), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(specFile{ID: c.id, Spec: c.spec})
+	})
+}
+
+// writeErrorMarker durably records a terminal failure so recovery never
+// resumes the campaign. Marker-write failures are logged, not fatal:
+// the worst outcome is a re-run after restart, which is deterministic
+// anyway.
+func (d *Daemon) writeErrorMarker(id, detail string) {
+	err := writeFileAtomic(d.errorPath(id), func(w io.Writer) error {
+		_, werr := io.WriteString(w, detail)
+		return werr
+	})
+	if err != nil {
+		d.cfg.Logf("campaign %s: writing error marker: %v", id, err)
+	}
+}
+
+// recoverState scans the state directory and rebuilds the daemon's
+// in-memory view: terminal campaigns re-register for the read
+// endpoints, in-flight ones re-enter the queue sorted by admission
+// order (ids are zero-padded sequence numbers, so lexical order is
+// admission order).
+func (d *Daemon) recoverState() error {
+	if err := os.MkdirAll(d.cfg.StateDir, 0o755); err != nil {
+		return fmt.Errorf("server: state dir: %w", err)
+	}
+	entries, err := os.ReadDir(d.cfg.StateDir)
+	if err != nil {
+		return fmt.Errorf("server: state dir: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if id, ok := strings.CutSuffix(name, ".spec.json"); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		raw, err := os.ReadFile(d.specPath(id))
+		if err != nil {
+			return fmt.Errorf("server: recovering %s: %w", id, err)
+		}
+		var sf specFile
+		if err := json.Unmarshal(raw, &sf); err != nil {
+			return fmt.Errorf("server: recovering %s: %w", id, err)
+		}
+		d.idSeq++
+		c := newCampaign(id, d.idSeq, sf.Spec)
+		d.campaigns[id] = c
+		d.order = append(d.order, c)
+		switch {
+		case exists(d.resultPath(id)):
+			c.state = StateDone
+			c.events = append(c.events, Event{Type: string(StateDone), Detail: "recovered"})
+		case exists(d.errorPath(id)):
+			c.state = StateFailed
+			if msg, err := os.ReadFile(d.errorPath(id)); err == nil {
+				c.errText = string(msg)
+			}
+			c.events = append(c.events, Event{Type: string(StateFailed), Detail: c.errText})
+		default:
+			// In-flight at crash or drain: requeue. The runner finds and
+			// resumes the checkpoint file, when one exists.
+			c.state = StateQueued
+			c.events = append(c.events, Event{Type: string(StateQueued), Detail: "recovered"})
+			d.queue = append(d.queue, c)
+			d.cfg.Logf("campaign %s: recovered in-flight, requeued", id)
+		}
+	}
+	return nil
+}
+
+func exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}

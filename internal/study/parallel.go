@@ -153,6 +153,14 @@ func (w *World) runParallelSlots(specs []slotSpec, c *committer, workers int) (*
 				if stop.Load() {
 					continue // drain the scheduler, measure nothing
 				}
+				if err := cfg.canceled(); err != nil {
+					// Deliver the cancellation instead of dropping the
+					// slot: the committer may already be parked waiting
+					// for exactly this index, and an undelivered slot
+					// would strand it forever.
+					deliver(i, &vpResult{err: err})
+					continue
+				}
 				s := specs[i]
 				if flags[s.provIdx].Load() {
 					continue // committer skip-commits this slot itself
@@ -185,6 +193,10 @@ func (w *World) runParallelSlots(specs []slotSpec, c *committer, workers int) (*
 
 	var retErr error
 	for i, s := range specs {
+		if err := cfg.canceled(); err != nil {
+			retErr = err
+			break
+		}
 		needMeasure, err := c.prepare(s)
 		if err != nil {
 			retErr = err

@@ -1,6 +1,8 @@
 package study
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -135,7 +137,21 @@ type RunConfig struct {
 	// replicas are rebuilt from Options and cannot observe such
 	// mutations.
 	Parallel int
+	// Ctx, when non-nil, cancels the campaign cooperatively: no new
+	// vantage-point slot starts once the context is done, the committer
+	// stops advancing, and the runner returns the partial Result
+	// alongside an error wrapping ctx.Err(). Cancellation lands only at
+	// slot boundaries, so every outcome committed before it has already
+	// been checkpointed — a canceled campaign's checkpoint resumes
+	// byte-identically, exactly like a killed one (ErrCanceled
+	// distinguishes cooperative stops from real failures).
+	Ctx context.Context
 }
+
+// ErrCanceled wraps the context error a canceled campaign returns; test
+// with errors.Is. The accompanying partial Result is valid and — when a
+// Checkpoint callback was set — already durably checkpointed.
+var ErrCanceled = errors.New("study: campaign canceled")
 
 func (c *RunConfig) fill() {
 	if c.ConnectAttempts <= 0 {
@@ -156,6 +172,18 @@ func (c *RunConfig) fill() {
 	if c.Parallel < 1 {
 		c.Parallel = 1
 	}
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
+	}
+}
+
+// canceled reports the campaign's cooperative-stop error, or nil while
+// the context is live.
+func (c *RunConfig) canceled() error {
+	if err := c.Ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
 }
 
 // campaignBase is the virtual time at which the first vantage-point
@@ -474,10 +502,15 @@ func (w *World) runCampaign(cfg RunConfig, specs []slotSpec) (*Result, error) {
 }
 
 // runSequential measures every spec in canonical order on the primary
-// world, resetting it at each slot boundary.
+// world, resetting it at each slot boundary. Cancellation is checked
+// once per slot: a canceled context stops the campaign before the next
+// measurement starts, never mid-slot.
 func (w *World) runSequential(specs []slotSpec, c *committer) (*Result, error) {
 	w.markCampaign()
 	for _, s := range specs {
+		if err := c.cfg.canceled(); err != nil {
+			return c.finish(), err
+		}
 		needMeasure, err := c.prepare(s)
 		if err != nil {
 			return c.finish(), err
