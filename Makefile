@@ -12,10 +12,11 @@ race:
 	go test -race -short ./internal/study/... ./internal/faultsim/... ./internal/netsim/... ./internal/results/...
 
 # tier1 is the full verification gate: build, vet, tests, race subset
-# (the study wildcard covers internal/study/slotsched), the telemetry
-# sink race suite, the daemon race suite (admission, drain, kill -9
-# chaos), study bench smoke, and the alloc-gated fast-path and
-# checkpoint-merge benches.
+# (the study wildcard covers internal/study/slotsched and the sharded
+# outcome log in internal/results/shardlog), the telemetry sink race
+# suite, the daemon race suite (admission, drain, kill -9 chaos), study
+# bench smoke, and the alloc-gated fast-path, checkpoint-merge, and
+# shard-log benches.
 tier1: build
 	go vet ./...
 	go test ./...
@@ -25,6 +26,7 @@ tier1: build
 	go test -bench Study -benchtime 1x -run '^$$' .
 	go test -bench 'Exchange|BuildPacket|Deliver' -benchtime 1x -run '^$$' ./internal/netsim
 	go test -bench 'CheckpointMerge' -benchtime 1x -run '^$$' ./internal/study
+	go test -bench 'ShardedOutcomes' -benchtime 1x -run '^$$' ./internal/results/shardlog
 
 # bench runs the full-study benchmarks and appends the numbers to the
 # BENCH_*.json trajectory (override with BENCH_OUT / BENCH_LABEL).

@@ -18,6 +18,7 @@ import (
 	"vpnscope/internal/netsim"
 	"vpnscope/internal/ovpnconf"
 	"vpnscope/internal/report"
+	"vpnscope/internal/results/shardlog"
 	"vpnscope/internal/stats"
 	"vpnscope/internal/study"
 	"vpnscope/internal/telemetry"
@@ -101,7 +102,7 @@ func BenchmarkTable4Redirections(b *testing.B) {
 	_, res := loadStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows := analysis.Redirections(res.Reports)
+		rows := analysis.Redirections(analysis.Slice(res.Reports))
 		// The paper's table tops out with Turkey's IP-literal block
 		// page hit by 8 providers.
 		if len(rows) == 0 || rows[0].Destination != "http://195.175.254.2" || rows[0].VPNs != 8 {
@@ -114,7 +115,7 @@ func BenchmarkTable5SharedBlocks(b *testing.B) {
 	_, res := loadStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		infra := analysis.Infrastructure(res.Reports, 3)
+		infra := analysis.Infrastructure(analysis.Slice(res.Reports), 3)
 		if len(infra.SharedBlocks) < 8 {
 			b.Fatalf("shared blocks = %d, want >= 8 (Table 5)", len(infra.SharedBlocks))
 		}
@@ -128,7 +129,7 @@ func BenchmarkTable6Leakage(b *testing.B) {
 	_, res := loadStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		leaks := analysis.Leaks(res.Reports)
+		leaks := analysis.Leaks(analysis.Slice(res.Reports))
 		if len(leaks.DNSLeakers) != 2 {
 			b.Fatalf("DNS leakers = %v, want 2 (Table 6)", leaks.DNSLeakers)
 		}
@@ -221,7 +222,7 @@ func BenchmarkFigure6CensorshipRedirect(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		found := false
-		for _, row := range analysis.Redirections(res.Reports) {
+		for _, row := range analysis.Redirections(analysis.Slice(res.Reports)) {
 			if row.Destination == "http://fz139.ttk.ru" && row.Country == "RU" {
 				found = true
 			}
@@ -238,7 +239,7 @@ func BenchmarkFigure7AdInjection(b *testing.B) {
 	_, res := loadStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		inj := analysis.Injections(res.Reports)
+		inj := analysis.Injections(analysis.Slice(res.Reports))
 		if len(inj) != 1 || inj[0].Provider != "Seed4.me" {
 			b.Fatalf("injections = %+v, want exactly Seed4.me (Figure 7)", inj)
 		}
@@ -251,7 +252,7 @@ func BenchmarkFigure8SharedNetworks(b *testing.B) {
 	_, res := loadStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		infra := analysis.Infrastructure(res.Reports, 3)
+		infra := analysis.Infrastructure(analysis.Slice(res.Reports), 3)
 		for ip, provs := range infra.SharedExactIP {
 			if len(provs) < 2 {
 				b.Fatalf("exact-IP share %s lists %v", ip, provs)
@@ -267,7 +268,7 @@ func BenchmarkFigure9RTTColocation(b *testing.B) {
 	w, res := loadStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		series := analysis.Figure9Series(res.Reports, "HideMyAss")
+		series := analysis.Figure9Series(analysis.Slice(res.Reports), "HideMyAss")
 		if len(series) < 60 {
 			b.Fatalf("HideMyAss series = %d, want the big sweep (Figure 9c)", len(series))
 		}
@@ -288,7 +289,7 @@ func BenchmarkResultInjectionCount(b *testing.B) {
 	_, res := loadStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if n := len(analysis.Injections(res.Reports)); n != 1 {
+		if n := len(analysis.Injections(analysis.Slice(res.Reports))); n != 1 {
 			b.Fatalf("injecting providers = %d, want 1 (§6.1.3)", n)
 		}
 	}
@@ -298,7 +299,7 @@ func BenchmarkResultProxyDetection(b *testing.B) {
 	_, res := loadStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		proxies := analysis.TransparentProxies(res.Reports)
+		proxies := analysis.TransparentProxies(analysis.Slice(res.Reports))
 		if len(proxies) != 5 {
 			b.Fatalf("proxies = %v, want 5 (§6.2.1)", proxies)
 		}
@@ -309,7 +310,7 @@ func BenchmarkResultGeoDBAgreement(b *testing.B) {
 	w, res := loadStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows := analysis.GeoAgreement(res.Reports, w.Databases)
+		rows := analysis.GeoAgreement(analysis.Slice(res.Reports), w.Databases)
 		var google, maxmind float64
 		for _, r := range rows {
 			switch r.Database {
@@ -329,7 +330,7 @@ func BenchmarkResultVirtualVPs(b *testing.B) {
 	w, res := loadStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		vv := analysis.DetectVirtualVPs(res.Reports, w.Config)
+		vv := analysis.DetectVirtualVPs(analysis.Slice(res.Reports), w.Config)
 		if len(vv.Providers) != 6 {
 			b.Fatalf("virtual-VP providers = %v, want the paper's six (§6.4.2)", vv.Providers)
 		}
@@ -340,7 +341,7 @@ func BenchmarkResultTunnelFailure(b *testing.B) {
 	_, res := loadStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		leaks := analysis.Leaks(res.Reports)
+		leaks := analysis.Leaks(analysis.Slice(res.Reports))
 		rate := leaks.FailOpenRate()
 		if leaks.Applicable != 43 || rate < 0.5 || rate > 0.65 {
 			b.Fatalf("fail-open %d/%d = %.0f%%, want 25/43 = 58%% (§6.5)",
@@ -388,6 +389,41 @@ func benchmarkStudy(b *testing.B, parallel int) {
 		if len(res.Reports) == 0 {
 			b.Fatal("campaign measured nothing")
 		}
+	}
+}
+
+// BenchmarkFullCatalogCampaign measures the ecosystem-scale sweep: all
+// 200 catalog providers (hand-built specs for the tested 62, derived
+// profiles with planted ground truth for the rest) streamed into a
+// sharded append-only outcome log, sealed, then re-iterated with a
+// bounded-memory merge — the full-catalog CLI/daemon path end to end.
+func BenchmarkFullCatalogCampaign(b *testing.B) {
+	specs := ecosystem.CatalogSpecs(2018, loadCatalog(), 0, 0)
+	for i := 0; i < b.N; i++ {
+		lg, err := shardlog.Open(b.TempDir(), shardlog.Meta{Seed: 2018})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := study.Build(study.Options{Seed: 2018, Providers: specs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := w.RunWith(study.RunConfig{Stream: lg.Append})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := lg.MarkComplete(); err != nil {
+			b.Fatal(err)
+		}
+		merged := 0
+		if err := lg.Scan(func(study.Outcome) error { merged++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if merged == 0 || merged != res.VPsAttempted {
+			b.Fatalf("merged %d outcomes, campaign attempted %d", merged, res.VPsAttempted)
+		}
+		b.ReportMetric(float64(merged), "outcomes")
+		lg.Close()
 	}
 }
 

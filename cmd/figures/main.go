@@ -11,6 +11,18 @@
 //	        [-parallel N] [-cpuprofile FILE] [-memprofile FILE]
 //	        [-blockprofile FILE] [-mutexprofile FILE]
 //	        [-metrics FILE] [-trace FILE] [-progress]
+//
+// Ecosystem-scale sweeps stream per-outcome records into a sharded
+// append-only log instead of holding the result set in memory:
+//
+//	figures -catalog 200 -outcomes DIR [-shards K] [-months N]
+//
+// -catalog N audits the first N catalog providers (the 62 tested keep
+// their hand-built specs; the rest get procedurally derived synthetic
+// profiles with planted ground truth). A killed sweep resumes from the
+// same -outcomes directory. -months N re-audits the catalog at virtual
+// months 1..N and reports per-provider verdict churn against the
+// planted behavior drift.
 package main
 
 import (
@@ -18,6 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -55,7 +68,23 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a telemetry metrics snapshot (JSON) to this file")
 	traceOut := flag.String("trace", "", "write a campaign trace (Chrome trace-event JSON, load in chrome://tracing) to this file")
 	progress := flag.Bool("progress", false, "print a periodic progress line to stderr")
+	catalogN := flag.Int("catalog", 0, "sweep the first N catalog providers (synthetic profiles for untested entries; 0 = the tested 62)")
+	months := flag.Int("months", 0, "longitudinal mode: re-audit the catalog at virtual months 1..N and report verdict churn")
+	shards := flag.Int("shards", 0, "outcome-log shard count for -outcomes (0 = default)")
+	outcomes := flag.String("outcomes", "", "stream outcomes into this sharded log directory (bounded memory, kill-resumable)")
 	flag.Parse()
+
+	if (*catalogN > 0 || *months > 0) && *outcomes == "" {
+		log.Fatal("-catalog/-months sweeps stream their outcomes; set -outcomes DIR")
+	}
+	if *outcomes != "" {
+		if *checkpoint != "" || *resume != "" {
+			log.Fatal("-outcomes replaces -checkpoint/-resume (the log directory resumes itself)")
+		}
+		if *provider != "" || *jsonPath != "" {
+			log.Fatal("-provider/-json are not supported with -outcomes (use vpnaudit, or read the shard log)")
+		}
+	}
 
 	stopProf, err := profiling.Start(profiling.Config{
 		CPUProfile:   *cpuprofile,
@@ -79,6 +108,26 @@ func main() {
 		}
 	}
 
+	// SIGINT/SIGTERM cancel the campaign at the next vantage-point slot
+	// boundary: with -checkpoint (or a streamed -outcomes log), the
+	// interrupted run resumes and regenerates identical figures.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	if *outcomes != "" {
+		runCatalogMode(ctx, stopSignals, catalogParams{
+			seed: *seed, catalog: *catalogN, months: *months, shards: *shards,
+			outcomes: *outcomes, faults: *faults, fullVPs: *fullVPs,
+			retries: *retries, quarantine: *quarantine, parallel: *parallel,
+			stopProgress: stopProgress,
+		})
+		writeTelemetry(tel, *metricsOut, *traceOut)
+		if tel != nil {
+			report.WriteTelemetrySummary(os.Stdout, tel.Snapshot())
+		}
+		return
+	}
+
 	w, err := study.Build(study.Options{Seed: *seed, MaxFullSuiteVPs: *fullVPs})
 	if err != nil {
 		log.Fatal(err)
@@ -91,11 +140,6 @@ func main() {
 		w.EnableFaults(profile)
 	}
 
-	// SIGINT/SIGTERM cancel the campaign at the next vantage-point slot
-	// boundary: with -checkpoint, the interrupted run resumes via
-	// -resume and regenerates identical figures.
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stopSignals()
 	cfg := study.RunConfig{ConnectAttempts: *retries, QuarantineAfter: *quarantine, Parallel: *parallel, Ctx: ctx}
 	if *resume != "" {
 		partial, env, err := results.LoadFile(*resume)
@@ -161,12 +205,22 @@ func main() {
 		fmt.Fprintf(out, "raw results saved to %s\n", *jsonPath)
 	}
 
+	writeReport(out, analysis.Slice(res.Reports), res, w, tel)
+}
+
+// writeReport renders every §6 artifact from a report stream. src may
+// be an in-memory slice or a sharded outcome log; the multi-pass
+// analyses re-iterate it, so a log-backed stream never materializes
+// the result set. res supplies the campaign bookkeeping (counts,
+// failures, quarantines) — in streaming mode that is the lean result
+// reconstructed from the log, whose report stubs carry identity only.
+func writeReport(out io.Writer, src analysis.Reports, res *study.Result, w *study.World, tel *telemetry.Sink) {
 	fmt.Fprintf(out, "Study complete: %d vantage points attempted, %d measured, %d connect failures\n\n",
 		res.VPsAttempted, len(res.Reports), len(res.ConnectFailures))
 
 	// ----- Table 4: URL redirection destinations -----
 	var t4 [][]string
-	for _, row := range analysis.Redirections(res.Reports) {
+	for _, row := range analysis.Redirections(src) {
 		t4 = append(t4, []string{row.Destination, fmt.Sprint(row.VPNs), string(row.Country)})
 	}
 	report.Table(out, "Table 4: Destination domains of URL redirections",
@@ -174,7 +228,7 @@ func main() {
 
 	// ----- §6.1.3 / Figure 7: content injection -----
 	var injRows [][]string
-	for _, inj := range analysis.Injections(res.Reports) {
+	for _, inj := range analysis.Injections(src) {
 		injRows = append(injRows, []string{inj.Provider, fmt.Sprint(inj.Pages), strings.Join(inj.InjectedHosts, ", ")})
 	}
 	report.Table(out, "Figure 7 / §6.1.3: Providers injecting content",
@@ -182,14 +236,14 @@ func main() {
 
 	// ----- §6.2.1: transparent proxies -----
 	var proxyRows [][]string
-	for _, p := range analysis.TransparentProxies(res.Reports) {
+	for _, p := range analysis.TransparentProxies(src) {
 		proxyRows = append(proxyRows, []string{p})
 	}
 	report.Table(out, "§6.2.1: Transparent proxies (header regeneration)",
 		[]string{"Provider"}, proxyRows)
 
 	// ----- §6.1.2: TLS summary -----
-	tls := analysis.TLSSummary(res.Reports)
+	tls := analysis.TLSSummary(src)
 	report.Table(out, "§6.1.2: TLS interception & downgrade summary",
 		[]string{"Metric", "Value"}, [][]string{
 			{"Providers probed", fmt.Sprint(tls.Providers)},
@@ -200,12 +254,12 @@ func main() {
 		})
 
 	// ----- §6.1: DNS manipulation -----
-	manip := analysis.DNSManipulationSummary(res.Reports)
+	manip := analysis.DNSManipulationSummary(src)
 	report.Table(out, "§6.1: Providers with suspicious DNS answers",
 		[]string{"Provider"}, toRows(manip))
 
 	// ----- Table 5: shared address blocks -----
-	infra := analysis.Infrastructure(res.Reports, 3)
+	infra := analysis.Infrastructure(src, 3)
 	var t5 [][]string
 	for _, b := range infra.SharedBlocks {
 		t5 = append(t5, []string{b.Prefix, fmt.Sprintf("%d (%s)", b.ASN, b.Country), strings.Join(b.Providers, ", ")})
@@ -228,7 +282,7 @@ func main() {
 
 	// ----- §6.4.1: geolocation database agreement -----
 	var geoRows [][]string
-	for _, row := range analysis.GeoAgreement(res.Reports, w.Databases) {
+	for _, row := range analysis.GeoAgreement(src, w.Databases) {
 		geoRows = append(geoRows, []string{
 			row.Database,
 			fmt.Sprintf("%d/%d", row.Located, row.Compared),
@@ -240,7 +294,7 @@ func main() {
 		[]string{"Database", "Located", "Agree", "US-errors"}, geoRows)
 
 	// ----- §6.4.2: virtual vantage points -----
-	vv := analysis.DetectVirtualVPs(res.Reports, w.Config)
+	vv := analysis.DetectVirtualVPs(src, w.Config)
 	report.Table(out, "§6.4.2: Providers with 'virtual' vantage points",
 		[]string{"Provider"}, toRows(vv.Providers))
 	var vRows [][]string
@@ -265,7 +319,7 @@ func main() {
 
 	// ----- Figure 9: RTT series for the three providers in the paper -----
 	for _, name := range []string{"Le VPN", "MyIP.io", "HideMyAss"} {
-		series := analysis.Figure9Series(res.Reports, name)
+		series := analysis.Figure9Series(src, name)
 		if len(series) == 0 {
 			continue
 		}
@@ -280,7 +334,7 @@ func main() {
 	}
 
 	// ----- §6.5 / Table 6: leakage -----
-	leaks := analysis.Leaks(res.Reports)
+	leaks := analysis.Leaks(src)
 	report.Table(out, "Table 6: Providers leaking DNS and IPv6 traffic",
 		[]string{"Leakage", "Providers"}, [][]string{
 			{"DNS", strings.Join(leaks.DNSLeakers, ", ")},
@@ -294,7 +348,7 @@ func main() {
 	report.Table(out, "§6.5: Fail-open providers", []string{"Provider"}, toRows(leaks.FailOpen))
 
 	// ----- §7 extension: WebRTC address leakage -----
-	rtc := analysis.WebRTCLeaks(res.Reports)
+	rtc := analysis.WebRTCLeaks(src)
 	report.Table(out, "§7: WebRTC address-leak audit",
 		[]string{"Metric", "Value"}, [][]string{
 			{"Providers exposing the real address", fmt.Sprint(len(rtc.Exposed))},
@@ -302,7 +356,7 @@ func main() {
 		})
 
 	// ----- §6.6: peer-to-peer exit traffic -----
-	p2p := analysis.PeerExits(res.Reports)
+	p2p := analysis.PeerExits(src)
 	p2pProvs := make([]string, 0, len(p2p.Exiting))
 	for prov := range p2p.Exiting {
 		p2pProvs = append(p2pProvs, prov)

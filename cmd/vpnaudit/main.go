@@ -41,6 +41,8 @@ func main() {
 	provider := flag.String("provider", "", "provider to audit (see -list)")
 	seed := flag.Uint64("seed", 2018, "world seed")
 	list := flag.Bool("list", false, "list auditable providers and exit")
+	catalogN := flag.Int("catalog", 0, "resolve -provider and -list against the first N catalog entries (synthetic profiles for untested providers)")
+	month := flag.Int("month", 0, "audit a synthetic provider at this virtual month (applies its planted drift, if any)")
 	pcapDir := flag.String("pcap", "", "directory to write per-vantage-point pcap traces to")
 	faults := flag.String("faults", "", "inject a fault profile: none, mild, lossy, or hostile")
 	retries := flag.Int("retries", 0, "connect attempts per vantage point (0 = default)")
@@ -80,8 +82,14 @@ func main() {
 	}
 
 	if *list {
-		for _, name := range ecosystem.TestedNames() {
-			fmt.Println(name)
+		if *catalogN > 0 {
+			for _, name := range ecosystem.CatalogNames(ecosystem.BuildCatalogN(*seed, *catalogN)) {
+				fmt.Println(name)
+			}
+		} else {
+			for _, name := range ecosystem.TestedNames() {
+				fmt.Println(name)
+			}
 		}
 		return
 	}
@@ -89,7 +97,25 @@ func main() {
 		log.Fatal("missing -provider (use -list to see choices)")
 	}
 
-	w, err := study.Build(study.Options{Seed: *seed, CollectCaptures: *pcapDir != ""})
+	opts := study.Options{Seed: *seed, CollectCaptures: *pcapDir != ""}
+	if *catalogN > 0 {
+		// Synthetic profiles are a function of (seed, entry) alone, so a
+		// single-provider world audits identically to a full-catalog one.
+		found := false
+		for _, e := range ecosystem.BuildCatalogN(*seed, *catalogN) {
+			if e.Name == *provider {
+				opts.Providers = ecosystem.CatalogSpecs(*seed, []ecosystem.CatalogEntry{e}, 0, *month)
+				found = true
+				break
+			}
+		}
+		if !found {
+			log.Fatalf("provider %q is not in the first %d catalog entries (use -list -catalog %d)", *provider, *catalogN, *catalogN)
+		}
+	} else if *month != 0 {
+		log.Fatal("-month needs -catalog (tested providers never drift)")
+	}
+	w, err := study.Build(opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -75,17 +75,17 @@ func main() {
 
 	// The verdicts the paper reports — still recovered under chaos.
 	fmt.Println("\nverdicts under chaos:")
-	for _, inj := range analysis.Injections(res.Reports) {
+	for _, inj := range analysis.Injections(analysis.Slice(res.Reports)) {
 		fmt.Printf("  %s injects content on %d pages\n", inj.Provider, inj.Pages)
 	}
-	for _, p := range analysis.TransparentProxies(res.Reports) {
+	for _, p := range analysis.TransparentProxies(analysis.Slice(res.Reports)) {
 		fmt.Printf("  %s runs a transparent proxy\n", p)
 	}
-	leaks := analysis.Leaks(res.Reports)
+	leaks := analysis.Leaks(analysis.Slice(res.Reports))
 	for _, p := range leaks.DNSLeakers {
 		fmt.Printf("  %s leaks DNS queries\n", p)
 	}
-	for _, p := range analysis.DetectVirtualVPs(res.Reports, world.Config).Providers {
+	for _, p := range analysis.DetectVirtualVPs(analysis.Slice(res.Reports), world.Config).Providers {
 		fmt.Printf("  %s advertises virtual vantage points\n", p)
 	}
 }

@@ -39,7 +39,7 @@ func main() {
 	out := os.Stdout
 
 	// 1. Physical-impossibility findings.
-	vv := analysis.DetectVirtualVPs(reports, world.Config)
+	vv := analysis.DetectVirtualVPs(analysis.Slice(reports), world.Config)
 	var rows [][]string
 	for i, f := range vv.Findings {
 		if i >= 15 {
@@ -71,7 +71,7 @@ func main() {
 		[]string{"Provider", "VPs in cluster", "Claimed countries"}, cRows)
 
 	// 3. Figure 9: the RTT-series signature.
-	series := analysis.Figure9Series(reports, "MyIP.io")
+	series := analysis.Figure9Series(analysis.Slice(reports), "MyIP.io")
 	var ls []report.LabeledSeries
 	for _, s := range series {
 		ls = append(ls, report.LabeledSeries{Label: s.Label, Values: s.Sorted})
@@ -80,7 +80,7 @@ func main() {
 
 	// 4. What the geo databases think.
 	var gRows [][]string
-	for _, row := range analysis.GeoAgreement(reports, world.Databases) {
+	for _, row := range analysis.GeoAgreement(analysis.Slice(reports), world.Databases) {
 		gRows = append(gRows, []string{
 			row.Database,
 			fmt.Sprintf("%d/%d", row.Located, row.Compared),

@@ -9,6 +9,7 @@
 package analysis
 
 import (
+	"iter"
 	"net/url"
 	"sort"
 
@@ -16,6 +17,27 @@ import (
 	"vpnscope/internal/geodb"
 	"vpnscope/internal/vpntest"
 )
+
+// Reports is a re-iterable stream of vantage-point reports. Every
+// aggregation in this package consumes a stream instead of a slice, so
+// figures over an ecosystem-scale campaign can feed reports straight
+// from a sharded outcome log — one decoded report in memory at a time —
+// while small studies keep passing slices via Slice. Functions may
+// range over a Reports value more than once; implementations must
+// re-yield from the start on each iteration (shardlog reopens its
+// files; Slice re-walks the slice).
+type Reports = iter.Seq[*vpntest.VPReport]
+
+// Slice adapts an in-memory report slice to a Reports stream.
+func Slice(reports []*vpntest.VPReport) Reports {
+	return func(yield func(*vpntest.VPReport) bool) {
+		for _, r := range reports {
+			if !yield(r) {
+				return
+			}
+		}
+	}
+}
 
 // ---------------------------------------------------------------------
 // §6.1.1 — URL redirection (Table 4)
@@ -32,7 +54,7 @@ type RedirectRow struct {
 
 // Redirections tabulates every unrelated-domain redirect across all
 // reports, grouped by destination (Table 4).
-func Redirections(reports []*vpntest.VPReport) []RedirectRow {
+func Redirections(reports Reports) []RedirectRow {
 	type key struct {
 		dest    string
 		country geo.Country
@@ -46,7 +68,7 @@ func Redirections(reports []*vpntest.VPReport) []RedirectRow {
 		}
 		providers[k][r.Provider] = true
 	}
-	for _, r := range reports {
+	for r := range reports {
 		if r.DOM != nil {
 			for _, red := range r.DOM.Redirections {
 				add(r, red)
@@ -97,9 +119,9 @@ type InjectionFinding struct {
 }
 
 // Injections lists the providers whose vantage points injected content.
-func Injections(reports []*vpntest.VPReport) []InjectionFinding {
+func Injections(reports Reports) []InjectionFinding {
 	agg := map[string]*InjectionFinding{}
-	for _, r := range reports {
+	for r := range reports {
 		if r.DOM == nil {
 			continue
 		}
@@ -128,9 +150,9 @@ func Injections(reports []*vpntest.VPReport) []InjectionFinding {
 
 // TransparentProxies lists providers whose egress regenerated our
 // request headers (§6.2.1).
-func TransparentProxies(reports []*vpntest.VPReport) []string {
+func TransparentProxies(reports Reports) []string {
 	seen := map[string]bool{}
-	for _, r := range reports {
+	for r := range reports {
 		if r.Proxy != nil && r.Proxy.Modified && r.Proxy.Regenerated {
 			seen[r.Provider] = true
 		}
@@ -150,13 +172,13 @@ type TLSSummaryResult struct {
 }
 
 // TLSSummary tabulates interception, downgrades and VPN-blocking.
-func TLSSummary(reports []*vpntest.VPReport) TLSSummaryResult {
+func TLSSummary(reports Reports) TLSSummaryResult {
 	res := TLSSummaryResult{}
 	intercepted := map[string]bool{}
 	downgraded := map[string]bool{}
 	blocked := map[string]bool{}
 	providers := map[string]bool{}
-	for _, r := range reports {
+	for r := range reports {
 		if r.TLS == nil {
 			continue
 		}
@@ -208,7 +230,7 @@ type InfraSummary struct {
 
 // Infrastructure analyzes egress addresses and WHOIS blocks across all
 // reports. minProviders is the Table 5 threshold (3).
-func Infrastructure(reports []*vpntest.VPReport, minProviders int) InfraSummary {
+func Infrastructure(reports Reports, minProviders int) InfraSummary {
 	if minProviders <= 0 {
 		minProviders = 3
 	}
@@ -222,7 +244,7 @@ func Infrastructure(reports []*vpntest.VPReport, minProviders int) InfraSummary 
 	blockProviders := map[blockKey]map[string]bool{}
 	cidrProviders := map[string]map[string]bool{}
 
-	for _, r := range reports {
+	for r := range reports {
 		if r.Geo == nil || !r.Geo.EgressIP.IsValid() {
 			continue
 		}
@@ -293,31 +315,37 @@ type GeoAgreementRow struct {
 }
 
 // GeoAgreement compares claimed locations to database estimates for
-// every vantage point with a discovered egress address (§6.4.1).
-func GeoAgreement(reports []*vpntest.VPReport, dbs []*geodb.Database) []GeoAgreementRow {
-	rows := make([]GeoAgreementRow, 0, len(dbs))
-	for _, db := range dbs {
-		row := GeoAgreementRow{Database: db.Profile.Name}
-		for _, r := range reports {
-			if r.Geo == nil || !r.Geo.EgressIP.IsValid() || r.ClaimedCountry == "" {
-				continue
-			}
-			row.Compared++
+// every vantage point with a discovered egress address (§6.4.1). The
+// stream is read once — reports outer, databases inner — so a
+// shard-log-backed stream decodes each report a single time regardless
+// of how many databases are scored.
+func GeoAgreement(reports Reports, dbs []*geodb.Database) []GeoAgreementRow {
+	rows := make([]GeoAgreementRow, len(dbs))
+	for i, db := range dbs {
+		rows[i].Database = db.Profile.Name
+	}
+	for r := range reports {
+		if r.Geo == nil || !r.Geo.EgressIP.IsValid() || r.ClaimedCountry == "" {
+			continue
+		}
+		for i, db := range dbs {
+			rows[i].Compared++
 			c, ok := db.Locate(r.Geo.EgressIP)
 			if !ok {
 				continue
 			}
-			row.Located++
+			rows[i].Located++
 			if c == r.ClaimedCountry {
-				row.Agreed++
+				rows[i].Agreed++
 			} else if c == "US" {
-				row.USInconsistencies++
+				rows[i].USInconsistencies++
 			}
 		}
-		if row.Located > 0 {
-			row.AgreeRate = float64(row.Agreed) / float64(row.Located)
+	}
+	for i := range rows {
+		if rows[i].Located > 0 {
+			rows[i].AgreeRate = float64(rows[i].Agreed) / float64(rows[i].Located)
 		}
-		rows = append(rows, row)
 	}
 	return rows
 }

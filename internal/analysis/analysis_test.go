@@ -30,7 +30,7 @@ func TestRedirections(t *testing.T) {
 		{FromURL: "http://adult-video.example/", Destination: "http://warning.or.kr/", Status: 302},
 	}}
 
-	rows := Redirections([]*vpntest.VPReport{r1, r2, r3})
+	rows := Redirections(Slice([]*vpntest.VPReport{r1, r2, r3}))
 	if len(rows) != 2 {
 		t.Fatalf("rows = %+v", rows)
 	}
@@ -52,7 +52,7 @@ func TestInjectionsAggregation(t *testing.T) {
 	clean := mkReport("Clean", "Clean#0 (US)", "US")
 	clean.DOM = &vpntest.DOMResult{}
 
-	out := Injections([]*vpntest.VPReport{r, clean})
+	out := Injections(Slice([]*vpntest.VPReport{r, clean}))
 	if len(out) != 1 || out[0].Provider != "Seed4.me" || out[0].Pages != 2 {
 		t.Fatalf("out = %+v", out)
 	}
@@ -69,7 +69,7 @@ func TestTransparentProxies(t *testing.T) {
 	clean := mkReport("CleanVPN", "CleanVPN#0 (US)", "US")
 	clean.Proxy = &vpntest.ProxyResult{}
 
-	got := TransparentProxies([]*vpntest.VPReport{proxied, adder, clean})
+	got := TransparentProxies(Slice([]*vpntest.VPReport{proxied, adder, clean}))
 	if len(got) != 1 || got[0] != "ProxyVPN" {
 		t.Fatalf("got %v; header-adding proxies are not 'regeneration'", got)
 	}
@@ -84,7 +84,7 @@ func TestTLSSummary(t *testing.T) {
 	b := mkReport("B", "B#0 (US)", "US")
 	b.TLS = &vpntest.TLSResult{Downgraded: []string{"z.example"}}
 
-	s := TLSSummary([]*vpntest.VPReport{a, b})
+	s := TLSSummary(Slice([]*vpntest.VPReport{a, b}))
 	if s.Providers != 2 {
 		t.Errorf("providers = %d", s.Providers)
 	}
@@ -118,7 +118,7 @@ func TestInfrastructure(t *testing.T) {
 		mk("P4", "10.2.0.1", blockB),
 		mk("P5", "10.2.0.1", blockB), // exact IP shared with P4
 	}
-	s := Infrastructure(reports, 3)
+	s := Infrastructure(Slice(reports), 3)
 	if s.VantagePoints != 5 || s.DistinctIPs != 4 || s.DistinctCIDRs != 2 {
 		t.Fatalf("totals = %+v", s)
 	}
@@ -136,7 +136,7 @@ func TestInfrastructure(t *testing.T) {
 		t.Errorf("sharing providers = %d, want all 5", s.ProvidersSharingCIDR)
 	}
 	// Reports without geo data are skipped, not fatal.
-	s = Infrastructure([]*vpntest.VPReport{mkReport("X", "X#0", "US")}, 3)
+	s = Infrastructure(Slice([]*vpntest.VPReport{mkReport("X", "X#0", "US")}), 3)
 	if s.VantagePoints != 0 {
 		t.Error("geo-less report counted")
 	}
@@ -152,7 +152,7 @@ func TestGeoAgreement(t *testing.T) {
 	r2 := mkReport("B", "B#0 (KP)", "KP") // claims KP, actually DE
 	r2.Geo = &vpntest.GeoResult{EgressIP: netip.MustParseAddr("10.0.0.2")}
 
-	rows := GeoAgreement([]*vpntest.VPReport{r1, r2}, []*geodb.Database{perfect})
+	rows := GeoAgreement(Slice([]*vpntest.VPReport{r1, r2}), []*geodb.Database{perfect})
 	if len(rows) != 1 {
 		t.Fatal("row count")
 	}
@@ -174,7 +174,7 @@ func TestLeaksSummary(t *testing.T) {
 	l2.Failure = &vpntest.FailureResult{}
 	l3 := mkReport("C", "C#0 (US)", "US") // third-party: no leak tests
 
-	s := Leaks([]*vpntest.VPReport{l1, l2, l3})
+	s := Leaks(Slice([]*vpntest.VPReport{l1, l2, l3}))
 	if len(s.DNSLeakers) != 1 || s.DNSLeakers[0] != "A" {
 		t.Errorf("dns = %v", s.DNSLeakers)
 	}
@@ -208,7 +208,7 @@ func TestDNSManipulationSummary(t *testing.T) {
 	benign := mkReport("Benign", "B#0 (US)", "US")
 	benign.DNS = &vpntest.DNSManipulationResult{Diffs: []vpntest.DNSDiff{{Host: "x", Suspicious: false}}}
 
-	got := DNSManipulationSummary([]*vpntest.VPReport{bad, benign})
+	got := DNSManipulationSummary(Slice([]*vpntest.VPReport{bad, benign}))
 	if len(got) != 1 || got[0] != "Hijacker" {
 		t.Fatalf("got %v", got)
 	}

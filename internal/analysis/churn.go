@@ -1,0 +1,98 @@
+package analysis
+
+import "sort"
+
+// Longitudinal verdict churn (§7 follow-up direction): re-auditing the
+// same catalog at later virtual months and diffing per-provider
+// verdicts surfaces behavior drift — a provider fixing a DNS leak, a
+// client update going fail-open — without comparing raw result sets.
+
+// VerdictSet is one provider's boolean verdict vector for a single
+// audit pass, distilled in one pass over the report stream so a
+// longitudinal sweep never materializes a month's full result set.
+type VerdictSet struct {
+	DNSLeak  bool
+	IPv6Leak bool
+	FailOpen bool
+	Proxy    bool
+	Inject   bool
+}
+
+// verdictNames orders the VerdictSet fields for reporting.
+var verdictNames = []string{"dns-leak", "ipv6-leak", "fail-open", "proxy", "inject"}
+
+func (v VerdictSet) get(i int) bool {
+	switch i {
+	case 0:
+		return v.DNSLeak
+	case 1:
+		return v.IPv6Leak
+	case 2:
+		return v.FailOpen
+	case 3:
+		return v.Proxy
+	case 4:
+		return v.Inject
+	}
+	return false
+}
+
+// VerdictSnapshot distills per-provider verdicts from one audit pass.
+// The verdict logic mirrors Leaks, TransparentProxies, and Injections,
+// fused into a single stream iteration.
+func VerdictSnapshot(reports Reports) map[string]VerdictSet {
+	out := map[string]VerdictSet{}
+	for r := range reports {
+		v := out[r.Provider]
+		if r.Leaks != nil {
+			v.DNSLeak = v.DNSLeak || r.Leaks.DNSLeak
+			v.IPv6Leak = v.IPv6Leak || r.Leaks.IPv6Leak
+		}
+		if r.Failure != nil && r.Failure.Leaked {
+			v.FailOpen = true
+		}
+		if r.Proxy != nil && r.Proxy.Modified && r.Proxy.Regenerated {
+			v.Proxy = true
+		}
+		if r.DOM != nil && len(r.DOM.Injections) > 0 {
+			v.Inject = true
+		}
+		out[r.Provider] = v
+	}
+	return out
+}
+
+// ChurnEvent is one verdict flip between consecutive audit months.
+type ChurnEvent struct {
+	Provider string
+	Verdict  string
+	Month    int // the later month (the flip happened between Month-1 and Month)
+	From, To bool
+}
+
+// VerdictChurn diffs two monthly snapshots. Providers present in only
+// one snapshot are skipped — connect-failure noise, not churn.
+func VerdictChurn(prev, cur map[string]VerdictSet, month int) []ChurnEvent {
+	var out []ChurnEvent
+	for name, cv := range cur {
+		pv, ok := prev[name]
+		if !ok {
+			continue
+		}
+		for i, verdict := range verdictNames {
+			if pv.get(i) != cv.get(i) {
+				out = append(out, ChurnEvent{
+					Provider: name, Verdict: verdict, Month: month,
+					From: pv.get(i), To: cv.get(i),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Provider != out[j].Provider {
+			return out[i].Provider < out[j].Provider
+		}
+		return out[i].Verdict < out[j].Verdict
+	})
+	return out
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"vpnscope/internal/vpntest"
+)
+
+func TestVerdictSnapshotAndChurn(t *testing.T) {
+	leaky := &vpntest.VPReport{
+		Provider: "A",
+		Leaks:    &vpntest.LeakResult{DNSLeak: true},
+		Failure:  &vpntest.FailureResult{Leaked: true},
+	}
+	cleanA := &vpntest.VPReport{Provider: "A", Leaks: &vpntest.LeakResult{}}
+	proxyB := &vpntest.VPReport{
+		Provider: "B",
+		Proxy:    &vpntest.ProxyResult{Modified: true, Regenerated: true},
+	}
+	cleanB := &vpntest.VPReport{Provider: "B", Proxy: &vpntest.ProxyResult{}}
+
+	prev := VerdictSnapshot(Slice([]*vpntest.VPReport{leaky, cleanA, cleanB}))
+	if !prev["A"].DNSLeak || !prev["A"].FailOpen || prev["A"].IPv6Leak {
+		t.Fatalf("snapshot A = %+v", prev["A"])
+	}
+	if prev["B"] != (VerdictSet{}) {
+		t.Fatalf("snapshot B = %+v, want clean", prev["B"])
+	}
+
+	cur := VerdictSnapshot(Slice([]*vpntest.VPReport{cleanA, proxyB}))
+	got := VerdictChurn(prev, cur, 3)
+	want := []ChurnEvent{
+		{Provider: "A", Verdict: "dns-leak", Month: 3, From: true, To: false},
+		{Provider: "A", Verdict: "fail-open", Month: 3, From: true, To: false},
+		{Provider: "B", Verdict: "proxy", Month: 3, From: false, To: true},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("churn = %+v, want %+v", got, want)
+	}
+
+	// A provider missing from one snapshot is not churn.
+	delete(cur, "A")
+	if ev := VerdictChurn(prev, cur, 4); len(ev) != 1 || ev[0].Provider != "B" {
+		t.Fatalf("churn with missing provider = %+v", ev)
+	}
+}

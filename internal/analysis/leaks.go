@@ -2,8 +2,6 @@ package analysis
 
 import (
 	"sort"
-
-	"vpnscope/internal/vpntest"
 )
 
 // LeakSummary is the §6.5 aggregation (Table 6 plus the tunnel-failure
@@ -32,13 +30,13 @@ func (s LeakSummary) FailOpenRate() float64 {
 }
 
 // Leaks aggregates the leakage results across all reports.
-func Leaks(reports []*vpntest.VPReport) LeakSummary {
+func Leaks(reports Reports) LeakSummary {
 	dns := map[string]bool{}
 	v6 := map[string]bool{}
 	failOpen := map[string]bool{}
 	leakTested := map[string]bool{}
 	failTested := map[string]bool{}
-	for _, r := range reports {
+	for r := range reports {
 		if r.Leaks != nil {
 			leakTested[r.Provider] = true
 			if r.Leaks.DNSLeak {
@@ -99,9 +97,9 @@ func lastIndexByte(s string, b byte) int {
 
 // DNSManipulationSummary lists providers with suspicious resolver
 // diffs (§6.1: the paper found none beyond censorship).
-func DNSManipulationSummary(reports []*vpntest.VPReport) []string {
+func DNSManipulationSummary(reports Reports) []string {
 	seen := map[string]bool{}
-	for _, r := range reports {
+	for r := range reports {
 		if r.DNS != nil && r.DNS.Manipulated() {
 			seen[r.Provider] = true
 		}
@@ -119,10 +117,10 @@ type WebRTCSummary struct {
 }
 
 // WebRTCLeaks aggregates the WebRTC audit across all reports.
-func WebRTCLeaks(reports []*vpntest.VPReport) WebRTCSummary {
+func WebRTCLeaks(reports Reports) WebRTCSummary {
 	exposed := map[string]bool{}
 	masked := map[string]bool{}
-	for _, r := range reports {
+	for r := range reports {
 		if r.WebRTC == nil {
 			continue
 		}
@@ -152,10 +150,10 @@ type P2PSummary struct {
 }
 
 // PeerExits aggregates the §6.6 detection across all reports.
-func PeerExits(reports []*vpntest.VPReport) P2PSummary {
+func PeerExits(reports Reports) P2PSummary {
 	s := P2PSummary{Exiting: map[string][]string{}}
 	tested := map[string]bool{}
-	for _, r := range reports {
+	for r := range reports {
 		if r.P2P == nil {
 			continue
 		}
@@ -185,9 +183,9 @@ func containsStr(xs []string, x string) bool {
 }
 
 // SortedProviderList returns the distinct providers across reports.
-func SortedProviderList(reports []*vpntest.VPReport) []string {
+func SortedProviderList(reports Reports) []string {
 	seen := map[string]bool{}
-	for _, r := range reports {
+	for r := range reports {
 		seen[r.Provider] = true
 	}
 	out := sortedKeys(seen)

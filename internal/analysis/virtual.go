@@ -88,42 +88,56 @@ func correctedVector(r *vpntest.VPReport, cfg *vpntest.Config) []float64 {
 	return vec
 }
 
+// pingRec is the distilled per-vantage-point record the co-location
+// clustering needs — identity plus the raw ping vector. Keeping these
+// instead of whole reports bounds DetectVirtualVPs' memory to a few
+// hundred bytes per vantage point on streamed campaigns.
+type pingRec struct {
+	label   string
+	claimed geo.Country
+	vec     []float64
+}
+
 // DetectVirtualVPs runs both §6.4.2 analyses: the physical-impossibility
 // test per vantage point, and co-location clustering within providers.
-func DetectVirtualVPs(reports []*vpntest.VPReport, cfg *vpntest.Config) VirtualVPReport {
+// The stream is consumed in a single pass; only distilled ping vectors
+// are retained for clustering.
+func DetectVirtualVPs(reports Reports, cfg *vpntest.Config) VirtualVPReport {
 	out := VirtualVPReport{}
 	providers := map[string]bool{}
 
-	// Per-VP impossibility test.
-	for _, r := range reports {
-		f, ok := impossibilityTest(r, cfg)
-		if ok {
+	byProvider := map[string][]pingRec{}
+	for r := range reports {
+		// Per-VP impossibility test.
+		if f, ok := impossibilityTest(r, cfg); ok {
 			out.Findings = append(out.Findings, f)
 			providers[r.Provider] = true
+		}
+		// Distill what clustering needs.
+		if r.Pings != nil && len(r.Pings.Samples) > 0 {
+			byProvider[r.Provider] = append(byProvider[r.Provider], pingRec{
+				label:   r.VPLabel,
+				claimed: r.ClaimedCountry,
+				vec:     r.Pings.Vector(cfg),
+			})
 		}
 	}
 
 	// Co-location clustering per provider.
-	byProvider := map[string][]*vpntest.VPReport{}
-	for _, r := range reports {
-		if r.Pings != nil && len(r.Pings.Samples) > 0 {
-			byProvider[r.Provider] = append(byProvider[r.Provider], r)
-		}
-	}
 	names := make([]string, 0, len(byProvider))
 	for name := range byProvider {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		for _, cluster := range clusterReports(byProvider[name], cfg) {
+		for _, cluster := range clusterRecs(byProvider[name]) {
 			countries := map[geo.Country]bool{}
 			cc := CoLocationCluster{Provider: name}
-			for _, r := range cluster {
-				cc.VPLabels = append(cc.VPLabels, r.VPLabel)
-				if !countries[r.ClaimedCountry] {
-					countries[r.ClaimedCountry] = true
-					cc.Claimed = append(cc.Claimed, r.ClaimedCountry)
+			for _, rec := range cluster {
+				cc.VPLabels = append(cc.VPLabels, rec.label)
+				if !countries[rec.claimed] {
+					countries[rec.claimed] = true
+					cc.Claimed = append(cc.Claimed, rec.claimed)
 				}
 			}
 			if len(cluster) >= 2 && len(countries) >= 2 {
@@ -196,20 +210,16 @@ func impossibilityTest(r *vpntest.VPReport, cfg *vpntest.Config) (VirtualVPFindi
 	return best, true
 }
 
-// clusterReports groups a provider's reports whose raw ping vectors are
-// near-identical (mean absolute difference under colocationToleranceMs
-// across common landmarks). The threshold sits between measured jitter
-// (~1 ms after min-of-three pings) and the smallest inter-city signal
-// (~5 ms for cities a few hundred kilometers apart); the paper saw
-// co-located series varying "by less than 1.5 ms".
+// clusterRecs groups a provider's vantage points whose raw ping vectors
+// are near-identical (mean absolute difference under
+// colocationToleranceMs across common landmarks). The threshold sits
+// between measured jitter (~1 ms after min-of-three pings) and the
+// smallest inter-city signal (~5 ms for cities a few hundred kilometers
+// apart); the paper saw co-located series varying "by less than 1.5 ms".
 const colocationToleranceMs = 3.0
 
-func clusterReports(reports []*vpntest.VPReport, cfg *vpntest.Config) [][]*vpntest.VPReport {
-	n := len(reports)
-	vectors := make([][]float64, n)
-	for i, r := range reports {
-		vectors[i] = r.Pings.Vector(cfg)
-	}
+func clusterRecs(recs []pingRec) [][]pingRec {
+	n := len(recs)
 	parent := make([]int, n)
 	for i := range parent {
 		parent[i] = i
@@ -223,22 +233,22 @@ func clusterReports(reports []*vpntest.VPReport, cfg *vpntest.Config) [][]*vpnte
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if coLocated(vectors[i], vectors[j]) {
+			if coLocated(recs[i].vec, recs[j].vec) {
 				parent[find(i)] = find(j)
 			}
 		}
 	}
-	groups := map[int][]*vpntest.VPReport{}
-	for i, r := range reports {
+	groups := map[int][]pingRec{}
+	for i, rec := range recs {
 		root := find(i)
-		groups[root] = append(groups[root], r)
+		groups[root] = append(groups[root], rec)
 	}
 	roots := make([]int, 0, len(groups))
 	for root := range groups {
 		roots = append(roots, root)
 	}
 	sort.Ints(roots)
-	out := make([][]*vpntest.VPReport, 0, len(groups))
+	out := make([][]pingRec, 0, len(groups))
 	for _, root := range roots {
 		out = append(out, groups[root])
 	}
@@ -276,9 +286,9 @@ type RTTSeries struct {
 
 // Figure9Series builds sorted RTT series for a provider's vantage
 // points.
-func Figure9Series(reports []*vpntest.VPReport, provider string) []RTTSeries {
+func Figure9Series(reports Reports, provider string) []RTTSeries {
 	var out []RTTSeries
-	for _, r := range reports {
+	for r := range reports {
 		if r.Provider != provider || r.Pings == nil || len(r.Pings.Samples) == 0 {
 			continue
 		}

@@ -50,7 +50,7 @@ func TestImpossibilityCatchesVirtualVP(t *testing.T) {
 	r := mkReport("FakeKP", "FakeKP#0 (KP)", "KP")
 	r.Pings = pingsFrom(t, cfg, "Prague", 70)
 
-	out := DetectVirtualVPs([]*vpntest.VPReport{r}, cfg)
+	out := DetectVirtualVPs(Slice([]*vpntest.VPReport{r}), cfg)
 	if len(out.Findings) != 1 {
 		t.Fatalf("findings = %+v", out.Findings)
 	}
@@ -84,7 +84,7 @@ func TestImpossibilitySparesHonestVPs(t *testing.T) {
 		r.Pings = pingsFrom(t, cfg, h.city, 50)
 		reports = append(reports, r)
 	}
-	out := DetectVirtualVPs(reports, cfg)
+	out := DetectVirtualVPs(Slice(reports), cfg)
 	if len(out.Findings) != 0 {
 		t.Fatalf("false positives: %+v", out.Findings)
 	}
@@ -97,7 +97,7 @@ func TestImpossibilityWithoutSelfRTT(t *testing.T) {
 	r := mkReport("X", "X#0 (KP)", "KP")
 	r.Pings = pingsFrom(t, cfg, "Prague", 0)
 	r.Pings.SelfRTT = -1
-	out := DetectVirtualVPs([]*vpntest.VPReport{r}, cfg)
+	out := DetectVirtualVPs(Slice([]*vpntest.VPReport{r}), cfg)
 	if len(out.Findings) != 1 {
 		t.Fatalf("findings = %+v", out.Findings)
 	}
@@ -114,7 +114,7 @@ func TestCoLocationClustering(t *testing.T) {
 	c := mkReport("P", "P#2 (JP)", "JP")
 	c.Pings = pingsFrom(t, cfg, "Tokyo", 60)
 
-	out := DetectVirtualVPs([]*vpntest.VPReport{a, b, c}, cfg)
+	out := DetectVirtualVPs(Slice([]*vpntest.VPReport{a, b, c}), cfg)
 	if len(out.Clusters) != 1 {
 		t.Fatalf("clusters = %+v", out.Clusters)
 	}
@@ -132,7 +132,7 @@ func TestCoLocationIgnoresSameCountryClusters(t *testing.T) {
 	a.Pings = pingsFrom(t, cfg, "London", 60)
 	b := mkReport("P", "P#1 (GB)", "GB")
 	b.Pings = pingsFrom(t, cfg, "London", 60)
-	out := DetectVirtualVPs([]*vpntest.VPReport{a, b}, cfg)
+	out := DetectVirtualVPs(Slice([]*vpntest.VPReport{a, b}), cfg)
 	if len(out.Clusters) != 0 {
 		t.Fatalf("clusters = %+v", out.Clusters)
 	}
@@ -147,7 +147,7 @@ func TestClustersRespectProviderBoundaries(t *testing.T) {
 	a.Pings = pingsFrom(t, cfg, "London", 60)
 	b := mkReport("P2", "P2#0 (FR)", "FR")
 	b.Pings = pingsFrom(t, cfg, "London", 60)
-	out := DetectVirtualVPs([]*vpntest.VPReport{a, b}, cfg)
+	out := DetectVirtualVPs(Slice([]*vpntest.VPReport{a, b}), cfg)
 	if len(out.Clusters) != 0 {
 		t.Fatalf("clusters crossed provider boundary: %+v", out.Clusters)
 	}
@@ -160,7 +160,7 @@ func TestFigure9Series(t *testing.T) {
 	b := mkReport("Q", "Q#0 (US)", "US")
 	b.Pings = pingsFrom(t, cfg, "Tokyo", 60)
 
-	series := Figure9Series([]*vpntest.VPReport{a, b}, "P")
+	series := Figure9Series(Slice([]*vpntest.VPReport{a, b}), "P")
 	if len(series) != 1 || series[0].Label != "P#0 (US)" {
 		t.Fatalf("series = %+v", series)
 	}

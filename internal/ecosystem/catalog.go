@@ -58,8 +58,11 @@ var businessCountryWeights = []struct {
 	{"VG", 1}, {"CN", 0}, // CN pinned explicitly to exactly two providers
 }
 
-// syntheticNames pads the catalog to 200 with plausible provider names
-// not on the evaluated list (the paper enumerates only the tested 62).
+// syntheticNames pads the catalog with plausible provider names not on
+// the evaluated list (the paper enumerates only the tested 62). The
+// adjective×suffix grid yields 210 base combinations; past that a roman
+// generation tag ("Mark II", ...) keeps every name — and therefore every
+// domainOf — unique for arbitrarily large fleets.
 func syntheticNames(n int) []string {
 	adjectives := []string{
 		"Arctic", "Atlas", "Aegis", "Borealis", "Cipher", "Cobalt",
@@ -70,9 +73,13 @@ func syntheticNames(n int) []string {
 		"Bastion", "Citadel", "Dynamo", "Ember", "Fjord",
 	}
 	suffixes := []string{"VPN", "Proxy", "Tunnel", "Shield", "Privacy", "Net"}
+	grid := len(adjectives) * len(suffixes)
 	var out []string
 	for i := 0; len(out) < n; i++ {
 		name := adjectives[i%len(adjectives)] + " " + suffixes[(i/len(adjectives))%len(suffixes)]
+		if gen := i / grid; gen > 0 {
+			name = fmt.Sprintf("%s Mark %d", name, gen+1)
+		}
 		out = append(out, name)
 	}
 	return out
@@ -85,13 +92,24 @@ const CatalogSize = 200
 // BuildCatalog synthesizes the 200-provider catalog with the paper's
 // aggregate statistics. It is deterministic per seed.
 func BuildCatalog(seed uint64) []CatalogEntry {
+	return BuildCatalogN(seed, CatalogSize)
+}
+
+// BuildCatalogN synthesizes an n-provider catalog. The first CatalogSize
+// entries are identical to BuildCatalog's (names are generated up front
+// and the attribute draws are strictly sequential per entry), so larger
+// fleets extend — never perturb — the paper's catalog.
+func BuildCatalogN(seed uint64, n int) []CatalogEntry {
+	if n <= 0 {
+		return nil
+	}
 	rng := simrand.New(seed).Fork("catalog")
 	names := TestedNames()
 	names = append(names, "TorGuard", "FreeVPN Ninja", "HideMyIP", "StrongVPN", "EasyHideIP")
-	names = append(names, syntheticNames(CatalogSize-len(names))...)
-	names = names[:CatalogSize]
+	names = append(names, syntheticNames(n-len(names))...)
+	names = names[:n]
 
-	entries := make([]CatalogEntry, 0, CatalogSize)
+	entries := make([]CatalogEntry, 0, n)
 	chinaCount := 0
 	for idx, name := range names {
 		e := CatalogEntry{Name: name, Domain: domainOf(name)}
@@ -222,7 +240,32 @@ func BuildCatalog(seed uint64) []CatalogEntry {
 		}
 		entries = append(entries, e)
 	}
+	if err := ValidateCatalog(entries); err != nil {
+		// The name generator guarantees uniqueness; a collision here is
+		// a construction bug, not bad input.
+		panic(err)
+	}
 	return entries
+}
+
+// ValidateCatalog rejects catalogs with duplicate provider names or
+// domains: either aliases two providers to one simulated host and
+// silently corrupts per-provider verdicts downstream.
+func ValidateCatalog(entries []CatalogEntry) error {
+	names := make(map[string]int, len(entries))
+	domains := make(map[string]int, len(entries))
+	for i, e := range entries {
+		if j, ok := names[e.Name]; ok {
+			return fmt.Errorf("ecosystem: duplicate provider name %q (entries %d and %d)", e.Name, j, i)
+		}
+		if j, ok := domains[e.Domain]; ok {
+			return fmt.Errorf("ecosystem: duplicate provider domain %q (entries %d and %d: %q, %q)",
+				e.Domain, j, i, entries[j].Name, e.Name)
+		}
+		names[e.Name] = i
+		domains[e.Domain] = i
+	}
+	return nil
 }
 
 func clampPrice(min, max, v float64) float64 {

@@ -1,0 +1,272 @@
+package ecosystem
+
+import (
+	"time"
+
+	"vpnscope/internal/geo"
+	"vpnscope/internal/netsim"
+	"vpnscope/internal/simrand"
+	"vpnscope/internal/vpn"
+)
+
+// Synthetic-profile derivation. The paper actively evaluated 62 of its
+// ~200 cataloged services; the rest exist only as catalog attributes.
+// This file turns any CatalogEntry into a full vpn.ProviderSpec with
+// *planted ground truth*, so a campaign can sweep the whole catalog —
+// or a generated 2,000-provider fleet — and the verdict suite can be
+// validated against known behavior exactly as for the tested 62.
+//
+// Derivation rules (propensities follow §6's aggregate findings):
+//
+//   - protocol mix → tunnel construction: providers offering OpenVPN
+//     hand a third of their users bare OpenVPN configs
+//     (ThirdPartyOpenVPN, 19/62 in the paper) which cannot express
+//     DNS/IPv6 protections; browser-only providers become
+//     BrowserExtension (excluded from active campaigns, as in §5).
+//   - free/trial tier → leak/interception propensity: base rates are
+//     fail-open 58% of custom clients, DNS leak ~3%, IPv6 leak ~19%,
+//     transparent proxy ~8%, content injection ~1.6%, WebRTC masking
+//     ~6%; free-or-trial providers get a monetization bump on each.
+//   - claimed server counts → egress fleet: providers claiming larger
+//     fleets field more vantage points.
+//   - business country → geo/censorship posture: providers based in a
+//     censoring jurisdiction keep a vantage point there (the Table 4
+//     scenario); implausible country-to-server ratios plant §6.4.2
+//     virtual vantage points (many claimed countries served from one
+//     physical site, geo databases seeded to agree).
+//
+// Every draw comes from a per-provider fork of the campaign seed, so a
+// provider's profile is identical whether it is built alone, in a
+// 200-provider catalog, or in a 2,000-provider fleet.
+
+// syntheticRNG returns the per-provider stream all profile draws come
+// from. Forking per name — not sequentially over the catalog — keeps
+// profiles independent of the subset being built.
+func syntheticRNG(seed uint64, name string) *simrand.Source {
+	return simrand.New(seed).Fork("synthetic").Fork(name)
+}
+
+// exoticClaims is the claim rotation used for planted virtual vantage
+// points (countries the paper found served from European sites).
+var exoticClaims = []geo.Country{"BZ", "CL", "EE", "IR", "SA", "VE", "PK", "KE"}
+
+// censoringBusiness maps censoring jurisdictions a provider may be
+// based in to the city a home vantage point lands in.
+var censoringBusiness = map[geo.Country]string{
+	"RU": "Moscow", "TR": "Istanbul", "KR": "Seoul", "TH": "Bangkok", "CN": "Shanghai",
+}
+
+// SyntheticSpec derives the full provider spec for one catalog entry.
+// The result is deterministic in (seed, entry) alone. Tested providers
+// should use TestedSpecs instead (CatalogSpecs does this for you).
+func SyntheticSpec(seed uint64, entry CatalogEntry, vpsPerProvider int) vpn.ProviderSpec {
+	if vpsPerProvider <= 0 {
+		vpsPerProvider = 5
+	}
+	rng := syntheticRNG(seed, entry.Name)
+	spec := vpn.ProviderSpec{
+		Name:   entry.Name,
+		Domain: entry.Domain,
+		Client: vpn.CustomClient,
+	}
+
+	// Tunnel construction from the protocol mix.
+	hasOpenVPN := false
+	for _, p := range entry.Protocols {
+		if p == ProtoOpenVPN {
+			hasOpenVPN = true
+		}
+	}
+	if entry.BrowserOnly {
+		spec.Client = vpn.BrowserExtension
+	} else if hasOpenVPN && rng.Bool(0.31) {
+		spec.Client = vpn.ThirdPartyOpenVPN
+	}
+
+	// Monetization bump for free/trial tiers.
+	bump := func(base, extra float64) float64 {
+		if entry.FreeOrTrial {
+			return base + extra
+		}
+		return base
+	}
+	leakDNS := rng.Bool(bump(0.03, 0.04))
+	leakIPv6 := rng.Bool(bump(0.19, 0.08))
+	failOpen := rng.Bool(bump(0.55, 0.10))
+	spec.Behavior = vpn.Behavior{
+		SetsDNS:               !leakDNS,
+		SupportsIPv6:          false,
+		BlocksIPv6:            !leakIPv6,
+		TransparentProxy:      rng.Bool(bump(0.08, 0.07)),
+		InjectContent:         rng.Bool(bump(0.016, 0.05)),
+		MasksWebRTC:           rng.Bool(0.065),
+		FailOpen:              failOpen,
+		FailureDetectionDelay: time.Duration(20+rng.Intn(60)) * time.Second,
+	}
+	if spec.Client == vpn.ThirdPartyOpenVPN {
+		// Bare OpenVPN configs cannot set DNS or block IPv6 (§6.5).
+		spec.SetsDNS = false
+		spec.BlocksIPv6 = false
+	}
+	leaky := !spec.SetsDNS || !spec.BlocksIPv6
+	switch {
+	case spec.FailOpen && rng.Bool(0.2):
+		spec.KillSwitch = vpn.KillSwitchOffByDefault
+	case !spec.FailOpen && !leaky && spec.Client == vpn.CustomClient && rng.Bool(0.3):
+		// An always-on kill switch would mask the planted leaks, so
+		// only non-leaky providers may ship one (same rule as tested.go).
+		spec.KillSwitch = vpn.KillSwitchOnByDefault
+	default:
+		spec.KillSwitch = vpn.KillSwitchNone
+	}
+
+	// Egress fleet: bigger claimed fleets field more vantage points.
+	vpCount := vpsPerProvider
+	switch {
+	case entry.ClaimedServers >= 1500:
+		vpCount += 2
+	case entry.ClaimedServers >= 500:
+		vpCount++
+	}
+
+	var vps []vpn.VantagePointSpec
+	// Censorship posture: a provider based in a censoring jurisdiction
+	// keeps a home vantage point inside it.
+	if city, ok := censoringBusiness[entry.BusinessCountry]; ok {
+		org := entry.Name + " Home ISP Sim"
+		blk := netsim.Block{
+			Prefix:  censorBlockPrefix(org),
+			ASN:     65000 + len(org),
+			Org:     org,
+			Country: string(entry.BusinessCountry),
+		}
+		vps = append(vps, vpn.VantagePointSpec{
+			ClaimedCountry: entry.BusinessCountry,
+			ActualCity:     city,
+			Block:          &blk,
+			Reliability:    0.97,
+		})
+	}
+	// Virtual vantage points: claiming many countries off a small fleet
+	// is the §6.4.2 signature. Plant co-located, geo-DB-seeded VPs.
+	if entry.ClaimedCountries >= 30 && entry.ClaimedServers < 120 {
+		site := standardCountries[rng.Intn(len(standardCountries))].city
+		claims := 3 + rng.Intn(3)
+		start := rng.Intn(len(exoticClaims))
+		for i := 0; i < claims; i++ {
+			vps = append(vps, vpn.VantagePointSpec{
+				ClaimedCountry: exoticClaims[(start+i)%len(exoticClaims)],
+				ActualCity:     site,
+				SeedsGeoDB:     true,
+				Reliability:    0.97,
+			})
+		}
+	}
+	// Ordinary rotation pads to the fleet size.
+	i := rng.Intn(len(standardCountries))
+	for len(vps) < vpCount {
+		sc := standardCountries[i%len(standardCountries)]
+		i++
+		vps = append(vps, vpn.VantagePointSpec{
+			ClaimedCountry: sc.country,
+			ActualCity:     sc.city,
+		})
+	}
+	spec.VantagePoints = vps
+	return spec
+}
+
+// Drift is a synthetic provider's planted longitudinal behavior change:
+// at virtual month Month (1-based) the provider's conduct flips per
+// Kind. Month 0 means the provider never drifts.
+type Drift struct {
+	Month int
+	Kind  string
+}
+
+// Drift kinds.
+const (
+	DriftFixDNSLeak  = "fix-dns-leak"   // starts setting the tunnel resolver
+	DriftFixIPv6Leak = "fix-ipv6-leak"  // starts blackholing IPv6
+	DriftGoFailOpen  = "go-fail-open"   // a client update drops fail-closed teardown
+	DriftStartProxy  = "start-proxying" // inserts a transparent HTTP proxy
+)
+
+// SyntheticDrift returns the planted drift for a synthetic provider:
+// roughly a quarter of the fleet changes one behavior at a
+// deterministic month. Tested providers never drift (their ground
+// truth is the paper's, frozen at month 0).
+func SyntheticDrift(seed uint64, entry CatalogEntry) Drift {
+	if entry.Tested != nil || subscriptionLookup(entry.Name) != "" {
+		return Drift{}
+	}
+	rng := syntheticRNG(seed, entry.Name).Fork("drift")
+	if !rng.Bool(0.25) {
+		return Drift{}
+	}
+	base := SyntheticSpec(seed, entry, 0)
+	month := 1 + rng.Intn(11)
+	// Pick the flip that actually changes this provider's conduct.
+	switch {
+	case !base.SetsDNS && base.Client == vpn.CustomClient:
+		return Drift{Month: month, Kind: DriftFixDNSLeak}
+	case !base.BlocksIPv6 && base.Client == vpn.CustomClient:
+		return Drift{Month: month, Kind: DriftFixIPv6Leak}
+	case !base.FailOpen:
+		return Drift{Month: month, Kind: DriftGoFailOpen}
+	default:
+		return Drift{Month: month, Kind: DriftStartProxy}
+	}
+}
+
+// applyDrift flips the drifted behavior in place once month has reached
+// the drift month.
+func applyDrift(spec *vpn.ProviderSpec, d Drift, month int) {
+	if d.Month == 0 || month < d.Month {
+		return
+	}
+	switch d.Kind {
+	case DriftFixDNSLeak:
+		spec.SetsDNS = true
+	case DriftFixIPv6Leak:
+		spec.BlocksIPv6 = true
+	case DriftGoFailOpen:
+		spec.FailOpen = true
+	case DriftStartProxy:
+		spec.TransparentProxy = true
+	}
+}
+
+// CatalogSpecs assembles provider specs for any catalog subset: tested
+// entries reuse the hand-built TestedSpecs (so the paper's planted
+// ground truth — and every golden test over it — is untouched), all
+// others get procedurally derived synthetic profiles. month selects the
+// virtual month for longitudinal campaigns (0 = the baseline audit);
+// synthetic providers whose planted drift month has arrived are built
+// with the drifted behavior.
+func CatalogSpecs(seed uint64, entries []CatalogEntry, vpsPerProvider, month int) []vpn.ProviderSpec {
+	tested := map[string]vpn.ProviderSpec{}
+	for _, ts := range TestedSpecs(seed, vpsPerProvider) {
+		tested[ts.Name] = ts
+	}
+	specs := make([]vpn.ProviderSpec, 0, len(entries))
+	for _, e := range entries {
+		if ts, ok := tested[e.Name]; ok {
+			specs = append(specs, ts)
+			continue
+		}
+		spec := SyntheticSpec(seed, e, vpsPerProvider)
+		applyDrift(&spec, SyntheticDrift(seed, e), month)
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+// CatalogNames returns the entry names in catalog order.
+func CatalogNames(entries []CatalogEntry) []string {
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	return out
+}

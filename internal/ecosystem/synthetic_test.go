@@ -1,0 +1,239 @@
+package ecosystem
+
+import (
+	"reflect"
+	"testing"
+
+	"vpnscope/internal/vpn"
+)
+
+// TestBuildCatalogNUnique is the regression test for the synthetic-name
+// generator: past the 210 adjective x suffix combinations the old
+// generator cycled, producing duplicate providers (and colliding
+// domains) in any catalog larger than ~230 entries.
+func TestBuildCatalogNUnique(t *testing.T) {
+	entries := BuildCatalogN(77, 2000)
+	if len(entries) != 2000 {
+		t.Fatalf("got %d entries, want 2000", len(entries))
+	}
+	names := map[string]bool{}
+	domains := map[string]bool{}
+	for _, e := range entries {
+		if names[e.Name] {
+			t.Fatalf("duplicate name %q", e.Name)
+		}
+		if domains[e.Domain] {
+			t.Fatalf("duplicate domain %q", e.Domain)
+		}
+		names[e.Name] = true
+		domains[e.Domain] = true
+	}
+	if err := ValidateCatalog(entries); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildCatalogNPrefixStable: the first CatalogSize entries of any
+// larger generated fleet are exactly BuildCatalog's — growing the fleet
+// never perturbs the canonical 200.
+func TestBuildCatalogNPrefixStable(t *testing.T) {
+	base := BuildCatalog(77)
+	big := BuildCatalogN(77, 500)
+	if !reflect.DeepEqual(base, big[:CatalogSize]) {
+		t.Fatal("BuildCatalogN(500) prefix differs from BuildCatalog")
+	}
+	if got := BuildCatalogN(77, 0); got != nil {
+		t.Fatalf("BuildCatalogN(0) = %d entries, want none", len(got))
+	}
+}
+
+// TestSyntheticSpecSubsetIndependent: a provider's derived profile is a
+// function of (seed, entry) alone — identical whether built alone, in
+// the 200 catalog, or in a 2,000-provider fleet.
+func TestSyntheticSpecSubsetIndependent(t *testing.T) {
+	entries := BuildCatalogN(2018, 400)
+	full := CatalogSpecs(2018, entries, 5, 0)
+	for _, i := range []int{70, 150, 399} {
+		alone := CatalogSpecs(2018, entries[i:i+1], 5, 0)
+		if !reflect.DeepEqual(full[i], alone[0]) {
+			t.Fatalf("%s: spec differs between full-catalog and single-entry builds", entries[i].Name)
+		}
+	}
+	again := CatalogSpecs(2018, entries, 5, 0)
+	if !reflect.DeepEqual(full, again) {
+		t.Fatal("CatalogSpecs not deterministic")
+	}
+}
+
+// TestCatalogSpecsReuseTested: tested entries must get the hand-built
+// paper specs, not synthetic derivations — the 62 providers' planted
+// ground truth (and every golden over it) is frozen.
+func TestCatalogSpecsReuseTested(t *testing.T) {
+	entries := BuildCatalog(2018)
+	specs := CatalogSpecs(2018, entries, 5, 0)
+	byName := map[string]vpn.ProviderSpec{}
+	for _, s := range TestedSpecs(2018, 5) {
+		byName[s.Name] = s
+	}
+	reused := 0
+	for i, e := range entries {
+		if ts, ok := byName[e.Name]; ok {
+			reused++
+			if !reflect.DeepEqual(specs[i], ts) {
+				t.Fatalf("%s: catalog spec differs from TestedSpecs", e.Name)
+			}
+		}
+	}
+	if reused != len(byName) {
+		t.Fatalf("catalog covered %d tested providers, want %d", reused, len(byName))
+	}
+}
+
+// TestSyntheticGroundTruthRates: the planted behavior across a large
+// generated fleet should land near the Section 6 aggregates the
+// derivation encodes.
+func TestSyntheticGroundTruthRates(t *testing.T) {
+	entries := BuildCatalogN(2018, 2000)
+	var synth, failOpen, dnsLeak, v6Leak, proxy, thirdParty int
+	for _, e := range entries {
+		if e.Tested != nil {
+			continue
+		}
+		spec := SyntheticSpec(2018, e, 5)
+		if spec.Client == vpn.BrowserExtension {
+			continue
+		}
+		synth++
+		if spec.FailOpen {
+			failOpen++
+		}
+		if !spec.SetsDNS {
+			dnsLeak++
+		}
+		if !spec.BlocksIPv6 {
+			v6Leak++
+		}
+		if spec.TransparentProxy {
+			proxy++
+		}
+		if spec.Client == vpn.ThirdPartyOpenVPN {
+			thirdParty++
+		}
+	}
+	if synth < 1500 {
+		t.Fatalf("only %d active synthetic providers", synth)
+	}
+	rate := func(n int) float64 { return float64(n) / float64(synth) }
+	checks := []struct {
+		name   string
+		got    float64
+		lo, hi float64
+	}{
+		{"fail-open", rate(failOpen), 0.45, 0.75},
+		{"dns-leak", rate(dnsLeak), 0.05, 0.40}, // ThirdPartyOpenVPN forces SetsDNS=false
+		{"ipv6-leak", rate(v6Leak), 0.15, 0.50}, // likewise
+		{"proxy", rate(proxy), 0.04, 0.20},
+		{"third-party", rate(thirdParty), 0.10, 0.35},
+	}
+	for _, c := range checks {
+		if c.got < c.lo || c.got > c.hi {
+			t.Errorf("%s rate %.3f outside [%.2f, %.2f]", c.name, c.got, c.lo, c.hi)
+		}
+	}
+}
+
+// TestSyntheticDrift: tested providers never drift; synthetic drift is
+// deterministic, lands in months 1..11 for roughly a quarter of the
+// fleet, and always names a flip that changes the provider's baseline
+// conduct.
+func TestSyntheticDrift(t *testing.T) {
+	entries := BuildCatalogN(2018, 1000)
+	drifting := 0
+	for _, e := range entries {
+		d := SyntheticDrift(2018, e)
+		if e.Tested != nil || subscriptionLookup(e.Name) != "" {
+			if d != (Drift{}) {
+				t.Fatalf("tested provider %s drifts: %+v", e.Name, d)
+			}
+			continue
+		}
+		if d != SyntheticDrift(2018, e) {
+			t.Fatalf("%s: drift not deterministic", e.Name)
+		}
+		if d.Month == 0 {
+			continue
+		}
+		drifting++
+		if d.Month < 1 || d.Month > 11 {
+			t.Fatalf("%s: drift month %d", e.Name, d.Month)
+		}
+		base := SyntheticSpec(2018, e, 5)
+		switch d.Kind {
+		case DriftFixDNSLeak:
+			if base.SetsDNS || base.Client != vpn.CustomClient {
+				t.Fatalf("%s: fix-dns-leak drift on non-leaking base", e.Name)
+			}
+		case DriftFixIPv6Leak:
+			if base.BlocksIPv6 || base.Client != vpn.CustomClient {
+				t.Fatalf("%s: fix-ipv6-leak drift on non-leaking base", e.Name)
+			}
+		case DriftGoFailOpen:
+			if base.FailOpen {
+				t.Fatalf("%s: go-fail-open drift on fail-open base", e.Name)
+			}
+		case DriftStartProxy:
+			// always a change of conduct for a non-proxying base; a
+			// proxying base is possible but the flip is then a no-op,
+			// which applyDrift tolerates.
+		default:
+			t.Fatalf("%s: unknown drift kind %q", e.Name, d.Kind)
+		}
+	}
+	if frac := float64(drifting) / float64(len(entries)); frac < 0.15 || frac > 0.35 {
+		t.Fatalf("drift fraction %.3f outside [0.15, 0.35]", frac)
+	}
+}
+
+// TestCatalogSpecsApplyDrift: a drifted provider's month-M spec flips
+// exactly at its drift month, and months before it match the baseline.
+func TestCatalogSpecsApplyDrift(t *testing.T) {
+	entries := BuildCatalogN(2018, 1000)
+	checked := 0
+	for _, e := range entries {
+		d := SyntheticDrift(2018, e)
+		if d.Month == 0 {
+			continue
+		}
+		checked++
+		before := CatalogSpecs(2018, []CatalogEntry{e}, 5, d.Month-1)[0]
+		base := SyntheticSpec(2018, e, 5)
+		if !reflect.DeepEqual(before, base) {
+			t.Fatalf("%s: spec changed before drift month", e.Name)
+		}
+		after := CatalogSpecs(2018, []CatalogEntry{e}, 5, d.Month)[0]
+		switch d.Kind {
+		case DriftFixDNSLeak:
+			if !after.SetsDNS {
+				t.Fatalf("%s: DNS leak not fixed at month %d", e.Name, d.Month)
+			}
+		case DriftFixIPv6Leak:
+			if !after.BlocksIPv6 {
+				t.Fatalf("%s: IPv6 leak not fixed at month %d", e.Name, d.Month)
+			}
+		case DriftGoFailOpen:
+			if !after.FailOpen {
+				t.Fatalf("%s: not fail-open at month %d", e.Name, d.Month)
+			}
+		case DriftStartProxy:
+			if !after.TransparentProxy {
+				t.Fatalf("%s: not proxying at month %d", e.Name, d.Month)
+			}
+		}
+		if checked >= 30 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no drifting providers found")
+	}
+}

@@ -62,16 +62,16 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatalf("shape changed: %d/%d reports", len(back.Reports), len(res.Reports))
 	}
 	// The loaded reports drive the same analyses to the same verdicts.
-	origLeaks := analysis.Leaks(res.Reports)
-	backLeaks := analysis.Leaks(back.Reports)
+	origLeaks := analysis.Leaks(analysis.Slice(res.Reports))
+	backLeaks := analysis.Leaks(analysis.Slice(back.Reports))
 	if strings.Join(origLeaks.DNSLeakers, ",") != strings.Join(backLeaks.DNSLeakers, ",") {
 		t.Errorf("DNS leakers diverged: %v vs %v", origLeaks.DNSLeakers, backLeaks.DNSLeakers)
 	}
 	if strings.Join(origLeaks.IPv6Leakers, ",") != strings.Join(backLeaks.IPv6Leakers, ",") {
 		t.Errorf("IPv6 leakers diverged: %v vs %v", origLeaks.IPv6Leakers, backLeaks.IPv6Leakers)
 	}
-	origProx := analysis.TransparentProxies(res.Reports)
-	backProx := analysis.TransparentProxies(back.Reports)
+	origProx := analysis.TransparentProxies(analysis.Slice(res.Reports))
+	backProx := analysis.TransparentProxies(analysis.Slice(back.Reports))
 	if strings.Join(origProx, ",") != strings.Join(backProx, ",") {
 		t.Errorf("proxies diverged: %v vs %v", origProx, backProx)
 	}

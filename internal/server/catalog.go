@@ -1,0 +1,211 @@
+// Catalog-mode campaigns: ecosystem-scale sweeps whose outcomes stream
+// into sharded append-only logs instead of a monolithic checkpoint.
+//
+// Durable layout, alongside the legacy files in StateDir:
+//
+//	<id>.outcomes/                 the shard log (Months == 0)
+//	<id>.outcomes/month-NNN/       one shard log per month (Months > 0)
+//	<id>.result.json               bounded summary (counts only) once done
+//
+// The recovery contract is unchanged: a catalog campaign with a spec
+// and no result re-enters the queue, and the runner resumes each
+// month's shard log from its recovered contiguous prefix — the same
+// byte-identity guarantee the CLI sweep has. The full result set is
+// never materialized in daemon memory: progress, the summary, and the
+// merged-NDJSON outcomes endpoint all work from the logs.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"vpnscope/internal/results/shardlog"
+	"vpnscope/internal/study"
+	"vpnscope/internal/vpn"
+)
+
+func (d *Daemon) outcomesDir(id string) string {
+	return filepath.Join(d.cfg.StateDir, id+".outcomes")
+}
+
+// monthDir is the shard-log directory for one virtual month. Baseline-
+// only campaigns use the flat outcomes dir, mirroring the CLI sweep.
+func (d *Daemon) monthDir(id string, spec *CampaignSpec, month int) string {
+	dir := d.outcomesDir(id)
+	if spec.Months > 0 {
+		dir = filepath.Join(dir, fmt.Sprintf("month-%03d", month))
+	}
+	return dir
+}
+
+// catalogSummary is the bounded final result of a catalog campaign:
+// counts only, never the outcome set itself (that stays in the shard
+// logs, served merged by the outcomes endpoint).
+type catalogSummary struct {
+	Catalog   int          `json:"catalog"`
+	Months    int          `json:"months"`
+	Providers int          `json:"providers"`
+	Audits    []monthAudit `json:"audits"`
+}
+
+type monthAudit struct {
+	Month       int `json:"month"`
+	Outcomes    int `json:"outcomes"`
+	Reports     int `json:"reports"`
+	Failures    int `json:"failures"`
+	Quarantined int `json:"quarantined"`
+}
+
+// runCatalogCampaign executes a catalog spec: every month's audit in
+// sequence, each streaming into its own shard log, then the bounded
+// summary as the durable result. Runs on the legacy runner's fleet
+// tokens, panic shield, and cancellation context.
+func (d *Daemon) runCatalogCampaign(ctx context.Context, c *campaign, need int) {
+	summary := catalogSummary{
+		Catalog:   c.spec.Catalog,
+		Months:    c.spec.Months,
+		Providers: len(c.spec.catalogEntries()),
+	}
+	for m := 0; m <= c.spec.Months; m++ {
+		if m > 0 {
+			// Month worlds differ (drifted specs); the previous month's
+			// cached template would only hold memory.
+			study.ClearWorldTemplates()
+		}
+		audit, err := d.runCatalogMonth(ctx, c, need, m)
+		if err != nil {
+			d.finishCanceledOrFail(ctx, c, m, err)
+			return
+		}
+		summary.Audits = append(summary.Audits, audit)
+	}
+	err := writeFileAtomic(d.resultPath(c.id), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(summary)
+	})
+	if err != nil {
+		d.failCampaign(c, fmt.Sprintf("saving result summary: %v", err))
+		return
+	}
+	c.setState(StateDone, "")
+	d.cfg.Logf("campaign %s: done (catalog=%d providers=%d month audits=%d)",
+		c.id, summary.Catalog, summary.Providers, len(summary.Audits))
+}
+
+// finishCanceledOrFail maps a month-run error to the campaign's
+// terminal state, with the same cause discrimination as the legacy
+// runner: drain → interrupted (shard logs are durable, the next daemon
+// start resumes), everything else → failed.
+func (d *Daemon) finishCanceledOrFail(ctx context.Context, c *campaign, month int, err error) {
+	if !errors.Is(err, study.ErrCanceled) {
+		d.failCampaign(c, err.Error())
+		return
+	}
+	cause := context.Cause(ctx)
+	switch {
+	case errors.Is(cause, errDraining):
+		c.setState(StateInterrupted, "draining: shard log durable for resume")
+		d.cfg.Logf("campaign %s: interrupted by drain during month %d audit", c.id, month)
+	case errors.Is(cause, errClientCanceled):
+		d.failCampaign(c, "canceled by client")
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		d.failCampaign(c, fmt.Sprintf("deadline exceeded after %.0fs", c.spec.TimeoutSec))
+	default:
+		d.failCampaign(c, fmt.Sprintf("canceled: %v", cause))
+	}
+}
+
+// runCatalogMonth opens (and, after a crash, recovers) the month's
+// shard log and streams any not-yet-durable outcomes into it. A sealed
+// log skips the campaign — re-audits of finished months are free.
+func (d *Daemon) runCatalogMonth(ctx context.Context, c *campaign, need, month int) (monthAudit, error) {
+	lg, err := shardlog.Open(d.monthDir(c.id, &c.spec, month), shardlog.Meta{
+		Seed:         c.spec.Seed,
+		Shards:       c.spec.Shards,
+		FaultProfile: c.spec.FaultProfile,
+		Month:        month,
+	})
+	if err != nil {
+		return monthAudit{}, err
+	}
+	defer lg.Close()
+
+	if !lg.Complete() {
+		w, err := buildWorldFn(&c.spec, month)
+		if err != nil {
+			return monthAudit{}, fmt.Errorf("building month %d world: %w", month, err)
+		}
+		slotsTotal := 0
+		for _, p := range w.Providers {
+			if p.Spec.Client == vpn.BrowserExtension {
+				continue
+			}
+			slotsTotal += len(p.VPs)
+		}
+		resumed := lg.NextRank()
+		c.mu.Lock()
+		c.slotsTotal = slotsTotal
+		c.resumedVPs = resumed
+		c.mu.Unlock()
+
+		cfg := study.RunConfig{
+			ConnectAttempts: c.spec.ConnectAttempts,
+			QuarantineAfter: c.spec.QuarantineAfter,
+			Parallel:        need,
+			Ctx:             ctx,
+		}
+		reports, failures := 0, 0
+		if resumed > 0 {
+			lean, err := lg.Resume()
+			if err != nil {
+				return monthAudit{}, err
+			}
+			cfg.Resume = lean
+			reports, failures = len(lean.Reports), len(lean.ConnectFailures)
+		}
+		c.emit(Event{Type: "started", SlotsTotal: slotsTotal, SlotsDone: resumed,
+			Reports: reports, Failures: failures,
+			Detail: fmt.Sprintf("month=%d workers=%d resumed=%d shards=%d",
+				month, need, resumed, lg.Meta().Shards)})
+
+		// The stream callback runs on the committer goroutine, strictly
+		// in rank order — the counters need no lock.
+		cfg.Stream = func(o study.Outcome) error {
+			if err := lg.Append(o); err != nil {
+				return err
+			}
+			if o.Report != nil {
+				reports++
+			}
+			if o.Failure != nil {
+				failures++
+			}
+			c.emit(Event{Type: "progress", SlotsDone: lg.NextRank(), SlotsTotal: slotsTotal,
+				Reports: reports, Failures: failures})
+			return nil
+		}
+		if _, err := runStudyFn(w, cfg); err != nil {
+			return monthAudit{}, err
+		}
+		if err := lg.MarkComplete(); err != nil {
+			return monthAudit{}, err
+		}
+	}
+
+	lean, err := lg.Resume()
+	if err != nil {
+		return monthAudit{}, err
+	}
+	return monthAudit{
+		Month:       month,
+		Outcomes:    lean.VPsAttempted,
+		Reports:     len(lean.Reports),
+		Failures:    len(lean.ConnectFailures),
+		Quarantined: len(lean.Quarantines),
+	}, nil
+}

@@ -287,7 +287,12 @@ func (d *Daemon) runCampaign(c *campaign, need int) {
 	c.state = StateRunning
 	c.mu.Unlock()
 
-	w, err := buildWorldFn(&c.spec)
+	if c.spec.Catalog > 0 {
+		d.runCatalogCampaign(ctx, c, need)
+		return
+	}
+
+	w, err := buildWorldFn(&c.spec, 0)
 	if err != nil {
 		d.failCampaign(c, fmt.Sprintf("building world: %v", err))
 		return

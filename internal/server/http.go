@@ -4,6 +4,8 @@
 //	GET    /campaigns             list campaigns
 //	GET    /campaigns/{id}        status JSON
 //	GET    /campaigns/{id}/result final envelope (200 once done)
+//	GET    /campaigns/{id}/outcomes merged shard-log NDJSON (catalog
+//	                              campaigns; ?month=N selects a month)
 //	GET    /campaigns/{id}/events NDJSON progress stream (tails live)
 //	DELETE /campaigns/{id}        cancel
 //	GET    /healthz               process liveness (always 200)
@@ -25,6 +27,7 @@ import (
 	"strconv"
 	"time"
 
+	"vpnscope/internal/results/shardlog"
 	"vpnscope/internal/telemetry"
 )
 
@@ -35,6 +38,7 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /campaigns", d.handleList)
 	mux.HandleFunc("GET /campaigns/{id}", d.handleStatus)
 	mux.HandleFunc("GET /campaigns/{id}/result", d.handleResult)
+	mux.HandleFunc("GET /campaigns/{id}/outcomes", d.handleOutcomes)
 	mux.HandleFunc("GET /campaigns/{id}/events", d.handleEvents)
 	mux.HandleFunc("DELETE /campaigns/{id}", d.handleCancel)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -92,12 +96,16 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]string{
+	accepted := map[string]string{
 		"id":     c.id,
 		"status": "/campaigns/" + c.id,
 		"events": "/campaigns/" + c.id + "/events",
 		"result": "/campaigns/" + c.id + "/result",
-	})
+	}
+	if c.spec.Catalog > 0 {
+		accepted["outcomes"] = "/campaigns/" + c.id + "/outcomes"
+	}
+	writeJSON(w, http.StatusAccepted, accepted)
 }
 
 // statusView is the wire form of a campaign's status.
@@ -182,6 +190,48 @@ func (d *Daemon) handleResult(w http.ResponseWriter, r *http.Request) {
 	http.ServeContent(w, r, c.id+".result.json", time.Time{}, f)
 }
 
+// handleOutcomes streams a catalog campaign's merged outcome log as
+// NDJSON, in rank order, straight off the shard files — the result set
+// is never materialized. Only sealed logs are served: opening an
+// unsealed log would run recovery against files the committer is still
+// appending to.
+func (d *Daemon) handleOutcomes(w http.ResponseWriter, r *http.Request) {
+	c, ok := d.campaignOr404(w, r)
+	if !ok {
+		return
+	}
+	if c.spec.Catalog == 0 {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": "campaign " + c.id + " has no outcome log (not a catalog campaign)"})
+		return
+	}
+	month := 0
+	if s := r.URL.Query().Get("month"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 || n > c.spec.Months {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad month parameter"})
+			return
+		}
+		month = n
+	}
+	dir := d.monthDir(c.id, &c.spec, month)
+	if !shardlog.Sealed(dir) {
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": fmt.Sprintf("month %d outcome log of campaign %s is not sealed yet", month, c.id)})
+		return
+	}
+	lg, err := shardlog.OpenExisting(dir)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	defer lg.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := lg.WriteMergedNDJSON(w); err != nil {
+		d.cfg.Logf("campaign %s: streaming outcomes: %v", c.id, err)
+	}
+}
+
 func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
 	c, ok := d.campaignOr404(w, r)
 	if !ok {
@@ -232,6 +282,13 @@ func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
 		c.mu.Lock()
 		for cursor >= len(c.events) && !c.state.terminal() && ctx.Err() == nil {
 			c.cond.Wait()
+		}
+		if cursor > len(c.events) {
+			// `?from=` pointed beyond the log (the wait loop exits early
+			// on a terminal campaign): there is nothing to replay, and
+			// events only ever append at len, so the gap can never fill.
+			// Without the clamp the batch length below goes negative.
+			cursor = len(c.events)
 		}
 		batch := make([]Event, len(c.events)-cursor)
 		copy(batch, c.events[cursor:])

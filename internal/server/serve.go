@@ -23,6 +23,22 @@ type ServeConfig struct {
 	Ready func(addr string)
 }
 
+// newHTTPServer wraps the daemon API with the timeouts a shared
+// listener needs. ReadHeaderTimeout bounds how long a connection may
+// dribble its request headers (the slowloris hold-open) and
+// IdleTimeout reaps parked keep-alive connections; without them every
+// half-open socket pins a goroutine for the daemon's lifetime.
+// ReadTimeout and WriteTimeout deliberately stay zero: the events and
+// outcomes endpoints stream NDJSON for as long as a campaign runs, and
+// a whole-request deadline would sever healthy tails.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+}
+
 // Serve runs the full daemon lifecycle: recover state, start the
 // scheduler, serve HTTP on Addr, and block until SIGINT/SIGTERM. On
 // signal it drains — admission closes, queued specs stay durable,
@@ -40,7 +56,7 @@ func Serve(cfg ServeConfig) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: d.Handler()}
+	srv := newHTTPServer(d.Handler())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	if cfg.Ready != nil {

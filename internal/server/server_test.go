@@ -24,7 +24,7 @@ import (
 
 // withSeams swaps the world-build and study-run seams for the duration
 // of the test. Tests using seams must not run in parallel.
-func withSeams(t *testing.T, build func(*CampaignSpec) (*study.World, error), run func(*study.World, study.RunConfig) (*study.Result, error)) {
+func withSeams(t *testing.T, build func(*CampaignSpec, int) (*study.World, error), run func(*study.World, study.RunConfig) (*study.Result, error)) {
 	t.Helper()
 	origBuild, origRun := buildWorldFn, runStudyFn
 	if build != nil {
@@ -37,7 +37,7 @@ func withSeams(t *testing.T, build func(*CampaignSpec) (*study.World, error), ru
 }
 
 // instantWorld is a build seam returning an empty world (zero slots).
-func instantWorld(*CampaignSpec) (*study.World, error) { return &study.World{}, nil }
+func instantWorld(*CampaignSpec, int) (*study.World, error) { return &study.World{}, nil }
 
 // blockingRun returns a run seam that parks until release is closed or
 // the campaign context is canceled — the deterministic way to hold

@@ -45,8 +45,24 @@ import (
 type CampaignSpec struct {
 	// Seed drives every stochastic element of the world and campaign.
 	Seed uint64 `json:"seed"`
+	// Catalog, when > 0, switches the campaign to ecosystem mode: the
+	// world is assembled from the first Catalog entries of the synthetic
+	// provider catalog (hand-built specs for the tested 62, procedurally
+	// derived profiles with planted ground truth for the rest), and
+	// outcomes stream into a sharded append-only log instead of a
+	// monolithic checkpoint. Zero = legacy tested-catalog mode.
+	Catalog int `json:"catalog,omitempty"`
+	// Months, in catalog mode, re-audits the catalog at virtual months
+	// 1..Months after the baseline (month 0), one shard log per month.
+	// Zero = baseline only. Requires Catalog > 0: tested providers
+	// never drift.
+	Months int `json:"months,omitempty"`
+	// Shards is the outcome-log shard count in catalog mode (zero =
+	// shardlog.DefaultShards). Requires Catalog > 0.
+	Shards int `json:"shards,omitempty"`
 	// Providers restricts the campaign to a subset of the tested
-	// catalog (empty = all 62). Unknown names are rejected at admission.
+	// catalog (empty = all 62) — or, in catalog mode, to a subset of
+	// the Catalog-entry names. Unknown names are rejected at admission.
 	Providers []string `json:"providers,omitempty"`
 	// FaultProfile names a faultsim profile to run under (empty = clean).
 	FaultProfile string `json:"fault_profile,omitempty"`
@@ -86,10 +102,33 @@ func (s *CampaignSpec) validate() error {
 			return err
 		}
 	}
+	if s.Catalog < 0 {
+		return fmt.Errorf("server: negative catalog size")
+	}
+	if s.Catalog == 0 {
+		if s.Months != 0 {
+			return fmt.Errorf("server: months requires catalog mode (tested providers never drift)")
+		}
+		if s.Shards != 0 {
+			return fmt.Errorf("server: shards requires catalog mode")
+		}
+	}
+	if s.Months < 0 {
+		return fmt.Errorf("server: negative months")
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("server: negative shards")
+	}
 	if len(s.Providers) > 0 {
 		known := map[string]bool{}
-		for _, n := range ecosystem.TestedNames() {
-			known[n] = true
+		if s.Catalog > 0 {
+			for _, n := range ecosystem.CatalogNames(ecosystem.BuildCatalogN(s.Seed, s.Catalog)) {
+				known[n] = true
+			}
+		} else {
+			for _, n := range ecosystem.TestedNames() {
+				known[n] = true
+			}
 		}
 		for _, n := range s.Providers {
 			if !known[n] {
@@ -103,16 +142,41 @@ func (s *CampaignSpec) validate() error {
 	return nil
 }
 
-// buildOptions resolves the spec to study.Options. The provider subset
-// is materialized from the tested catalog at the spec's seed and VP
-// count, exactly as a one-shot caller would.
-func (s *CampaignSpec) buildOptions() study.Options {
+// catalogEntries materializes the spec's catalog slice, applying the
+// Providers subset filter when set. Only meaningful when Catalog > 0.
+func (s *CampaignSpec) catalogEntries() []ecosystem.CatalogEntry {
+	entries := ecosystem.BuildCatalogN(s.Seed, s.Catalog)
+	if len(s.Providers) == 0 {
+		return entries
+	}
+	want := map[string]bool{}
+	for _, n := range s.Providers {
+		want[n] = true
+	}
+	var subset []ecosystem.CatalogEntry
+	for _, e := range entries {
+		if want[e.Name] {
+			subset = append(subset, e)
+		}
+	}
+	return subset
+}
+
+// buildOptions resolves the spec to study.Options for a given virtual
+// month (always 0 outside catalog mode). The provider subset is
+// materialized from the catalog at the spec's seed and VP count,
+// exactly as a one-shot caller would.
+func (s *CampaignSpec) buildOptions(month int) study.Options {
 	opts := study.Options{
 		Seed:            s.Seed,
 		VPsPerProvider:  s.VPsPerProvider,
 		ExtraTLSHosts:   s.ExtraTLSHosts,
 		LandmarkCount:   s.LandmarkCount,
 		MaxFullSuiteVPs: s.MaxFullSuiteVPs,
+	}
+	if s.Catalog > 0 {
+		opts.Providers = ecosystem.CatalogSpecs(s.Seed, s.catalogEntries(), s.VPsPerProvider, month)
+		return opts
 	}
 	if len(s.Providers) > 0 {
 		vps := s.VPsPerProvider
@@ -159,10 +223,11 @@ func (s *CampaignSpec) runConfig(ctx context.Context, workers int, checkpoint fu
 	}
 }
 
-// buildWorldFn builds the spec's world; a test seam so admission and
-// isolation tests can substitute instant or poisoned worlds.
-var buildWorldFn = func(spec *CampaignSpec) (*study.World, error) {
-	w, err := study.Build(spec.buildOptions())
+// buildWorldFn builds the spec's world at a virtual month (0 outside
+// catalog mode); a test seam so admission and isolation tests can
+// substitute instant or poisoned worlds.
+var buildWorldFn = func(spec *CampaignSpec, month int) (*study.World, error) {
+	w, err := study.Build(spec.buildOptions(month))
 	if err != nil {
 		return nil, err
 	}
@@ -185,12 +250,14 @@ var runStudyFn = func(w *study.World, cfg study.RunConfig) (*study.Result, error
 // RunOneShot runs a campaign spec synchronously in-process, with no
 // daemon, queue, or persistence — the reference execution the daemon's
 // crash-recovery chaos tests compare against, and the engine behind
-// `vpnscoped -oneshot`.
+// `vpnscoped -oneshot`. Catalog specs run their month-0 baseline with
+// the result retained in memory; the streaming shard-log path is
+// daemon-only.
 func RunOneShot(ctx context.Context, spec CampaignSpec) (*study.Result, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
-	w, err := buildWorldFn(&spec)
+	w, err := buildWorldFn(&spec, 0)
 	if err != nil {
 		return nil, err
 	}

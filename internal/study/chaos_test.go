@@ -98,17 +98,17 @@ func TestChaosInvarianceFullStudy(t *testing.T) {
 	}
 
 	// Headline verdicts, unchanged from the clean-run benchmarks.
-	inj := analysis.Injections(res.Reports)
+	inj := analysis.Injections(analysis.Slice(res.Reports))
 	if len(inj) != 1 || inj[0].Provider != "Seed4.me" {
 		t.Errorf("injections = %+v, want exactly Seed4.me", inj)
 	}
-	if proxies := analysis.TransparentProxies(res.Reports); len(proxies) != 5 {
+	if proxies := analysis.TransparentProxies(analysis.Slice(res.Reports)); len(proxies) != 5 {
 		t.Errorf("transparent proxies = %v, want 5", proxies)
 	}
-	if vv := analysis.DetectVirtualVPs(res.Reports, w.Config); len(vv.Providers) != 6 {
+	if vv := analysis.DetectVirtualVPs(analysis.Slice(res.Reports), w.Config); len(vv.Providers) != 6 {
 		t.Errorf("virtual-VP providers = %v, want the paper's six", vv.Providers)
 	}
-	leaks := analysis.Leaks(res.Reports)
+	leaks := analysis.Leaks(analysis.Slice(res.Reports))
 	if len(leaks.DNSLeakers) != 2 {
 		t.Errorf("DNS leakers = %v, want 2", leaks.DNSLeakers)
 	}
@@ -135,14 +135,14 @@ func TestChaosEscalationHostile(t *testing.T) {
 	if d := silentDrops(res); d != 0 {
 		t.Errorf("%d vantage points silently dropped", d)
 	}
-	inj := analysis.Injections(res.Reports)
+	inj := analysis.Injections(analysis.Slice(res.Reports))
 	if len(inj) != 1 || inj[0].Provider != "Seed4.me" {
 		t.Errorf("injections = %+v, want exactly Seed4.me", inj)
 	}
-	if proxies := analysis.TransparentProxies(res.Reports); len(proxies) != 1 || proxies[0] != "CyberGhost" {
+	if proxies := analysis.TransparentProxies(analysis.Slice(res.Reports)); len(proxies) != 1 || proxies[0] != "CyberGhost" {
 		t.Errorf("proxies = %v, want exactly CyberGhost", proxies)
 	}
-	leaks := analysis.Leaks(res.Reports)
+	leaks := analysis.Leaks(analysis.Slice(res.Reports))
 	found := false
 	for _, p := range leaks.DNSLeakers {
 		if p == "WorldVPN" {
@@ -152,7 +152,7 @@ func TestChaosEscalationHostile(t *testing.T) {
 	if !found {
 		t.Errorf("DNS leakers = %v, want WorldVPN recovered", leaks.DNSLeakers)
 	}
-	vv := analysis.DetectVirtualVPs(res.Reports, w.Config)
+	vv := analysis.DetectVirtualVPs(analysis.Slice(res.Reports), w.Config)
 	found = false
 	for _, p := range vv.Providers {
 		if p == "Avira" {

@@ -137,9 +137,16 @@ func (c *committer) provState(idx int) *provState {
 // migrate moves pending resumed records with rank < lim into the
 // canonical prefix. The front pointers only ever advance, so total
 // migration work over a whole campaign is O(resumed records).
+//
+// In streaming mode resumed report records are rank-tracking stubs
+// reconstructed from the caller's outcome log (identity fields only);
+// they advance the front pointer but are not retained — the log, not
+// the Result, is the report store.
 func (c *committer) migrate(lim int) {
 	for c.pr < len(c.pendReps) && c.pendReps[c.pr].rank < lim {
-		c.res.Reports = append(c.res.Reports, c.pendReps[c.pr].rep)
+		if c.cfg.Stream == nil {
+			c.res.Reports = append(c.res.Reports, c.pendReps[c.pr].rep)
+		}
 		c.pr++
 	}
 	for c.pf < len(c.pendCFs) && c.pendCFs[c.pf].rank < lim {
@@ -211,6 +218,13 @@ func (c *committer) prepare(s slotSpec) (needMeasure bool, err error) {
 			return false, fmt.Errorf("study: resumed quarantine record missing for %s", s.provider)
 		}
 		c.res.Quarantines[qi].SkippedVPs = append(c.res.Quarantines[qi].SkippedVPs, s.label)
+		if err := c.stream(Outcome{Rank: s.order, Skip: &SkippedVP{
+			Provider:     s.provider,
+			VPLabel:      s.label,
+			TrippedAfter: c.res.Quarantines[qi].TrippedAfter,
+		}}); err != nil {
+			return false, err
+		}
 		return false, c.checkpoint()
 	}
 	return true, nil
@@ -244,14 +258,20 @@ func (c *committer) insertQuarantine(q Quarantine) {
 func (c *committer) commit(s slotSpec, out vpResult) error {
 	st := c.provState(s.provIdx)
 	c.res.VPsAttempted++
+	o := Outcome{Rank: s.order}
 	if out.failure != nil {
 		c.res.ConnectFailures = append(c.res.ConnectFailures, *out.failure)
 		st.streak++
+		o.Failure = out.failure
 	} else {
 		if out.recovery != nil {
 			c.res.Recoveries = append(c.res.Recoveries, *out.recovery)
+			o.Recovery = out.recovery
 		}
-		c.res.Reports = append(c.res.Reports, out.report)
+		if c.cfg.Stream == nil {
+			c.res.Reports = append(c.res.Reports, out.report)
+		}
+		o.Report = out.report
 		st.streak = 0
 	}
 	if tel := telemetry.Active(); tel != nil {
@@ -275,7 +295,35 @@ func (c *committer) commit(s slotSpec, out vpResult) error {
 			}
 		}
 	}
+	if err := c.stream(o); err != nil {
+		return err
+	}
 	return c.checkpoint()
+}
+
+// stream hands one fresh outcome to the caller's streaming sink (a
+// no-op in checkpoint mode). Like checkpoint it only ever runs on the
+// committing goroutine, so outcomes arrive strictly in rank order for
+// any worker count.
+func (c *committer) stream(o Outcome) error {
+	if c.cfg.Stream == nil {
+		return nil
+	}
+	tel := telemetry.Active()
+	var t0 time.Time
+	if tel != nil {
+		t0 = time.Now()
+	}
+	err := c.cfg.Stream(o)
+	if tel != nil {
+		d := time.Since(t0)
+		tel.M.Checkpoints.Add(1)
+		tel.CheckpointWall.Observe(d)
+	}
+	if err != nil {
+		return fmt.Errorf("study: stream: %w", err)
+	}
+	return nil
 }
 
 // checkpoint hands the user callback an O(new)-cost snapshot.

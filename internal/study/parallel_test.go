@@ -137,17 +137,17 @@ func TestParallelGoldenFullStudy(t *testing.T) {
 	}
 
 	// Headline verdicts from the parallel run's reports.
-	inj := analysis.Injections(par.Reports)
+	inj := analysis.Injections(analysis.Slice(par.Reports))
 	if len(inj) != 1 || inj[0].Provider != "Seed4.me" {
 		t.Errorf("injections = %+v, want exactly Seed4.me", inj)
 	}
-	if proxies := analysis.TransparentProxies(par.Reports); len(proxies) != 5 {
+	if proxies := analysis.TransparentProxies(analysis.Slice(par.Reports)); len(proxies) != 5 {
 		t.Errorf("transparent proxies = %v, want 5", proxies)
 	}
-	if vv := analysis.DetectVirtualVPs(par.Reports, parW.Config); len(vv.Providers) != 6 {
+	if vv := analysis.DetectVirtualVPs(analysis.Slice(par.Reports), parW.Config); len(vv.Providers) != 6 {
 		t.Errorf("virtual-VP providers = %v, want the paper's six", vv.Providers)
 	}
-	leaks := analysis.Leaks(par.Reports)
+	leaks := analysis.Leaks(analysis.Slice(par.Reports))
 	if len(leaks.DNSLeakers) != 2 {
 		t.Errorf("DNS leakers = %v, want 2", leaks.DNSLeakers)
 	}

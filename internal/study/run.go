@@ -42,6 +42,30 @@ type Quarantine struct {
 	SkippedVPs   []string
 }
 
+// SkippedVP is a quarantine-skipped vantage point as a streamed
+// outcome. TrippedAfter copies the owning quarantine's streak onto
+// every skip so a resumed outcome log can rebuild the quarantine
+// record from its first skip alone (a fresh trip and its first skip
+// are always emitted atomically by the committer).
+type SkippedVP struct {
+	Provider     string
+	VPLabel      string
+	TrippedAfter int
+}
+
+// Outcome is one vantage-point slot's result as emitted by
+// RunConfig.Stream: exactly one of Report, Failure, or Skip is set
+// (Recovery only ever accompanies Report). Rank is the slot's canonical
+// campaign rank; Stream receives ranks in strictly increasing order,
+// starting at the resumed prefix length.
+type Outcome struct {
+	Rank     int
+	Report   *vpntest.VPReport `json:",omitempty"`
+	Failure  *ConnectFailure   `json:",omitempty"`
+	Recovery *Recovery         `json:",omitempty"`
+	Skip     *SkippedVP        `json:",omitempty"`
+}
+
 // Result is a completed (or checkpointed partial) study: every
 // vantage-point report plus the connection failures (§5.2's
 // flaky-endpoint reality), retry recoveries, and quarantines. Every
@@ -120,6 +144,17 @@ type RunConfig struct {
 	// order, built at O(new outcomes) cost by the incremental committer
 	// (see commit.go).
 	Checkpoint func(*Result) error
+	// Stream, when set, switches the campaign to bounded-memory
+	// streaming: each newly recorded outcome is handed to Stream exactly
+	// once, in canonical rank order (serialized onto the committing
+	// goroutine even under Parallel), and the committer stops retaining
+	// measurement reports in the returned Result — Reports stays empty;
+	// ConnectFailures, Recoveries, Quarantines, and VPsAttempted are
+	// still filled. Resumed outcomes (already in the caller's log) are
+	// never re-streamed. Mutually exclusive with Checkpoint: the
+	// caller's sink is the checkpoint. A Stream error aborts the
+	// campaign like a checkpoint error would.
+	Stream func(Outcome) error
 	// Parallel is the campaign worker count (default GOMAXPROCS;
 	// minimum 1). The campaign is sharded at vantage-point granularity:
 	// a work-stealing scheduler (internal/study/slotsched) hands slots
@@ -475,6 +510,9 @@ func (w *World) RunProviderWith(name string, cfg RunConfig) (*Result, error) {
 // one-provider world) stays on the primary world so post-Build
 // mutations — which worker replicas cannot observe — keep applying.
 func (w *World) runCampaign(cfg RunConfig, specs []slotSpec) (*Result, error) {
+	if cfg.Stream != nil && cfg.Checkpoint != nil {
+		return nil, errors.New("study: RunConfig.Stream and Checkpoint are mutually exclusive")
+	}
 	if tel := telemetry.Active(); tel != nil {
 		tel.AddSlotsTotal(len(specs))
 	}

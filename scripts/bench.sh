@@ -4,12 +4,12 @@
 # benchmarks"). One full-study iteration takes a few seconds; the
 # scaling sweep repeats the campaign at workers ∈ {1,2,4,8}.
 #
-#   BENCH_OUT   trajectory file (default BENCH_5.json)
+#   BENCH_OUT   trajectory file (default BENCH_6.json)
 #   BENCH_LABEL label for this run (default: short git hash, or "local")
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${BENCH_OUT:-BENCH_5.json}"
+out="${BENCH_OUT:-BENCH_6.json}"
 label="${BENCH_LABEL:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}"
 
 go test -bench 'BenchmarkFullStudy$|BenchmarkStudySequential$|BenchmarkStudyParallelScaling/' \
@@ -27,4 +27,11 @@ go test -bench 'BenchmarkTelemetryOverhead/' \
 # benchmark itself and fails the run on a quadratic relapse).
 go test -bench 'BenchmarkCheckpointMerge$' \
     -benchtime 100x -benchmem -run '^$' ./internal/study |
+    go run ./cmd/benchtrend -out "$out" -label "$label"
+
+# Ecosystem-scale sweep: the full 200-provider catalog (tested 62 plus
+# derived synthetic profiles) streamed into a sharded outcome log and
+# merged back — the §6 full-catalog datapoint.
+go test -bench 'BenchmarkFullCatalogCampaign$' \
+    -benchtime 1x -benchmem -run '^$' . |
     go run ./cmd/benchtrend -out "$out" -label "$label"
