@@ -1,6 +1,6 @@
 # Convenience targets; the authoritative tier-1 line lives in ROADMAP.md.
 
-.PHONY: build test race tier1 bench loadtest
+.PHONY: build test race tier1 bench benchcheck loadtest
 
 build:
 	go build ./...
@@ -32,6 +32,12 @@ tier1: build
 # BENCH_*.json trajectory (override with BENCH_OUT / BENCH_LABEL).
 bench:
 	sh scripts/bench.sh
+
+# benchcheck compares the two newest BENCH_*.json trajectories and
+# fails on any shared benchmark whose allocs/op regressed >10% — run it
+# after `make bench` to catch allocation regressions before committing.
+benchcheck:
+	go run ./cmd/benchtrend -check
 
 # loadtest drives a real vpnscoped daemon with concurrent clients and
 # reports campaigns/sec and p99 time-to-first-result (override with

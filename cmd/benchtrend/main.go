@@ -8,6 +8,17 @@
 //	go test -bench 'Study' -benchtime 1x -benchmem -run '^$' . |
 //	    go run ./cmd/benchtrend -out BENCH_3.json -label my-change
 //
+// With -best, repeated lines for the same benchmark (a `-count N` run)
+// collapse to the lowest-ns/op measurement before recording — the
+// minimum is the stablest estimator of a benchmark's true cost on a
+// noisy shared host.
+//
+// With -check, benchtrend reads no stdin: it finds the two
+// highest-numbered BENCH_*.json trajectories in the current directory,
+// compares the latest entry of every benchmark present in both, and
+// exits non-zero when any allocs/op regressed by more than 10% — the
+// post-`make bench` regression gate (`make benchcheck`).
+//
 // The output file holds one JSON object with an "entries" array; each
 // run appends one entry per benchmark line parsed from stdin. See
 // README.md ("Profiling and benchmarks") for how to read it.
@@ -20,6 +31,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -44,7 +57,12 @@ func main() {
 	log.SetPrefix("benchtrend: ")
 	out := flag.String("out", "BENCH.json", "trajectory file to append to (created if missing)")
 	label := flag.String("label", "", "label for this run (e.g. a commit or change name)")
+	best := flag.Bool("best", false, "collapse -count repeats of a benchmark to the lowest ns/op before recording")
+	check := flag.Bool("check", false, "compare the two newest BENCH_*.json and fail on >10% allocs/op regressions")
 	flag.Parse()
+	if *check {
+		os.Exit(runCheck())
+	}
 	if *label == "" {
 		log.Fatal("missing -label")
 	}
@@ -64,6 +82,9 @@ func main() {
 	}
 	if len(entries) == 0 {
 		log.Fatal("no benchmark lines found on stdin")
+	}
+	if *best {
+		entries = bestOf(entries)
 	}
 	traj.Entries = append(traj.Entries, entries...)
 
@@ -115,6 +136,113 @@ func parse(label string, r *os.File) ([]Entry, error) {
 		entries = append(entries, e)
 	}
 	return entries, sc.Err()
+}
+
+// bestOf keeps, for each benchmark name, only the lowest-ns/op entry,
+// preserving first-appearance order. `-count N` runs feed N lines per
+// benchmark; the minimum across them filters out scheduler noise.
+func bestOf(entries []Entry) []Entry {
+	idx := make(map[string]int)
+	var out []Entry
+	for _, e := range entries {
+		i, seen := idx[e.Name]
+		if !seen {
+			idx[e.Name] = len(out)
+			out = append(out, e)
+			continue
+		}
+		if e.NsPerOp < out[i].NsPerOp {
+			out[i] = e
+		}
+	}
+	return out
+}
+
+// runCheck compares the two highest-numbered BENCH_*.json trajectories
+// in the current directory. For every benchmark present in both, the
+// latest recorded entry of each file is compared; an allocs/op increase
+// beyond checkTolerance fails the check. Returns the process exit code.
+const checkTolerance = 1.10
+
+func runCheck() int {
+	files, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(files, func(i, j int) bool { return benchSeq(files[i]) < benchSeq(files[j]) })
+	if len(files) < 2 {
+		log.Printf("check: need two BENCH_*.json trajectories, found %d — nothing to compare", len(files))
+		return 0
+	}
+	prevFile, curFile := files[len(files)-2], files[len(files)-1]
+	prev, cur := latestByName(prevFile), latestByName(curFile)
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if _, ok := prev[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		log.Printf("check: %s and %s share no benchmarks — nothing to compare", prevFile, curFile)
+		return 0
+	}
+
+	regressed := 0
+	for _, name := range names {
+		p, c := prev[name], cur[name]
+		if p.AllocsPerOp == 0 {
+			continue // no allocation data recorded (e.g. -benchmem off)
+		}
+		ratio := float64(c.AllocsPerOp) / float64(p.AllocsPerOp)
+		status := "ok"
+		if ratio > checkTolerance {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-50s %12d -> %12d allocs/op (%+.1f%%) %s\n",
+			name, p.AllocsPerOp, c.AllocsPerOp, (ratio-1)*100, status)
+	}
+	pct := int((checkTolerance - 1.0) * 100.0)
+	if regressed > 0 {
+		log.Printf("check: %d benchmark(s) regressed >%d%% allocs/op (%s vs %s)",
+			regressed, pct, curFile, prevFile)
+		return 1
+	}
+	fmt.Printf("check: %d shared benchmark(s) within %d%% of %s\n",
+		len(names), pct, prevFile)
+	return 0
+}
+
+// benchSeq extracts the numeric sequence of a BENCH_<n>.json filename
+// (so BENCH_10 sorts after BENCH_9); non-numeric names sort first.
+func benchSeq(name string) int {
+	s := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(name), "BENCH_"), ".json")
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// latestByName loads a trajectory and returns the last recorded entry
+// for each benchmark name — the file is append-only, so the last entry
+// is the newest measurement.
+func latestByName(path string) map[string]Entry {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(raw, &traj); err != nil {
+		log.Fatalf("%s is not a trajectory file: %v", path, err)
+	}
+	out := make(map[string]Entry, len(traj.Entries))
+	for _, e := range traj.Entries {
+		out[e.Name] = e
+	}
+	return out
 }
 
 // cpuSuffix returns the trailing "-N" GOMAXPROCS marker of a benchmark

@@ -1,0 +1,128 @@
+// Package arena provides a slot-scoped bump allocator for the
+// campaign's transient byte buffers: packet copies, capture records,
+// tunnel scramble scratch — everything born and dead inside one
+// vantage-point slot. Allocation is a pointer bump; the whole arena is
+// recycled in O(chunks) at the slot boundary (World.beginSlot calls
+// Reset), so the garbage collector never sees the per-packet churn.
+//
+// An Arena is single-goroutine, like everything else inside one
+// simulated world. A nil *Arena is a valid allocator that falls back to
+// the heap, so hot paths can thread an optional arena without
+// branching at every call site.
+package arena
+
+// chunkSize is the default chunk the arena grows by. Large enough that
+// a typical slot's packet traffic fits in a handful of chunks, small
+// enough that an idle world wastes little.
+const chunkSize = 64 << 10
+
+// Arena is a chunked bump allocator. The zero value is ready to use.
+type Arena struct {
+	// Poison, when set, fills every handed-out byte with 0xDE on Reset
+	// so a pointer illegally retained across a slot boundary reads
+	// garbage instead of silently stale data. Defaults to the
+	// build-tag constant (on under -tags arenadebug); tests may set it
+	// directly.
+	Poison bool
+
+	cur   []byte   // active chunk; len = bytes handed out
+	full  [][]byte // exhausted chunks (len = bytes handed out in each)
+	spare [][]byte // recycled chunks awaiting reuse
+
+	allocs uint64 // lifetime Bytes calls, for tests/stats
+	resets uint64
+}
+
+// New returns an arena with the build-default Poison setting (off
+// normally, on under -tags arenadebug).
+func New() *Arena { return &Arena{Poison: debugPoison} }
+
+// NewDebug returns an arena with poison-on-reset enabled.
+func NewDebug() *Arena { return &Arena{Poison: true} }
+
+// Bytes returns a zeroed-length-n buffer valid until the next Reset.
+// Contents are undefined (arena memory is recycled, not cleared); use
+// Copy when duplicating an existing slice. A nil arena allocates from
+// the heap.
+func (a *Arena) Bytes(n int) []byte {
+	if a == nil {
+		return make([]byte, n)
+	}
+	a.allocs++
+	if cap(a.cur)-len(a.cur) < n {
+		a.grow(n)
+	}
+	off := len(a.cur)
+	a.cur = a.cur[:off+n]
+	return a.cur[off : off+n : off+n]
+}
+
+// Copy returns an arena-owned copy of b, valid until the next Reset.
+func (a *Arena) Copy(b []byte) []byte {
+	out := a.Bytes(len(b))
+	copy(out, b)
+	return out
+}
+
+func (a *Arena) grow(n int) {
+	if cap(a.cur) > 0 {
+		a.full = append(a.full, a.cur)
+	}
+	// Recycle the newest spare big enough for the request.
+	for i := len(a.spare) - 1; i >= 0; i-- {
+		if cap(a.spare[i]) >= n {
+			a.cur = a.spare[i][:0]
+			a.spare[i] = a.spare[len(a.spare)-1]
+			a.spare[len(a.spare)-1] = nil
+			a.spare = a.spare[:len(a.spare)-1]
+			return
+		}
+	}
+	size := chunkSize
+	if n > size {
+		size = n
+	}
+	a.cur = make([]byte, 0, size)
+}
+
+// Reset recycles every chunk in O(number of chunks). All buffers handed
+// out since the previous Reset become invalid; with Poison set their
+// bytes are overwritten first so stale references are detectable.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	a.resets++
+	if a.Poison {
+		poisonChunk(a.cur)
+		for _, c := range a.full {
+			poisonChunk(c)
+		}
+	}
+	if cap(a.cur) > 0 {
+		a.spare = append(a.spare, a.cur[:0])
+		a.cur = nil
+	}
+	for _, c := range a.full {
+		a.spare = append(a.spare, c[:0])
+	}
+	a.full = a.full[:0]
+}
+
+// PoisonByte is the value Reset writes over recycled memory when Poison
+// is set.
+const PoisonByte = 0xDE
+
+func poisonChunk(c []byte) {
+	for i := range c {
+		c[i] = PoisonByte
+	}
+}
+
+// Stats reports lifetime allocation counts (for tests and telemetry).
+func (a *Arena) Stats() (allocs, resets uint64) {
+	if a == nil {
+		return 0, 0
+	}
+	return a.allocs, a.resets
+}

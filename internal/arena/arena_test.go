@@ -1,0 +1,105 @@
+package arena
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBytesAndCopy(t *testing.T) {
+	a := New()
+	b1 := a.Copy([]byte("hello"))
+	b2 := a.Copy([]byte("world"))
+	if string(b1) != "hello" || string(b2) != "world" {
+		t.Fatalf("copies corrupted: %q %q", b1, b2)
+	}
+	// Full-slice-expression capping: appending to one buffer must not
+	// scribble on its neighbor.
+	b1 = append(b1, '!')
+	if string(b2) != "world" {
+		t.Fatalf("append to b1 overwrote b2: %q", b2)
+	}
+}
+
+func TestResetRecyclesWithoutAllocating(t *testing.T) {
+	a := New()
+	// Warm: force a couple of chunks into existence.
+	for i := 0; i < 64; i++ {
+		a.Bytes(4 << 10)
+	}
+	a.Reset()
+	per := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			a.Bytes(4 << 10)
+		}
+		a.Reset()
+	})
+	if per > 0.5 {
+		t.Fatalf("steady-state arena cycle allocates %.1f objects, want 0", per)
+	}
+}
+
+func TestLargeRequestGetsOwnChunk(t *testing.T) {
+	a := New()
+	big := a.Bytes(1 << 20)
+	if len(big) != 1<<20 {
+		t.Fatalf("big request wrong size: %d", len(big))
+	}
+	a.Reset()
+	// The oversized chunk is recycled too.
+	big2 := a.Bytes(1 << 20)
+	if len(big2) != 1<<20 {
+		t.Fatalf("recycled big request wrong size: %d", len(big2))
+	}
+	if allocs, _ := a.Stats(); allocs != 2 {
+		t.Fatalf("expected 2 lifetime allocs, got %d", allocs)
+	}
+}
+
+func TestNilArenaFallsBackToHeap(t *testing.T) {
+	var a *Arena
+	b := a.Bytes(8)
+	if len(b) != 8 {
+		t.Fatalf("nil-arena Bytes wrong size: %d", len(b))
+	}
+	a.Reset() // must not panic
+	c := a.Copy([]byte("x"))
+	if string(c) != "x" {
+		t.Fatalf("nil-arena Copy corrupted: %q", c)
+	}
+}
+
+// TestPoisonDetectsRetainedPointer is the reuse-after-reset safety
+// check: a buffer illegally retained across Reset must read as poison,
+// not as its old (stale but plausible) contents.
+func TestPoisonDetectsRetainedPointer(t *testing.T) {
+	a := NewDebug()
+	retained := a.Copy([]byte("retained-across-slot-boundary"))
+	a.Reset() // the slot boundary
+	want := bytes.Repeat([]byte{PoisonByte}, len(retained))
+	if !bytes.Equal(retained, want) {
+		t.Fatalf("retained pointer survived reset unpoisoned: %q", retained)
+	}
+	// And the recycled memory is handed out again afterwards.
+	fresh := a.Copy([]byte("next-slot"))
+	if string(fresh) != "next-slot" {
+		t.Fatalf("post-reset allocation corrupted: %q", fresh)
+	}
+}
+
+// TestPoisonCoversFullChunks makes sure poisoning walks exhausted
+// chunks, not just the active one.
+func TestPoisonCoversFullChunks(t *testing.T) {
+	a := NewDebug()
+	var kept [][]byte
+	for i := 0; i < 8; i++ {
+		kept = append(kept, a.Copy(bytes.Repeat([]byte{byte(i + 1)}, chunkSize/2)))
+	}
+	a.Reset()
+	for i, b := range kept {
+		for j, v := range b {
+			if v != PoisonByte {
+				t.Fatalf("chunk %d byte %d escaped poisoning: %#x", i, j, v)
+			}
+		}
+	}
+}

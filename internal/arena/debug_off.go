@@ -1,0 +1,8 @@
+//go:build !arenadebug
+
+package arena
+
+// debugPoison is the default Poison setting; the arenadebug build tag
+// turns it on everywhere so any stale cross-slot reference surfaces as
+// 0xDE garbage instead of silently reproducing old bytes.
+const debugPoison = false

@@ -1,0 +1,7 @@
+//go:build arenadebug
+
+package arena
+
+// debugPoison under -tags arenadebug: every Reset poisons recycled
+// memory with 0xDE so stale cross-slot references are detectable.
+const debugPoison = true

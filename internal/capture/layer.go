@@ -29,6 +29,10 @@ const (
 	TypeICMP
 	TypeTunnel
 	TypePayload
+
+	// layerTypeCount bounds the dense layer-type enum; parser dispatch
+	// tables are arrays indexed by LayerType.
+	layerTypeCount
 )
 
 var layerTypeNames = map[LayerType]string{

@@ -209,16 +209,22 @@ func hashBytes(b []byte) uint64 {
 // stops (without error) at the first unregistered type, whose identity is
 // reported through the decoded slice semantics below.
 type DecodingLayerParser struct {
-	first  LayerType
-	layers map[LayerType]DecodingLayer
+	first LayerType
+	// layers is a dense dispatch table indexed by LayerType — the enum
+	// is small and fixed, so registration and per-layer lookup are
+	// array indexing instead of map hashing, and construction allocates
+	// nothing beyond the parser itself.
+	layers [layerTypeCount]DecodingLayer
 }
 
 // NewDecodingLayerParser registers decoders for the given layers; each
 // DecodeLayers call writes into those same layer values.
 func NewDecodingLayerParser(first LayerType, layers ...DecodingLayer) *DecodingLayerParser {
-	p := &DecodingLayerParser{first: first, layers: make(map[LayerType]DecodingLayer, len(layers))}
+	p := &DecodingLayerParser{first: first}
 	for _, l := range layers {
-		p.layers[l.LayerType()] = l
+		if t := l.LayerType(); t >= 0 && t < layerTypeCount {
+			p.layers[t] = l
+		}
 	}
 	return p
 }
@@ -239,8 +245,11 @@ func (p *DecodingLayerParser) DecodeLayersFrom(first LayerType, data []byte, dec
 	rest := data
 	next := first
 	for len(rest) > 0 {
-		layer, ok := p.layers[next]
-		if !ok {
+		if next < 0 || next >= layerTypeCount {
+			return nil
+		}
+		layer := p.layers[next]
+		if layer == nil {
 			return nil
 		}
 		if err := layer.DecodeFromBytes(rest); err != nil {

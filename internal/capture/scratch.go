@@ -1,0 +1,37 @@
+package capture
+
+// LayerScratch holds reusable serializable-layer values for hot packet
+// builders. Constructing a transport header as a pointer into this
+// scratch (instead of a fresh struct literal boxed into an interface)
+// and pairing it with the payload via Pair keeps the per-packet build
+// path free of layer-object allocations.
+//
+// A scratch is single-goroutine, like the stack, client, or vantage
+// point that owns it. Reuse across nested builds is safe because every
+// builder serializes its layers into the packet before returning — the
+// scratch is consumed before it can be overwritten.
+type LayerScratch struct {
+	Tunnel Tunnel
+	ICMP   ICMP
+	UDP    UDP
+	TCP    TCP
+
+	pay    Payload
+	layers [2]SerializableLayer
+}
+
+// Pair returns {transport, payload} as a layers slice backed by the
+// scratch, for splatting into a variadic builder. The slice (and the
+// payload boxing) is valid until the next Pair or One call.
+func (ls *LayerScratch) Pair(transport SerializableLayer, payload []byte) []SerializableLayer {
+	ls.pay = Payload(payload)
+	ls.layers[0], ls.layers[1] = transport, &ls.pay
+	return ls.layers[:2]
+}
+
+// One returns {layer} as a scratch-backed layers slice, the
+// payload-less counterpart of Pair.
+func (ls *LayerScratch) One(layer SerializableLayer) []SerializableLayer {
+	ls.layers[0] = layer
+	return ls.layers[:1]
+}

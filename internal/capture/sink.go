@@ -34,20 +34,38 @@ func (d Direction) String() string {
 }
 
 // Sink collects packet records, like a tcpdump process attached to an
-// interface. It is safe for concurrent use.
+// interface. It is safe for concurrent use (though an installed payload
+// allocator must itself be safe for however the sink is driven).
 type Sink struct {
 	mu      sync.Mutex
 	records []Record
+	alloc   func(n int) []byte
 }
 
 // NewSink returns an empty sink.
 func NewSink() *Sink { return &Sink{} }
 
+// SetAlloc installs the allocator backing record payload copies — a
+// slot arena when the records provably die with the slot (leak tests
+// count them in place and nothing snapshots them out). Nil restores the
+// heap, which is required whenever records outlive the sink's scope
+// (pcap collection).
+func (s *Sink) SetAlloc(alloc func(n int) []byte) {
+	s.mu.Lock()
+	s.alloc = alloc
+	s.mu.Unlock()
+}
+
 // Capture appends a record. The packet bytes are copied.
 func (s *Sink) Capture(t time.Duration, iface string, dir Direction, data []byte) {
-	cp := make([]byte, len(data))
-	copy(cp, data)
 	s.mu.Lock()
+	var cp []byte
+	if s.alloc != nil {
+		cp = s.alloc(len(data))
+	} else {
+		cp = make([]byte, len(data))
+	}
+	copy(cp, data)
 	s.records = append(s.records, Record{t, iface, dir, cp})
 	s.mu.Unlock()
 }
@@ -101,8 +119,8 @@ const (
 func WritePcap(w io.Writer, records []Record) error {
 	hdr := make([]byte, 24)
 	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagic)
-	binary.LittleEndian.PutUint16(hdr[4:6], 2)  // major
-	binary.LittleEndian.PutUint16(hdr[6:8], 4)  // minor
+	binary.LittleEndian.PutUint16(hdr[4:6], 2) // major
+	binary.LittleEndian.PutUint16(hdr[6:8], 4) // minor
 	binary.LittleEndian.PutUint32(hdr[16:20], 0xFFFF)
 	binary.LittleEndian.PutUint32(hdr[20:24], linktypeRaw)
 	if _, err := w.Write(hdr); err != nil {

@@ -1,0 +1,53 @@
+package dnssim
+
+// Interner deduplicates the hot DNS name strings a world decodes over
+// and over (site hostnames, provider domains, resolver names). Every
+// decoded message used to materialize a fresh string per question and
+// answer name; an interner hands back one canonical string instead, so
+// a campaign's millions of lookups of the same few hundred static names
+// cost zero string allocations after first sight.
+//
+// The table is deliberately capped: tagged recursive-origin probe names
+// embed the virtual-clock nanos and are unique per vantage-point slot,
+// so an unbounded table would grow for the lifetime of a long-lived,
+// slot-reset world. Static names are queried from the very first slot
+// and claim table space immediately; once the cap is reached, novel
+// (one-shot) names simply fall back to a plain allocation.
+//
+// An Interner is single-goroutine, like everything else inside one
+// simulated world. The zero value and the nil pointer are both ready to
+// use (a nil interner just allocates).
+type Interner struct {
+	m map[string]string
+}
+
+// maxInternedNames bounds the table; see the type comment.
+const maxInternedNames = 1024
+
+// Intern returns the canonical string equal to b, allocating only the
+// first time a name is seen (or always, once the table is full or the
+// receiver is nil).
+func (in *Interner) Intern(b []byte) string {
+	if in == nil {
+		return string(b)
+	}
+	if s, ok := in.m[string(b)]; ok { // no-alloc map probe
+		return s
+	}
+	if in.m == nil {
+		in.m = make(map[string]string, 128)
+	} else if len(in.m) >= maxInternedNames {
+		return string(b)
+	}
+	s := string(b)
+	in.m[s] = s
+	return s
+}
+
+// Len reports how many names are interned (for tests).
+func (in *Interner) Len() int {
+	if in == nil {
+		return 0
+	}
+	return len(in.m)
+}

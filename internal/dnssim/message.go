@@ -138,10 +138,26 @@ func (m *Message) AppendEncode(dst []byte) ([]byte, error) {
 
 // Decode parses DNS wire format produced by Encode.
 func Decode(data []byte) (*Message, error) {
-	if len(data) < 12 {
-		return nil, ErrTruncatedMessage
+	m := &Message{}
+	if err := DecodeInto(m, data, nil); err != nil {
+		return nil, err
 	}
-	m := &Message{ID: binary.BigEndian.Uint16(data[0:2])}
+	return m, nil
+}
+
+// DecodeInto parses DNS wire format produced by Encode into m, reusing
+// m's Questions/Answers capacity across calls. Name strings are
+// deduplicated through in when non-nil (a nil interner allocates
+// normally). The decoded message never aliases data — names are copied
+// strings and addresses are values — so callers may reuse both the wire
+// buffer and the message freely.
+func DecodeInto(m *Message, data []byte, in *Interner) error {
+	m.Questions = m.Questions[:0]
+	m.Answers = m.Answers[:0]
+	if len(data) < 12 {
+		return ErrTruncatedMessage
+	}
+	m.ID = binary.BigEndian.Uint16(data[0:2])
 	flags := binary.BigEndian.Uint16(data[2:4])
 	m.Response = flags&(1<<15) != 0
 	m.RCode = byte(flags & 0xF)
@@ -149,13 +165,13 @@ func Decode(data []byte) (*Message, error) {
 	an := int(binary.BigEndian.Uint16(data[6:8]))
 	off := 12
 	for i := 0; i < qd; i++ {
-		name, n, err := decodeName(data, off)
+		name, n, err := decodeName(data, off, in)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		off += n
 		if off+4 > len(data) {
-			return nil, ErrTruncatedMessage
+			return ErrTruncatedMessage
 		}
 		m.Questions = append(m.Questions, Question{
 			Name: name,
@@ -164,13 +180,13 @@ func Decode(data []byte) (*Message, error) {
 		off += 4
 	}
 	for i := 0; i < an; i++ {
-		name, n, err := decodeName(data, off)
+		name, n, err := decodeName(data, off, in)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		off += n
 		if off+10 > len(data) {
-			return nil, ErrTruncatedMessage
+			return ErrTruncatedMessage
 		}
 		rr := RR{
 			Name: name,
@@ -180,19 +196,19 @@ func Decode(data []byte) (*Message, error) {
 		rdlen := int(binary.BigEndian.Uint16(data[off+8 : off+10]))
 		off += 10
 		if off+rdlen > len(data) {
-			return nil, ErrTruncatedMessage
+			return ErrTruncatedMessage
 		}
 		if rdlen == 4 || rdlen == 16 {
 			addr, ok := netip.AddrFromSlice(data[off : off+rdlen])
 			if !ok {
-				return nil, fmt.Errorf("dnssim: bad rdata for %q", name)
+				return fmt.Errorf("dnssim: bad rdata for %q", name)
 			}
 			rr.Addr = addr
 		}
 		off += rdlen
 		m.Answers = append(m.Answers, rr)
 	}
-	return m, nil
+	return nil
 }
 
 // appendName appends the wire encoding of name to dst without any
@@ -227,8 +243,12 @@ func appendName(dst []byte, name string) ([]byte, error) {
 	return append(dst, 0), nil
 }
 
-func decodeName(data []byte, off int) (string, int, error) {
-	var labels []string
+func decodeName(data []byte, off int, in *Interner) (string, int, error) {
+	// Assemble the dotted name into a stack buffer (253 bytes is the
+	// wire-format ceiling) and intern the result: equal to the old
+	// strings.Join of the labels, without the per-label allocations.
+	var arr [256]byte
+	buf := arr[:0]
 	n := 0
 	for {
 		if off+n >= len(data) {
@@ -245,8 +265,11 @@ func decodeName(data []byte, off int) (string, int, error) {
 		if off+n+l > len(data) {
 			return "", 0, ErrTruncatedMessage
 		}
-		labels = append(labels, string(data[off+n:off+n+l]))
+		if len(buf) > 0 {
+			buf = append(buf, '.')
+		}
+		buf = append(buf, data[off+n:off+n+l]...)
 		n += l
 	}
-	return strings.Join(labels, "."), n, nil
+	return in.Intern(buf), n, nil
 }

@@ -33,19 +33,24 @@ func (d *Directory) Register(name string, addrs ...netip.Addr) {
 // Lookup returns the addresses for name with the given record type
 // filter (TypeA returns only v4, TypeAAAA only v6).
 func (d *Directory) Lookup(name string, qtype uint16) []netip.Addr {
+	return d.LookupAppend(nil, name, qtype)
+}
+
+// LookupAppend appends the addresses for name to dst and returns the
+// extended slice; hot callers (the resolver answer path) pass a
+// reusable scratch slice to keep steady-state lookups allocation-free.
+func (d *Directory) LookupAppend(dst []netip.Addr, name string, qtype uint16) []netip.Addr {
 	d.mu.RLock()
-	addrs := d.names[normalize(name)]
-	d.mu.RUnlock()
-	var out []netip.Addr
-	for _, a := range addrs {
+	defer d.mu.RUnlock()
+	for _, a := range d.names[normalize(name)] {
 		switch {
 		case qtype == TypeA && a.Is4():
-			out = append(out, a)
+			dst = append(dst, a)
 		case qtype == TypeAAAA && a.Is6():
-			out = append(out, a)
+			dst = append(dst, a)
 		}
 	}
-	return out
+	return dst
 }
 
 // Exists reports whether name is registered at all (any family).
@@ -173,31 +178,45 @@ type Resolver struct {
 	// Manipulate, when non-nil, rewrites every answer set.
 	Manipulate Manipulator
 
-	// scratch is the reusable response-encode buffer. Safe because a
-	// resolver answers one exchange at a time (netsim delivers on the
-	// originating goroutine and copies the returned payload into the
-	// reply packet before the next exchange can start).
+	// Slot-agnostic serving scratch. Safe because a resolver answers
+	// one exchange at a time (netsim delivers on the originating
+	// goroutine and copies the returned payload into the reply packet
+	// before the next exchange can start): the reusable response-encode
+	// buffer, the reusable decoded-query and reply messages, the answer
+	// slice handed to Lookup/Manipulate, and the name interner that
+	// stops every query for the same static hostname from materializing
+	// a fresh string.
 	scratch []byte
+	qmsg    Message
+	rmsg    Message
+	addrBuf []netip.Addr
+	intern  Interner
 }
 
 // HandleQuery processes one wire-format DNS query and returns the
 // wire-format response.
 func (r *Resolver) HandleQuery(query []byte) []byte {
-	m, err := Decode(query)
-	if err != nil || m.Response || len(m.Questions) == 0 {
+	if err := DecodeInto(&r.qmsg, query, &r.intern); err != nil || r.qmsg.Response || len(r.qmsg.Questions) == 0 {
 		return nil
 	}
-	resp := m.Reply()
+	m := &r.qmsg
+	resp := &r.rmsg
+	resp.ID = m.ID
+	resp.Response = true
+	resp.RCode = RCodeOK
+	resp.Questions = append(resp.Questions[:0], m.Questions...)
+	resp.Answers = resp.Answers[:0]
 	q := m.Questions[0]
 
-	var addrs []netip.Addr
+	addrs := r.addrBuf[:0]
 	if auth := r.Dir.authorityFor(q.Name); auth != nil {
 		if q.Type == TypeA {
-			addrs = []netip.Addr{auth.Resolve(q.Name, r.Addr)}
+			addrs = append(addrs, auth.Resolve(q.Name, r.Addr))
 		}
 	} else {
-		addrs = r.Dir.Lookup(q.Name, q.Type)
+		addrs = r.Dir.LookupAppend(addrs, q.Name, q.Type)
 	}
+	r.addrBuf = addrs[:0] // keep grown capacity for the next query
 	if r.Manipulate != nil {
 		addrs = r.Manipulate(q.Name, q.Type, addrs)
 	}

@@ -18,21 +18,27 @@ type UDPHandler func(src netip.Addr, srcPort uint16, payload []byte) []byte
 type TCPHandler func(src netip.Addr, srcPort uint16, payload []byte) []byte
 
 // RawHandler receives a whole raw IP packet addressed to the host and
-// may return response packets (raw IP, addressed back to the sender).
-// VPN servers use this to terminate tunnel encapsulation; the Network is
-// passed so the handler can originate onward exchanges (decapsulate and
-// forward) on the caller's virtual-time budget.
-type RawHandler func(n *Network, packet []byte) [][]byte
+// emits any response packets (raw IP, addressed back to the sender)
+// through emit — batched delivery queues them all in one pass instead
+// of a return-value round trip each. It reports whether it consumed the
+// packet; false falls through to the host's port dispatch (a VPN host
+// serves both raw tunnel frames and plain provider DNS). VPN servers
+// use this to terminate tunnel encapsulation; the Network is passed so
+// the handler can originate onward exchanges (decapsulate and forward)
+// on the caller's virtual-time budget. Emitted packets must be owned
+// (not aliases of pooled scratch); build them with Network.BuildPacket
+// or copy into the slot arena.
+type RawHandler func(n *Network, packet []byte, emit func([]byte)) bool
 
 // Host is a machine on the simulated Internet: one or more addresses,
 // a physical location, and registered service handlers.
 type Host struct {
-	Name     string
-	Coord    geo.Coord
-	Country  geo.Country
-	Addr     netip.Addr // primary IPv4 address
-	Addr6    netip.Addr // optional IPv6 address (zero if none)
-	Block    Block      // the address block the host lives in
+	Name    string
+	Coord   geo.Coord
+	Country geo.Country
+	Addr    netip.Addr // primary IPv4 address
+	Addr6   netip.Addr // optional IPv6 address (zero if none)
+	Block   Block      // the address block the host lives in
 	// Reliability is the probability an exchange with this host
 	// succeeds. The paper found vantage points outside North America
 	// and Europe notably flaky; the simulator reproduces that here.

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"vpnscope/internal/arena"
 	"vpnscope/internal/capture"
 	"vpnscope/internal/geo"
 	"vpnscope/internal/simrand"
@@ -65,6 +66,15 @@ type Network struct {
 	rng       *simrand.Source
 	seed      uint64
 	faultHook FaultHook
+
+	// slotArena, when set, supplies the owned reply-packet copies made
+	// on the delivery path. It is installed once at world-build time
+	// (before any traffic) and reset by the campaign runner at
+	// vantage-point slot boundaries; packets never outlive a slot, so
+	// the per-packet copies become bump allocations the GC never sees.
+	// Nil (the default, and the only safe setting for a Network
+	// exercised from multiple goroutines) falls back to the heap.
+	slotArena *arena.Arena
 }
 
 // New creates an empty network seeded for deterministic jitter and loss.
@@ -76,6 +86,26 @@ func New(seed uint64) *Network {
 		rng:      simrand.New(seed).Fork("netsim"),
 		seed:     seed,
 	}
+}
+
+// SetSlotArena installs the slot-scoped allocator backing reply-packet
+// copies (see the field comment). Call it before the network carries
+// any traffic and only for single-goroutine worlds; the arena itself is
+// not concurrency-safe.
+func (n *Network) SetSlotArena(a *arena.Arena) { n.slotArena = a }
+
+// SlotArena returns the installed slot arena (nil when unset).
+func (n *Network) SlotArena() *arena.Arena { return n.slotArena }
+
+// ownedCopy duplicates pkt into the slot arena (or the heap when no
+// arena is installed); the copy lives until the next arena reset.
+func (n *Network) ownedCopy(pkt []byte) []byte {
+	if a := n.slotArena; a != nil {
+		return a.Copy(pkt)
+	}
+	out := make([]byte, len(pkt))
+	copy(out, pkt)
+	return out
 }
 
 // SetFaultHook installs (or, with nil, removes) the fault injector
@@ -268,14 +298,70 @@ func (n *Network) Exchange(from *Host, pkt []byte) ([]byte, error) {
 	}
 	n.Clock.Advance(rtt)
 
-	responses, err := n.deliver(target, pkt)
+	// Deliver through a pooled ring: the handler may emit any number of
+	// queued response packets in one delivery pass; the exchange drains
+	// the ring and hands the first back to the caller (the simulator's
+	// request/response model — extras are drained and dropped, exactly
+	// as the historical [][]byte return was).
+	ring := getDeliveryRing()
+	err = n.deliver(target, pkt, ring)
+	first := ring.first()
+	putDeliveryRing(ring)
 	if err != nil {
 		return nil, err
 	}
-	if len(responses) == 0 {
-		return nil, nil
+	return first, nil
+}
+
+// deliveryRing accumulates the response packets one delivery pass
+// emits. Rings are pooled (a Network is race-exercised from concurrent
+// exchanges in tests, and tunnel termination nests deliveries), and the
+// packets they carry are owned copies, so draining the ring before
+// releasing it is safe.
+type deliveryRing struct {
+	pkts [][]byte
+	// emitFn is the bound emit method, created once per pooled ring so
+	// handing it to a RawHandler does not allocate a closure per packet.
+	emitFn func([]byte)
+	// ls backs the reply layer headers deliver builds — pooled with the
+	// ring, so reply construction allocates no layer objects.
+	ls capture.LayerScratch
+}
+
+// emit queues one response packet; nil packets are ignored.
+func (r *deliveryRing) emit(p []byte) {
+	if p != nil {
+		r.pkts = append(r.pkts, p)
 	}
-	return responses[0], nil
+}
+
+// first returns the first queued packet, or nil.
+func (r *deliveryRing) first() []byte {
+	if len(r.pkts) == 0 {
+		return nil
+	}
+	return r.pkts[0]
+}
+
+var deliveryRingPool = sync.Pool{
+	New: func() any {
+		r := new(deliveryRing)
+		r.emitFn = r.emit
+		return r
+	},
+}
+
+func getDeliveryRing() *deliveryRing { return deliveryRingPool.Get().(*deliveryRing) }
+
+func putDeliveryRing(r *deliveryRing) {
+	for i := range r.pkts {
+		r.pkts[i] = nil // do not pin packet bytes inside the pool
+	}
+	r.pkts = r.pkts[:0]
+	emitFn := r.emitFn
+	r.ls = capture.LayerScratch{} // nor payload bytes via the scratch
+	r.emitFn = emitFn
+	deliveryRingPool.Put(r)
 }
 
 // pathHops returns the router-path length between two coordinates: 3
@@ -323,7 +409,7 @@ func (n *Network) expireAtHop(from, target *Host, pkt []byte, ttl, hops int) ([]
 	if !src.Is4() {
 		return nil, fmt.Errorf("%w: %v (hop limit exceeded)", ErrTimeout, dst)
 	}
-	return buildPacket(router, src,
+	return n.buildOwned(64, router, src,
 		&capture.ICMP{TypeCode: capture.ICMPTimeExceeded})
 }
 
@@ -341,11 +427,16 @@ func peekSrc(pkt []byte) (src netip.Addr, proto capture.IPProtocol, err error) {
 	}
 }
 
-// deliver dispatches pkt on the target host and returns response packets.
-func (n *Network) deliver(target *Host, pkt []byte) ([][]byte, error) {
+// deliver dispatches pkt on the target host, emitting response packets
+// into ring. Every emitted packet is an owned copy (slot arena when one
+// is installed), so the ring can be drained and recycled freely.
+func (n *Network) deliver(target *Host, pkt []byte, ring *deliveryRing) error {
 	if raw := target.rawHandler(); raw != nil {
-		if resp := raw(n, pkt); resp != nil {
-			return resp, nil
+		// A raw handler that reports handled consumes the packet; one
+		// that reports false falls through to port dispatch below (the
+		// VPN host serves both raw tunnel frames and plain provider DNS).
+		if raw(n, pkt, ring.emitFn) {
+			return nil
 		}
 	}
 	// Decode with pooled scratch layers instead of capture.NewPacket —
@@ -354,63 +445,66 @@ func (n *Network) deliver(target *Host, pkt []byte) ([][]byte, error) {
 	d := capture.AcquirePacketDecoder()
 	defer d.Release()
 	if err := d.Decode(pkt, firstLayerType(pkt)); err != nil {
-		return nil, err
+		return err
 	}
 	srcAddr, dstAddr, ok := d.Addrs()
 	if !ok {
-		return nil, &capture.DecodeError{Type: capture.TypeInvalid, Reason: "no network layer"}
+		return &capture.DecodeError{Type: capture.TypeInvalid, Reason: "no network layer"}
 	}
 
 	if ic, ok := d.ICMP(); ok {
 		if ic.TypeCode != capture.ICMPEchoRequest {
-			return nil, nil
+			return nil
 		}
-		reply, err := buildPacket(dstAddr, srcAddr,
-			&capture.ICMP{TypeCode: capture.ICMPEchoReply, ID: ic.ID, Seq: ic.Seq},
-			capture.Payload(ic.LayerPayload()))
+		ring.ls.ICMP = capture.ICMP{TypeCode: capture.ICMPEchoReply, ID: ic.ID, Seq: ic.Seq}
+		reply, err := n.buildOwned(64, dstAddr, srcAddr,
+			ring.ls.Pair(&ring.ls.ICMP, ic.LayerPayload())...)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return [][]byte{reply}, nil
+		ring.emit(reply)
+		return nil
 	}
 
 	if u, ok := d.UDP(); ok {
 		h := target.udpHandler(u.DstPort)
 		if h == nil {
-			return nil, fmt.Errorf("%w: udp %v:%d", ErrRefused, dstAddr, u.DstPort)
+			return fmt.Errorf("%w: udp %v:%d", ErrRefused, dstAddr, u.DstPort)
 		}
 		payload := h(srcAddr, u.SrcPort, u.LayerPayload())
 		if payload == nil {
-			return nil, nil
+			return nil
 		}
-		reply, err := buildPacket(dstAddr, srcAddr,
-			&capture.UDP{SrcPort: u.DstPort, DstPort: u.SrcPort},
-			capture.Payload(payload))
+		ring.ls.UDP = capture.UDP{SrcPort: u.DstPort, DstPort: u.SrcPort}
+		reply, err := n.buildOwned(64, dstAddr, srcAddr,
+			ring.ls.Pair(&ring.ls.UDP, payload)...)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return [][]byte{reply}, nil
+		ring.emit(reply)
+		return nil
 	}
 
 	if t, ok := d.TCP(); ok {
 		h := target.tcpHandler(t.DstPort)
 		if h == nil {
-			return nil, fmt.Errorf("%w: tcp %v:%d", ErrRefused, dstAddr, t.DstPort)
+			return fmt.Errorf("%w: tcp %v:%d", ErrRefused, dstAddr, t.DstPort)
 		}
 		payload := h(srcAddr, t.SrcPort, t.LayerPayload())
 		if payload == nil {
-			return nil, nil
+			return nil
 		}
-		reply, err := buildPacket(dstAddr, srcAddr,
-			&capture.TCP{SrcPort: t.DstPort, DstPort: t.SrcPort,
-				Flags: capture.FlagACK | capture.FlagPSH},
-			capture.Payload(payload))
+		ring.ls.TCP = capture.TCP{SrcPort: t.DstPort, DstPort: t.SrcPort,
+			Flags: capture.FlagACK | capture.FlagPSH}
+		reply, err := n.buildOwned(64, dstAddr, srcAddr,
+			ring.ls.Pair(&ring.ls.TCP, payload)...)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return [][]byte{reply}, nil
+		ring.emit(reply)
+		return nil
 	}
-	return nil, nil
+	return nil
 }
 
 // peekIP extracts the destination address and transport protocol from a
@@ -522,6 +616,28 @@ func protoOf(layers []capture.SerializableLayer) capture.IPProtocol {
 		}
 	}
 	return capture.ProtoUDP
+}
+
+// buildOwned serializes a packet into pooled scratch and hands back an
+// owned copy from the slot arena (heap when none is installed). Every
+// reply the delivery path emits goes through here, so per-packet copies
+// cost a pointer bump instead of a garbage-collected allocation.
+func (n *Network) buildOwned(ttl byte, src, dst netip.Addr, inner ...capture.SerializableLayer) ([]byte, error) {
+	buf := capture.GetSerializeBuffer()
+	defer buf.Release()
+	pkt, err := buildPacketTTLInto(buf, ttl, src, dst, inner...)
+	if err != nil {
+		return nil, err
+	}
+	return n.ownedCopy(pkt), nil
+}
+
+// BuildPacket builds a packet whose bytes are owned by the network's
+// slot arena (heap when none is installed) — for packets that die
+// within the current vantage-point slot, e.g. the VPN server's
+// synthesized tunnel replies.
+func (n *Network) BuildPacket(src, dst netip.Addr, inner ...capture.SerializableLayer) ([]byte, error) {
+	return n.buildOwned(64, src, dst, inner...)
 }
 
 // BuildPacket is the exported form of buildPacket for other packages

@@ -61,6 +61,16 @@ type Stack struct {
 	// WebRTC ICE gathering from revealing local interface addresses;
 	// some VPN products toggle it, most cannot.
 	webrtcMasked bool
+	// captureAlloc, when set, backs every interface sink's payload
+	// copies (including tunnel interfaces added later) — see
+	// Sink.SetAlloc for when that is safe.
+	captureAlloc func(n int) []byte
+
+	// ls backs the transport headers and payload boxing exchange()
+	// serializes from. Safe as a single scratch (not a stack) despite
+	// tunnel-nested exchanges: the layers are fully serialized into the
+	// packet before Send can re-enter exchange.
+	ls capture.LayerScratch
 }
 
 // NewStack builds a stack for host with its physical interface and
@@ -98,8 +108,24 @@ func (s *Stack) AddInterface(name string, addr netip.Addr, send SendFunc) *Inter
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	iface := &Interface{Name: name, Addr: addr, Sink: capture.NewSink(), send: send}
+	if s.captureAlloc != nil {
+		iface.Sink.SetAlloc(s.captureAlloc)
+	}
 	s.ifaces[name] = iface
 	return iface
+}
+
+// SetCaptureAlloc installs alloc as the payload allocator on every
+// current and future interface sink. The campaign runner points it at
+// the world's slot arena when captures are not being collected into
+// reports, so per-packet capture copies recycle at slot boundaries.
+func (s *Stack) SetCaptureAlloc(alloc func(n int) []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.captureAlloc = alloc
+	for _, iface := range s.ifaces {
+		iface.Sink.SetAlloc(alloc)
+	}
 }
 
 // RemoveInterface tears down the named interface and any routes through
@@ -177,6 +203,17 @@ func (s *Stack) Resolvers() []netip.Addr {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]netip.Addr(nil), s.resolvers...)
+}
+
+// Resolver0 returns the first configured resolver without copying the
+// whole list — the overwhelmingly common lookup on the DNS hot path.
+func (s *Stack) Resolver0() (netip.Addr, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.resolvers) == 0 {
+		return netip.Addr{}, false
+	}
+	return s.resolvers[0], true
 }
 
 // SetIPv6 toggles IPv6 on the stack.
@@ -321,13 +358,15 @@ func (s *Stack) exchange(dst netip.Addr, port uint16, payload []byte, tcp bool) 
 	var transport capture.SerializableLayer
 	srcPort := s.ephemeralPort()
 	if tcp {
-		transport = &capture.TCP{SrcPort: srcPort, DstPort: port, Flags: capture.FlagACK | capture.FlagPSH}
+		s.ls.TCP = capture.TCP{SrcPort: srcPort, DstPort: port, Flags: capture.FlagACK | capture.FlagPSH}
+		transport = &s.ls.TCP
 	} else {
-		transport = &capture.UDP{SrcPort: srcPort, DstPort: port}
+		s.ls.UDP = capture.UDP{SrcPort: srcPort, DstPort: port}
+		transport = &s.ls.UDP
 	}
 	buf := capture.GetSerializeBuffer()
 	defer buf.Release()
-	pkt, err := buildPacketTTLInto(buf, 64, src, dst, transport, capture.Payload(payload))
+	pkt, err := buildPacketTTLInto(buf, 64, src, dst, s.ls.Pair(transport, payload)...)
 	if err != nil {
 		return nil, err
 	}

@@ -68,10 +68,20 @@ type committer struct {
 	done map[string]vpOutcome // vpKey → resumed outcome
 	prov map[int]*provState   // provider index → breaker state
 
-	pendReps []pendReport
-	pendCFs  []pendFailure
-	pendRecs []pendRecovery
+	pendReps   []pendReport
+	pendCFs    []pendFailure
+	pendRecs   []pendRecovery
 	pr, pf, pc int // migration front pointers
+
+	// Chunked scratch for objects handed out by snapshot(). Every
+	// checkpoint must give the callback freshly allocated, never-reused
+	// memory (snapshots are documented frozen, and resume paths retain
+	// them), but nothing says each snapshot needs its own malloc: these
+	// chunks are carved into one-shot pieces, so a campaign of N
+	// checkpoints costs N/snapChunkLen allocations instead of N.
+	snapChunk []Result
+	quarChunk []Quarantine
+	provChunk []provState
 
 	// onQuarantine, when set, is notified the moment a provider's
 	// breaker closes (fresh trip or resumed-skip replay). The parallel
@@ -128,7 +138,11 @@ func newCommitter(cfg *RunConfig, rank slotRank) *committer {
 func (c *committer) provState(idx int) *provState {
 	st, ok := c.prov[idx]
 	if !ok {
-		st = &provState{}
+		if len(c.provChunk) == 0 {
+			c.provChunk = make([]provState, 16)
+		}
+		st = &c.provChunk[0]
+		c.provChunk = c.provChunk[1:]
 		c.prov[idx] = st
 	}
 	return st
@@ -353,6 +367,11 @@ func (c *committer) checkpoint() error {
 	return nil
 }
 
+// snapChunkLen sizes the committer's snapshot scratch chunks: large
+// enough to amortize allocation across a campaign's checkpoints, small
+// enough that a short campaign doesn't strand much memory.
+const snapChunkLen = 64
+
 // snapshot builds a self-contained, canonically ordered view of the
 // in-progress result. The three vantage-point slices alias the live
 // prefix with their capacity clamped to their length: the committer
@@ -361,13 +380,22 @@ func (c *committer) checkpoint() error {
 // commit, so the snapshot stays frozen while the campaign runs on.
 // Quarantine records DO mutate in place (SkippedVPs grows), so those
 // are struct-copied with the same cap-clamp on each SkippedVPs.
+//
+// The Result header and the Quarantine copies come from the committer's
+// chunked scratch: each piece is carved out exactly once and never
+// touched by the committer again, so the freeze guarantee above is
+// preserved while a checkpoint-per-outcome campaign pays one allocation
+// per snapChunkLen snapshots instead of one per snapshot.
 func (c *committer) snapshot() *Result {
-	out := &Result{
-		VPsAttempted:    c.res.VPsAttempted,
-		Reports:         c.res.Reports[:len(c.res.Reports):len(c.res.Reports)],
-		ConnectFailures: c.res.ConnectFailures[:len(c.res.ConnectFailures):len(c.res.ConnectFailures)],
-		Recoveries:      c.res.Recoveries[:len(c.res.Recoveries):len(c.res.Recoveries)],
+	if len(c.snapChunk) == 0 {
+		c.snapChunk = make([]Result, snapChunkLen)
 	}
+	out := &c.snapChunk[0]
+	c.snapChunk = c.snapChunk[1:]
+	out.VPsAttempted = c.res.VPsAttempted
+	out.Reports = c.res.Reports[:len(c.res.Reports):len(c.res.Reports)]
+	out.ConnectFailures = c.res.ConnectFailures[:len(c.res.ConnectFailures):len(c.res.ConnectFailures)]
+	out.Recoveries = c.res.Recoveries[:len(c.res.Recoveries):len(c.res.Recoveries)]
 	// Not-yet-migrated resumed records sort after every committed rank
 	// and are already rank-ordered; appending them to the cap-clamped
 	// prefix copies into a fresh array without disturbing the live one.
@@ -381,7 +409,11 @@ func (c *committer) snapshot() *Result {
 		out.Recoveries = append(out.Recoveries, c.pendRecs[i].rec)
 	}
 	if n := len(c.res.Quarantines); n > 0 {
-		out.Quarantines = make([]Quarantine, n)
+		if len(c.quarChunk) < n {
+			c.quarChunk = make([]Quarantine, max(snapChunkLen, n))
+		}
+		out.Quarantines = c.quarChunk[:n:n]
+		c.quarChunk = c.quarChunk[n:]
 		copy(out.Quarantines, c.res.Quarantines)
 		for i := range out.Quarantines {
 			sk := out.Quarantines[i].SkippedVPs

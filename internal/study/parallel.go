@@ -19,7 +19,10 @@
 package study
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -142,52 +145,15 @@ func (w *World) runParallelSlots(specs []slotSpec, c *committer, workers int) (*
 
 	for k := 0; k < workers; k++ {
 		wg.Add(1)
+		// Label the executor goroutine so CPU and goroutine profiles of a
+		// running campaign attribute samples to workers, and each measured
+		// slot to its (slot, provider) pair — pprof.Do costs a handful of
+		// allocations per slot, noise next to a slot's measurement work.
 		go func(id int) {
 			defer wg.Done()
-			var cw *World
-			for {
-				i, from, ok := sched.NextFrom(id)
-				if !ok {
-					return
-				}
-				if stop.Load() {
-					continue // drain the scheduler, measure nothing
-				}
-				if err := cfg.canceled(); err != nil {
-					// Deliver the cancellation instead of dropping the
-					// slot: the committer may already be parked waiting
-					// for exactly this index, and an undelivered slot
-					// would strand it forever.
-					deliver(i, &vpResult{err: err})
-					continue
-				}
-				s := specs[i]
-				if flags[s.provIdx].Load() {
-					continue // committer skip-commits this slot itself
-				}
-				if cw == nil {
-					var err error
-					if cw, err = w.buildWorkerWorld(); err != nil {
-						// Surface per slot: the committer reports the
-						// first failure in canonical order, like the
-						// sequential path would.
-						deliver(i, &vpResult{err: err})
-						continue
-					}
-					cw.markCampaign()
-					cw.telWorker = id
-					if tel != nil {
-						tel.M.WorkerWorldBuilds.Add(1)
-					}
-				}
-				if from == id {
-					cw.telStealFrom = -1
-				} else {
-					cw.telStealFrom = from
-				}
-				out := cw.measureVP(cfg, s)
-				deliver(i, &out)
-			}
+			pprof.Do(context.Background(), pprof.Labels("worker", strconv.Itoa(id)), func(ctx context.Context) {
+				w.workerLoop(ctx, id, specs, sched, cfg, flags, tel, &stop, deliver)
+			})
 		}(k)
 	}
 
@@ -255,4 +221,58 @@ func (w *World) runParallelSlots(specs []slotSpec, c *committer, workers int) (*
 		tel.M.StealRescans.Add(st.Rescans)
 	}
 	return c.finish(), retErr
+}
+
+// workerLoop is one executor goroutine's slot-pulling loop, running
+// under a worker-id pprof label; each measured slot additionally runs
+// under (slot, provider) labels so a profile can be cut by any of the
+// three dimensions.
+func (w *World) workerLoop(ctx context.Context, id int, specs []slotSpec, sched *slotsched.Scheduler,
+	cfg *RunConfig, flags []atomic.Bool, tel *telemetry.Sink, stop *atomic.Bool, deliver func(int, *vpResult)) {
+	var cw *World
+	for {
+		i, from, ok := sched.NextFrom(id)
+		if !ok {
+			return
+		}
+		if stop.Load() {
+			continue // drain the scheduler, measure nothing
+		}
+		if err := cfg.canceled(); err != nil {
+			// Deliver the cancellation instead of dropping the slot: the
+			// committer may already be parked waiting for exactly this
+			// index, and an undelivered slot would strand it forever.
+			deliver(i, &vpResult{err: err})
+			continue
+		}
+		s := specs[i]
+		if flags[s.provIdx].Load() {
+			continue // committer skip-commits this slot itself
+		}
+		if cw == nil {
+			var err error
+			if cw, err = w.buildWorkerWorld(); err != nil {
+				// Surface per slot: the committer reports the first
+				// failure in canonical order, like the sequential path
+				// would.
+				deliver(i, &vpResult{err: err})
+				continue
+			}
+			cw.markCampaign()
+			cw.telWorker = id
+			if tel != nil {
+				tel.M.WorkerWorldBuilds.Add(1)
+			}
+		}
+		if from == id {
+			cw.telStealFrom = -1
+		} else {
+			cw.telStealFrom = from
+		}
+		var out vpResult
+		pprof.Do(ctx, pprof.Labels("slot", strconv.Itoa(s.order), "provider", s.provider), func(context.Context) {
+			out = cw.measureVP(cfg, s)
+		})
+		deliver(i, &out)
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"vpnscope/internal/arena"
 	"vpnscope/internal/faultsim"
 	"vpnscope/internal/simrand"
 	"vpnscope/internal/telemetry"
@@ -329,6 +330,14 @@ func (w *World) markCampaign() {
 	w.hostMark = w.Net.HostMark()
 	w.authMark = w.Authority.LogMark()
 	w.telStealFrom = -1 // until the parallel executor says otherwise
+	// From here on the world measures slots single-threaded, and every
+	// transient packet dies inside its slot — install the slot arena so
+	// delivery-path copies become bump allocations recycled by beginSlot.
+	// (Build-time traffic, e.g. baseline collection, stays on the heap:
+	// the baseline outlives every slot.)
+	if w.Net.SlotArena() == nil {
+		w.Net.SetSlotArena(arena.New())
+	}
 }
 
 // beginSlot resets the world at a vantage-point slot boundary — the
@@ -346,6 +355,10 @@ func (w *World) markCampaign() {
 //   - the netsim jitter/reliability stream, the fault plan's stream,
 //     and the MITM CA serial base re-derive from (seed, slot identity).
 func (w *World) beginSlot(cfg *RunConfig, s slotSpec) {
+	// Recycle the previous slot's transient packet buffers in O(chunks).
+	// Nothing a slot reports retains arena bytes (reports hold parsed
+	// strings and heap copies), so the reset is invisible to results.
+	w.Net.SlotArena().Reset()
 	w.Net.RewindHosts(w.hostMark)
 	w.Authority.TrimLog(w.authMark)
 	w.Net.Clock.Jump(campaignBase + time.Duration(s.timeSlot)*cfg.VPSlot)

@@ -483,5 +483,10 @@ func (w *World) newClientStackAt(seq int) (*netsim.Stack, error) {
 	// interface no matter what the routing table says — the mechanism
 	// behind real-world DNS leaks.
 	stack.AddRoute(netsim.Route{Prefix: netip.PrefixFrom(w.ispResolver, 32), Iface: netsim.PhysicalName})
+	// When captures stay inside the slot (nothing snapshots them into
+	// reports), their payload copies can come from the slot arena too.
+	if a := w.Net.SlotArena(); a != nil && !w.Opts.CollectCaptures {
+		stack.SetCaptureAlloc(a.Bytes)
+	}
 	return stack, nil
 }

@@ -208,18 +208,23 @@ func (d *tunnelDemux) register(vp *VantagePoint, env *ServerEnv) {
 	vp.installDemuxed(d)
 }
 
-func (d *tunnelDemux) handle(n *netsim.Network, pkt []byte) [][]byte {
+func (d *tunnelDemux) handle(n *netsim.Network, pkt []byte, emit func([]byte)) bool {
 	key, ok := peekSessionKey(pkt)
 	if !ok {
-		return nil
+		// Not a tunnel frame — fall through to the host's port dispatch
+		// (the same machine serves plain provider DNS on UDP 53).
+		return false
 	}
 	d.mu.RLock()
 	vp := d.vps[key]
 	d.mu.RUnlock()
 	if vp == nil {
-		return nil
+		// A tunnel frame for an unknown session is consumed silently,
+		// exactly as port dispatch would drop the proto-99 packet.
+		return true
 	}
-	return vp.serveTunnel(n, d.env, pkt)
+	vp.serveTunnel(n, d.env, pkt, emit)
+	return true
 }
 
 // peekSessionKey extracts the tunnel session id from a raw IPv4 packet

@@ -50,6 +50,10 @@ type Client struct {
 	origResolvers []netip.Addr
 	sendCount     int
 	peerSeq       int
+	// ls backs the encapsulation headers tunnelSend builds; the client
+	// runs on its world's single goroutine and every build serializes
+	// before the scratch is reused.
+	ls capture.LayerScratch
 }
 
 // directCarrier ships tunnel frames straight to the vantage point over
@@ -155,14 +159,14 @@ func (c *Client) tunnelSend(inner []byte) ([]byte, error) {
 		c.emitPeerTraffic()
 	}
 
-	enc := make([]byte, len(inner))
-	copy(enc, inner)
+	// The scrambled frame dies inside this send — slot-arena scratch.
+	enc := c.Stack.Net.SlotArena().Copy(inner)
 	capture.Scramble(c.VP.sessionKey, enc)
 	buf := capture.GetSerializeBuffer()
 	defer buf.Release()
+	c.ls.Tunnel = capture.Tunnel{SessionID: c.VP.sessionKey}
 	outer, err := netsim.BuildPacketInto(buf, c.Stack.Host.Addr, c.VP.Addr(),
-		&capture.Tunnel{SessionID: c.VP.sessionKey},
-		capture.Payload(enc))
+		c.ls.Pair(&c.ls.Tunnel, enc)...)
 	if err != nil {
 		return nil, err
 	}
@@ -205,9 +209,9 @@ func (c *Client) emitPeerTraffic() {
 	resolver := netip.AddrFrom4([4]byte{8, 8, 8, 8})
 	buf := capture.GetSerializeBuffer()
 	defer buf.Release()
+	c.ls.UDP = capture.UDP{SrcPort: 53000, DstPort: 53}
 	pkt, err := netsim.BuildPacketInto(buf, c.Stack.Host.Addr, resolver,
-		&capture.UDP{SrcPort: 53000, DstPort: 53},
-		capture.Payload(wire))
+		c.ls.Pair(&c.ls.UDP, wire)...)
 	if err != nil {
 		return
 	}

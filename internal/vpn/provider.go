@@ -15,6 +15,7 @@ import (
 	"net/netip"
 	"time"
 
+	"vpnscope/internal/capture"
 	"vpnscope/internal/dnssim"
 	"vpnscope/internal/geo"
 	"vpnscope/internal/netsim"
@@ -175,6 +176,11 @@ type VantagePoint struct {
 	ActualCity geo.City
 	sessionKey uint32
 	resolver   *dnssim.Resolver
+	// ls backs the layer headers the tunnel terminator builds. One
+	// vantage point serves one world's single goroutine, and every
+	// build serializes before the next scratch use, so a single scratch
+	// suffices even for nested forwards.
+	ls capture.LayerScratch
 }
 
 // ID returns a stable identifier like "HideMyAss#17".

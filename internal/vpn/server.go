@@ -50,41 +50,42 @@ func (vp *VantagePoint) installDemuxed(d *tunnelDemux) {
 }
 
 // serveTunnel terminates one encapsulated packet: unscramble, apply
-// provider behaviors, forward from the egress address, and wrap the
-// response back toward the client.
-func (vp *VantagePoint) serveTunnel(n *netsim.Network, env *ServerEnv, pkt []byte) [][]byte {
+// provider behaviors, forward from the egress address, and emit the
+// wrapped response back toward the client.
+func (vp *VantagePoint) serveTunnel(n *netsim.Network, env *ServerEnv, pkt []byte, emit func([]byte)) {
 	resolver := vp.resolver
 	outer := capture.AcquirePacketDecoder()
 	defer outer.Release()
 	_ = outer.Decode(pkt, capture.TypeIPv4) // partial decodes handled below
 	tun, ok := outer.Tunnel()
 	if !ok {
-		return nil // not tunnel traffic; fall through to refusal upstream
+		return // not tunnel traffic
 	}
 	if tun.SessionID != vp.sessionKey {
-		return nil // unknown session
+		return // unknown session
 	}
 	clientAddr, _, ok := outer.Addrs()
 	if !ok {
-		return nil
+		return
 	}
 
-	inner := make([]byte, len(tun.LayerPayload()))
-	copy(inner, tun.LayerPayload())
+	// The decapsulated inner packet lives only for this delivery — a
+	// slot-arena copy when the world has one installed.
+	inner := n.SlotArena().Copy(tun.LayerPayload())
 	capture.Scramble(vp.sessionKey, inner)
 
 	respInner := vp.serveInner(n, env, resolver, inner)
 	if respInner == nil {
-		return nil
+		return
 	}
 	capture.Scramble(vp.sessionKey, respInner)
-	wrapped, err := netsim.BuildPacket(vp.Addr(), clientAddr,
-		&capture.Tunnel{SessionID: vp.sessionKey},
-		capture.Payload(respInner))
+	vp.ls.Tunnel = capture.Tunnel{SessionID: vp.sessionKey}
+	wrapped, err := n.BuildPacket(vp.Addr(), clientAddr,
+		vp.ls.Pair(&vp.ls.Tunnel, respInner)...)
 	if err != nil {
-		return nil
+		return
 	}
-	return [][]byte{wrapped}
+	emit(wrapped)
 }
 
 // serveInner processes one decapsulated client packet and returns the
@@ -118,9 +119,9 @@ func (vp *VantagePoint) serveInner(n *netsim.Network, env *ServerEnv, resolver *
 			if answer == nil {
 				return nil
 			}
-			resp, err := netsim.BuildPacket(TunnelInternalDNS, src,
-				&capture.UDP{SrcPort: 53, DstPort: u.SrcPort},
-				capture.Payload(answer))
+			vp.ls.UDP = capture.UDP{SrcPort: 53, DstPort: u.SrcPort}
+			resp, err := n.BuildPacket(TunnelInternalDNS, src,
+				vp.ls.Pair(&vp.ls.UDP, answer)...)
 			if err != nil {
 				return nil
 			}
@@ -137,8 +138,9 @@ func (vp *VantagePoint) serveInner(n *netsim.Network, env *ServerEnv, resolver *
 	if ic, ok := p.ICMP(); ok {
 		ttl := innerTTL(inner)
 		if ttl <= 1 {
-			out, err := netsim.BuildPacket(TunnelInternalDNS, src,
-				&capture.ICMP{TypeCode: capture.ICMPTimeExceeded})
+			vp.ls.ICMP = capture.ICMP{TypeCode: capture.ICMPTimeExceeded}
+			out, err := n.BuildPacket(TunnelInternalDNS, src,
+				vp.ls.One(&vp.ls.ICMP)...)
 			if err != nil {
 				return nil
 			}
@@ -146,9 +148,9 @@ func (vp *VantagePoint) serveInner(n *netsim.Network, env *ServerEnv, resolver *
 		}
 		buf := capture.GetSerializeBuffer()
 		defer buf.Release()
+		vp.ls.ICMP = capture.ICMP{TypeCode: ic.TypeCode, ID: ic.ID, Seq: ic.Seq}
 		fwd, err := netsim.BuildPacketTTLInto(buf, ttl-1, egress, dst,
-			&capture.ICMP{TypeCode: ic.TypeCode, ID: ic.ID, Seq: ic.Seq},
-			capture.Payload(ic.LayerPayload()))
+			vp.ls.Pair(&vp.ls.ICMP, ic.LayerPayload())...)
 		if err != nil {
 			return nil
 		}
@@ -170,9 +172,9 @@ func (vp *VantagePoint) serveInner(n *netsim.Network, env *ServerEnv, resolver *
 		if a, _, ok := rp.Addrs(); ok && a.IsValid() {
 			responder = a
 		}
-		out, err := netsim.BuildPacket(responder, src,
-			&capture.ICMP{TypeCode: ric.TypeCode, ID: ric.ID, Seq: ric.Seq},
-			capture.Payload(ric.LayerPayload()))
+		vp.ls.ICMP = capture.ICMP{TypeCode: ric.TypeCode, ID: ric.ID, Seq: ric.Seq}
+		out, err := n.BuildPacket(responder, src,
+			vp.ls.Pair(&vp.ls.ICMP, ric.LayerPayload())...)
 		if err != nil {
 			return nil
 		}
@@ -191,9 +193,9 @@ func (vp *VantagePoint) serveInner(n *netsim.Network, env *ServerEnv, resolver *
 func (vp *VantagePoint) forwardUDP(n *netsim.Network, egress, src, dst netip.Addr, u *capture.UDP) []byte {
 	buf := capture.GetSerializeBuffer()
 	defer buf.Release()
+	vp.ls.UDP = capture.UDP{SrcPort: u.SrcPort, DstPort: u.DstPort}
 	fwd, err := netsim.BuildPacketInto(buf, egress, dst,
-		&capture.UDP{SrcPort: u.SrcPort, DstPort: u.DstPort},
-		capture.Payload(u.LayerPayload()))
+		vp.ls.Pair(&vp.ls.UDP, u.LayerPayload())...)
 	if err != nil {
 		return nil
 	}
@@ -208,9 +210,9 @@ func (vp *VantagePoint) forwardUDP(n *netsim.Network, egress, src, dst netip.Add
 	if !ok {
 		return nil
 	}
-	out, err := netsim.BuildPacket(dst, src,
-		&capture.UDP{SrcPort: ru.SrcPort, DstPort: ru.DstPort},
-		capture.Payload(ru.LayerPayload()))
+	vp.ls.UDP = capture.UDP{SrcPort: ru.SrcPort, DstPort: ru.DstPort}
+	out, err := n.BuildPacket(dst, src,
+		vp.ls.Pair(&vp.ls.UDP, ru.LayerPayload())...)
 	if err != nil {
 		return nil
 	}
@@ -229,7 +231,7 @@ func (vp *VantagePoint) forwardTCP(n *netsim.Network, env *ServerEnv, egress, sr
 		if policy := websim.PolicyFor(vp.ActualCity.Country); policy != nil {
 			if req, err := websim.ParseRequest(payload); err == nil {
 				if resp, blocked := policy.Apply(vp.Host.Block.Org, req.Host(), env.Web.SiteByName); blocked {
-					return vp.buildTCPResponse(dst, src, t, resp.Encode())
+					return vp.buildTCPResponse(n, dst, src, t, resp.Encode())
 				}
 			}
 		}
@@ -256,7 +258,7 @@ func (vp *VantagePoint) forwardTCP(n *netsim.Network, env *ServerEnv, egress, sr
 			if err != nil {
 				return nil
 			}
-			return vp.buildTCPResponse(dst, src, t, mitm)
+			return vp.buildTCPResponse(n, dst, src, t, mitm)
 		}
 	}
 
@@ -269,7 +271,7 @@ func (vp *VantagePoint) forwardTCP(n *netsim.Network, env *ServerEnv, egress, sr
 	if t.DstPort == 80 && spec.InjectContent {
 		respPayload = websim.InjectOverlay(respPayload, vp.Provider.Spec.Domain)
 	}
-	return vp.buildTCPResponse(dst, src, t, respPayload)
+	return vp.buildTCPResponse(n, dst, src, t, respPayload)
 }
 
 // exchangeTCP forwards a TCP request payload from the egress address and
@@ -277,9 +279,9 @@ func (vp *VantagePoint) forwardTCP(n *netsim.Network, env *ServerEnv, egress, sr
 func (vp *VantagePoint) exchangeTCP(n *netsim.Network, egress, dst netip.Addr, t *capture.TCP, payload []byte) []byte {
 	buf := capture.GetSerializeBuffer()
 	defer buf.Release()
+	vp.ls.TCP = capture.TCP{SrcPort: t.SrcPort, DstPort: t.DstPort, Flags: capture.FlagACK | capture.FlagPSH}
 	fwd, err := netsim.BuildPacketInto(buf, egress, dst,
-		&capture.TCP{SrcPort: t.SrcPort, DstPort: t.DstPort, Flags: capture.FlagACK | capture.FlagPSH},
-		capture.Payload(payload))
+		vp.ls.Pair(&vp.ls.TCP, payload)...)
 	if err != nil {
 		return nil
 	}
@@ -299,11 +301,12 @@ func (vp *VantagePoint) exchangeTCP(n *netsim.Network, egress, dst netip.Addr, t
 	return rt.LayerPayload()
 }
 
-// buildTCPResponse builds the inner response packet back to the client.
-func (vp *VantagePoint) buildTCPResponse(fromDst, toSrc netip.Addr, t *capture.TCP, payload []byte) []byte {
-	out, err := netsim.BuildPacket(fromDst, toSrc,
-		&capture.TCP{SrcPort: t.DstPort, DstPort: t.SrcPort, Flags: capture.FlagACK | capture.FlagPSH},
-		capture.Payload(payload))
+// buildTCPResponse builds the inner response packet back to the client
+// (slot-arena owned, like every packet on the delivery path).
+func (vp *VantagePoint) buildTCPResponse(n *netsim.Network, fromDst, toSrc netip.Addr, t *capture.TCP, payload []byte) []byte {
+	vp.ls.TCP = capture.TCP{SrcPort: t.DstPort, DstPort: t.SrcPort, Flags: capture.FlagACK | capture.FlagPSH}
+	out, err := n.BuildPacket(fromDst, toSrc,
+		vp.ls.Pair(&vp.ls.TCP, payload)...)
 	if err != nil {
 		return nil
 	}

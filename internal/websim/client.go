@@ -42,6 +42,16 @@ type Client struct {
 	// dnsScratch is the reusable query-encode buffer; the stack copies
 	// what it keeps, so the wire bytes are dead once QueryUDP returns.
 	dnsScratch []byte
+	// dnsMsg is the reusable decoded-response message (DecodeInto
+	// copies everything it keeps out of the wire bytes) and dnsIntern
+	// deduplicates the answer name strings across the client's
+	// thousands of lookups of the same static hostnames.
+	dnsMsg    dnssim.Message
+	dnsIntern dnssim.Interner
+	// reqBuf is the reusable request-encode buffer; both the plain-TCP
+	// exchange and the client-hello framer copy the bytes before the
+	// next fetch reuses it.
+	reqBuf []byte
 }
 
 // Client errors.
@@ -58,11 +68,11 @@ var (
 // Resolve performs a DNS query for host through the stack's first
 // configured resolver (A by default, AAAA when v6 is true).
 func (c *Client) Resolve(host string, v6 bool) (netip.Addr, error) {
-	resolvers := c.Stack.Resolvers()
-	if len(resolvers) == 0 {
+	server, ok := c.Stack.Resolver0()
+	if !ok {
 		return netip.Addr{}, ErrNoResolver
 	}
-	return c.ResolveVia(resolvers[0], host, v6)
+	return c.ResolveVia(server, host, v6)
 }
 
 // ResolveVia queries a specific resolver address.
@@ -84,10 +94,10 @@ func (c *Client) ResolveVia(server netip.Addr, host string, v6 bool) (netip.Addr
 	if respWire == nil {
 		return netip.Addr{}, fmt.Errorf("resolving %q: %w", host, ErrEmptyResponse)
 	}
-	msg, err := dnssim.Decode(respWire)
-	if err != nil {
+	if err := dnssim.DecodeInto(&c.dnsMsg, respWire, &c.dnsIntern); err != nil {
 		return netip.Addr{}, fmt.Errorf("resolving %q: %w", host, err)
 	}
+	msg := &c.dnsMsg
 	if msg.RCode != dnssim.RCodeOK || len(msg.Answers) == 0 {
 		return netip.Addr{}, fmt.Errorf("%w: %q (rcode %d)", ErrNXDomain, host, msg.RCode)
 	}
@@ -128,12 +138,16 @@ func (c *Client) Get(rawURL string) ([]FetchResult, error) {
 
 // fetchOne performs a single HTTP(S) request with no redirect chasing.
 func (c *Client) fetchOne(rawURL string) (*FetchResult, error) {
-	u, err := url.Parse(rawURL)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %q: %v", ErrBadURL, rawURL, err)
+	scheme, host, path, ok := splitURL(rawURL)
+	if !ok {
+		// General shapes (ports, userinfo, query, escapes) take the
+		// full parser.
+		u, err := url.Parse(rawURL)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q: %v", ErrBadURL, rawURL, err)
+		}
+		scheme, host, path = u.Scheme, u.Hostname(), u.Path
 	}
-	host := u.Hostname()
-	path := u.Path
 	if path == "" {
 		path = "/"
 	}
@@ -141,15 +155,17 @@ func (c *Client) fetchOne(rawURL string) (*FetchResult, error) {
 	if ip, perr := netip.ParseAddr(host); perr == nil {
 		addr = ip
 	} else {
+		var err error
 		addr, err = c.Resolve(host, false)
 		if err != nil {
 			return nil, err
 		}
 	}
 	req := NewRequest("GET", host, path)
-	switch u.Scheme {
+	c.reqBuf = req.AppendEncode(c.reqBuf[:0])
+	switch scheme {
 	case "http":
-		raw, err := c.Stack.ExchangeTCP(addr, 80, req.Encode())
+		raw, err := c.Stack.ExchangeTCP(addr, 80, c.reqBuf)
 		if err != nil {
 			return nil, err
 		}
@@ -162,7 +178,7 @@ func (c *Client) fetchOne(rawURL string) (*FetchResult, error) {
 		}
 		return &FetchResult{URL: rawURL, Response: resp}, nil
 	case "https":
-		hello := tlssim.EncodeClientHello(host, req.Encode())
+		hello := tlssim.EncodeClientHello(host, c.reqBuf)
 		raw, err := c.Stack.ExchangeTCP(addr, 443, hello)
 		if err != nil {
 			return nil, err
@@ -188,8 +204,31 @@ func (c *Client) fetchOne(rawURL string) (*FetchResult, error) {
 		}
 		return &FetchResult{URL: rawURL, Response: resp, Cert: cert, TLS: true}, nil
 	default:
-		return nil, fmt.Errorf("%w: %q", ErrNotHTTPishPort, u.Scheme)
+		return nil, fmt.Errorf("%w: %q", ErrNotHTTPishPort, scheme)
 	}
+}
+
+// splitURL splits a plain absolute http(s) URL of the shape every
+// simulated resource uses — no userinfo, port, query, fragment, or
+// percent-escapes. ok=false sends the caller to net/url.
+func splitURL(raw string) (scheme, host, path string, ok bool) {
+	switch {
+	case strings.HasPrefix(raw, "http://"):
+		scheme, raw = "http", raw[len("http://"):]
+	case strings.HasPrefix(raw, "https://"):
+		scheme, raw = "https", raw[len("https://"):]
+	default:
+		return "", "", "", false
+	}
+	if i := strings.IndexByte(raw, '/'); i >= 0 {
+		host, path = raw[:i], raw[i:]
+	} else {
+		host = raw
+	}
+	if host == "" || strings.ContainsAny(host, ":@?#%") || strings.ContainsAny(path, "?#%") {
+		return "", "", "", false
+	}
+	return scheme, host, path, true
 }
 
 // resolveRef resolves a possibly relative redirect Location against the
@@ -219,11 +258,15 @@ func (c *Client) LoadPage(rawURL string) (page *FetchResult, hosts []string, dom
 	dom = string(final.Response.Body)
 	seen := map[string]bool{}
 	addHost := func(raw string) {
-		if u, err := url.Parse(raw); err == nil && u.Hostname() != "" {
-			if !seen[u.Hostname()] {
-				seen[u.Hostname()] = true
-				hosts = append(hosts, u.Hostname())
-			}
+		hn := ""
+		if _, h, _, ok := splitURL(raw); ok {
+			hn = h
+		} else if u, err := url.Parse(raw); err == nil {
+			hn = u.Hostname()
+		}
+		if hn != "" && !seen[hn] {
+			seen[hn] = true
+			hosts = append(hosts, hn)
 		}
 	}
 	for _, hop := range chain {

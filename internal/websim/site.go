@@ -46,12 +46,35 @@ type Site struct {
 	Cert tlssim.Certificate
 
 	Host *netsim.Host
+
+	// Serving scratch. A world is driven by one goroutine at a time
+	// (the same contract dnssim.Resolver's reply scratch relies on), so
+	// the site can reuse its homepage bytes, per-resource script
+	// bodies, response struct, and encode buffer across requests.
+	dom      string
+	domBody  []byte
+	jsBodies map[string][]byte
+	resp     Response
+	encBuf   []byte
 }
+
+// Static response furniture shared by every site; never mutated.
+var (
+	siteHTMLHeaders = []Header{
+		{"Content-Type", "text/html; charset=utf-8"},
+		{"Server", "simhttpd/1.0"},
+	}
+	siteJSHeaders = []Header{{"Content-Type", "application/javascript"}}
+	notFoundBody  = []byte("not found")
+)
 
 // DOM returns the site's homepage document. It is static per site —
 // honeysites exist precisely so any modification is attributable to the
-// network path, not to dynamic content.
+// network path, not to dynamic content — so the first render is cached.
 func (s *Site) DOM() string {
+	if s.dom != "" {
+		return s.dom
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "<!doctype html>\n<html>\n<head><title>%s</title></head>\n<body>\n", s.HostName)
 	fmt.Fprintf(&b, "<h1>%s (%s)</h1>\n", s.HostName, s.Category)
@@ -64,33 +87,48 @@ func (s *Site) DOM() string {
 		fmt.Fprintf(&b, "<script src=%q></script>\n", r)
 	}
 	b.WriteString("</body>\n</html>\n")
-	return b.String()
+	s.dom = b.String()
+	s.domBody = []byte(s.dom)
+	return s.dom
 }
 
-// serve handles one parsed HTTP request for the site.
+// serve handles one parsed HTTP request for the site. The returned
+// Response is the site's reusable scratch — callers encode it before
+// the next request reaches the site.
 func (s *Site) serve(req *Request) *Response {
 	if req.Method != "GET" {
-		return &Response{Status: 404}
+		s.resp = Response{Status: 404}
+		return &s.resp
 	}
 	switch {
 	case req.Path == "/" || req.Path == "/index.html":
-		return &Response{
-			Status: 200,
-			Headers: []Header{
-				{"Content-Type", "text/html; charset=utf-8"},
-				{"Server", "simhttpd/1.0"},
-			},
-			Body: []byte(s.DOM()),
-		}
+		s.DOM()
+		s.resp = Response{Status: 200, Headers: siteHTMLHeaders, Body: s.domBody}
+		return &s.resp
 	case strings.HasSuffix(req.Path, ".js"):
-		return &Response{
-			Status:  200,
-			Headers: []Header{{"Content-Type", "application/javascript"}},
-			Body:    []byte(fmt.Sprintf("/* %s%s */ window.loaded=true;\n", s.HostName, req.Path)),
+		body, ok := s.jsBodies[req.Path]
+		if !ok {
+			body = []byte(fmt.Sprintf("/* %s%s */ window.loaded=true;\n", s.HostName, req.Path))
+			if s.jsBodies == nil {
+				s.jsBodies = make(map[string][]byte)
+			}
+			s.jsBodies[req.Path] = body
 		}
+		s.resp = Response{Status: 200, Headers: siteJSHeaders, Body: body}
+		return &s.resp
 	default:
-		return &Response{Status: 404, Body: []byte("not found")}
+		s.resp = Response{Status: 404, Body: notFoundBody}
+		return &s.resp
 	}
+}
+
+// encode serializes resp into the site's reusable wire buffer (safe by
+// the same one-exchange-at-a-time contract as serve's scratch: netsim
+// copies a handler's returned payload into the reply packet before the
+// next exchange with the host begins).
+func (s *Site) encode(resp *Response) []byte {
+	s.encBuf = resp.AppendEncode(s.encBuf[:0])
+	return s.encBuf
 }
 
 // Install wires the site onto a netsim host: plain HTTP on :80 (or an
@@ -103,9 +141,9 @@ func (s *Site) Install(host *netsim.Host) {
 			return (&Response{Status: 400, Body: []byte(err.Error())}).Encode()
 		}
 		if !s.NoHTTPSUpgrade {
-			return Redirect("https://" + s.HostName + req.Path).Encode()
+			return s.encode(Redirect("https://" + s.HostName + req.Path))
 		}
-		return s.serve(req).Encode()
+		return s.encode(s.serve(req))
 	})
 	host.HandleTCP(443, func(_ netip.Addr, _ uint16, payload []byte) []byte {
 		sni, inner, err := tlssim.ParseClientHello(payload)
@@ -117,7 +155,7 @@ func (s *Site) Install(host *netsim.Host) {
 		if err != nil {
 			return tlsFrame(s.Cert, (&Response{Status: 400}).Encode())
 		}
-		return tlsFrame(s.Cert, s.serve(req).Encode())
+		return tlsFrame(s.Cert, s.encode(s.serve(req)))
 	})
 }
 

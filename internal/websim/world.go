@@ -17,9 +17,9 @@ import (
 // against: the 55 DOM-test sites (§5.3.1) including two honeysites, the
 // ~150 additional TLS-test hosts, and the header-echo service.
 type Web struct {
-	Sites    []*Site // every site, DOM-test and TLS-extra
-	DOMSites []*Site // the 55 sites the DOM-collection test loads
-	TLSSites []*Site // the 200+ hosts the TLS test probes
+	Sites       []*Site // every site, DOM-test and TLS-extra
+	DOMSites    []*Site // the 55 sites the DOM-collection test loads
+	TLSSites    []*Site // the 200+ hosts the TLS test probes
 	Echo        *EchoService
 	IPEcho      *IPEchoService
 	WebRTCProbe *WebRTCProbeService
@@ -273,7 +273,7 @@ func (w *Web) installHostility(site *Site) {
 		if err != nil {
 			return (&Response{Status: 400}).Encode()
 		}
-		return Redirect("https://" + site.HostName + req.Path).Encode()
+		return site.encode(Redirect("https://" + site.HostName + req.Path))
 	})
 	host.HandleTCP(443, func(src netip.Addr, _ uint16, payload []byte) []byte {
 		_, inner, err := tlssim.ParseClientHello(payload)
@@ -287,7 +287,7 @@ func (w *Web) installHostility(site *Site) {
 		if err != nil {
 			return tlsFrame(site.Cert, (&Response{Status: 400}).Encode())
 		}
-		return tlsFrame(site.Cert, site.serve(req).Encode())
+		return tlsFrame(site.Cert, site.encode(site.serve(req)))
 	})
 }
 
