@@ -15,8 +15,9 @@ race:
 # (the study wildcard covers internal/study/slotsched and the sharded
 # outcome log in internal/results/shardlog), the telemetry sink race
 # suite, the daemon race suite (admission, drain, kill -9 chaos), study
-# bench smoke, and the alloc-gated fast-path, checkpoint-merge, and
-# shard-log benches.
+# bench smoke, the alloc-gated fast-path, prototype-patch,
+# checkpoint-merge, and shard-log benches, and the poisoned-arena
+# prototype retention suite.
 tier1: build
 	go vet ./...
 	go test ./...
@@ -24,9 +25,10 @@ tier1: build
 	go test -race ./internal/telemetry/...
 	go test -race ./internal/server/...
 	go test -bench Study -benchtime 1x -run '^$$' .
-	go test -bench 'Exchange|BuildPacket|Deliver' -benchtime 1x -run '^$$' ./internal/netsim
+	go test -bench 'Exchange|BuildPacket|Deliver|PrototypePatch' -benchtime 1x -run '^$$' ./internal/netsim
 	go test -bench 'CheckpointMerge' -benchtime 1x -run '^$$' ./internal/study
 	go test -bench 'ShardedOutcomes' -benchtime 1x -run '^$$' ./internal/results/shardlog
+	go test -tags arenadebug -run 'Prototype' ./internal/netsim
 
 # bench runs the full-study benchmarks and appends the numbers to the
 # BENCH_*.json trajectory (override with BENCH_OUT / BENCH_LABEL).

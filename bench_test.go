@@ -440,7 +440,7 @@ func BenchmarkStudyParallel(b *testing.B) { benchmarkStudy(b, 0) }
 // sub-benchmarks into BENCH_*.json so the curve is tracked per PR;
 // cmd/benchtrend compares them across snapshots.
 func BenchmarkStudyParallelScaling(b *testing.B) {
-	for _, workers := range []int{1, 2, 4, 8} {
+	for _, workers := range []int{1, 2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			benchmarkStudy(b, workers)
 		})

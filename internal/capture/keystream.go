@@ -1,0 +1,65 @@
+package capture
+
+import "encoding/binary"
+
+// Keystream caches the Scramble keystream for one session key. The
+// xorshift state Scramble evolves is independent of the data being
+// scrambled, so the byte stream XORed into a session's packets is a
+// fixed sequence per key: generate it once, extend it lazily, and apply
+// it eight bytes at a time instead of re-deriving one state step per
+// byte per packet. XOR produces bytes identical to Scramble(key, data)
+// by construction (see TestKeystreamMatchesScramble).
+//
+// A Keystream is single-goroutine, like the client or vantage point
+// that owns it. The zero value is ready to use with any key; switching
+// keys discards the cached stream.
+type Keystream struct {
+	key   uint32
+	valid bool
+	state uint64 // xorshift state after len(ks) steps
+	ks    []byte
+}
+
+// keystreamChunk sizes each lazy extension: big enough that a typical
+// tunnel session generates its stream once, small enough that short
+// sessions waste little.
+const keystreamChunk = 2048
+
+// XOR applies the Scramble keystream for key to data in place,
+// byte-identical to Scramble(key, data).
+func (k *Keystream) XOR(key uint32, data []byte) {
+	if !k.valid || k.key != key {
+		k.key = key
+		k.valid = true
+		k.state = uint64(key)*0x9E3779B97F4A7C15 + 1
+		k.ks = k.ks[:0]
+	}
+	for len(k.ks) < len(data) {
+		k.extend()
+	}
+	i := 0
+	for ; i+8 <= len(data); i += 8 {
+		binary.LittleEndian.PutUint64(data[i:],
+			binary.LittleEndian.Uint64(data[i:])^binary.LittleEndian.Uint64(k.ks[i:]))
+	}
+	for ; i < len(data); i++ {
+		data[i] ^= k.ks[i]
+	}
+}
+
+func (k *Keystream) extend() {
+	state := k.state
+	n := len(k.ks)
+	if cap(k.ks) < n+keystreamChunk {
+		grown := make([]byte, n, n+keystreamChunk)
+		copy(grown, k.ks)
+		k.ks = grown
+	}
+	for i := 0; i < keystreamChunk; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		k.ks = append(k.ks, byte(state))
+	}
+	k.state = state
+}

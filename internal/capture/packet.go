@@ -271,6 +271,13 @@ func (p *DecodingLayerParser) DecodeLayersFrom(first LayerType, data []byte, dec
 type SerializeBuffer struct {
 	buf   []byte
 	start int
+
+	// HdrV4/HdrV6 are network-header scratch for packet builders: a
+	// pooled buffer carries its header scratch with it instead of
+	// paying a second pool round-trip per packet. Valid only inside a
+	// single build — nested builds hold distinct buffers.
+	HdrV4 IPv4
+	HdrV6 IPv6
 }
 
 // NewSerializeBuffer returns an empty buffer.
@@ -303,6 +310,19 @@ func (b *SerializeBuffer) Prepend(n int) []byte {
 
 // Clear resets the buffer to empty.
 func (b *SerializeBuffer) Clear() { b.start = len(b.buf) }
+
+// Reserve clears the buffer and returns a writable region of exactly n
+// bytes that becomes the buffer's whole contents. Unlike Prepend it does
+// not zero the region — the caller must overwrite every byte. This is
+// the entry point for prototype patching, where the full packet image is
+// copied in anyway.
+func (b *SerializeBuffer) Reserve(n int) []byte {
+	if n > len(b.buf) {
+		b.buf = make([]byte, n+len(b.buf)*2)
+	}
+	b.start = len(b.buf) - n
+	return b.buf[b.start:]
+}
 
 var serializeBufferPool = sync.Pool{
 	New: func() any {

@@ -1,0 +1,192 @@
+package capture
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// PacketView is a flat, copy-free read of one simulator packet: network
+// addresses, the transport header fields, and the application payload.
+// ParseView fills it either via direct offset reads (when the packet
+// matches the well-formed shapes the simulator's builders emit) or by
+// falling back to the pooled PacketDecoder, so consumers see identical
+// results either way without holding a decoder across their whole
+// dispatch.
+//
+// Field slices alias the input bytes; the caller must keep them
+// immutable while reading the view.
+type PacketView struct {
+	Src, Dst netip.Addr
+	TTL      byte
+
+	// Transport is the decoded transport layer type (TypeUDP, TypeTCP,
+	// TypeICMP, TypeTunnel) or TypeInvalid when the packet carries no
+	// transport layer the simulator knows.
+	Transport        LayerType
+	SrcPort, DstPort uint16 // UDP, TCP
+	Seq, Ack         uint32 // TCP
+	TCPFlags         byte   // TCP
+	ICMPType         byte   // ICMP
+	ICMPCode         byte   // ICMP
+	ICMPID, ICMPSeq  uint16 // ICMP
+	Session          uint32 // Tunnel
+
+	// Payload is the application payload — the innermost decoded
+	// layer's payload, nil when empty (PacketDecoder.Payload semantics).
+	Payload []byte
+
+	// HasNet reports whether a network layer was decoded at all.
+	HasNet bool
+}
+
+// ParseView parses pkt into *v, dispatching on the version nibble like
+// the delivery path does. It returns the same error Decode would: nil
+// for success, a *DecodeError for a malformed layer (in which case the
+// view holds whatever decoded before the failure, mirroring the
+// decoder's partial-decode contract).
+func ParseView(pkt []byte, v *PacketView) error {
+	if quickView(pkt, v) {
+		return nil
+	}
+	return slowView(pkt, v)
+}
+
+// quickView is the shape fast path: fingerprint the header shape
+// (version nibble, transport protocol, length fields) and read fields
+// at fixed offsets. It accepts only packets every layer of which
+// decodes cleanly; anything unusual returns false so the caller takes
+// the full decoder pass, keeping error behavior byte-identical.
+func quickView(pkt []byte, v *PacketView) bool {
+	*v = PacketView{}
+	if len(pkt) == 0 {
+		return true // decoder loop never runs on empty input
+	}
+	var ipPayload []byte
+	var proto IPProtocol
+	switch pkt[0] >> 4 {
+	case 4:
+		if len(pkt) < ipv4HeaderLen {
+			return false
+		}
+		totalLen := int(binary.BigEndian.Uint16(pkt[2:4]))
+		if totalLen < ipv4HeaderLen || totalLen > len(pkt) {
+			return false
+		}
+		v.TTL = pkt[8]
+		proto = IPProtocol(pkt[9])
+		v.Src, _ = netip.AddrFromSlice(pkt[12:16])
+		v.Dst, _ = netip.AddrFromSlice(pkt[16:20])
+		ipPayload = pkt[ipv4HeaderLen:totalLen]
+	case 6:
+		if len(pkt) < ipv6HeaderLen {
+			return false
+		}
+		payloadLen := int(binary.BigEndian.Uint16(pkt[4:6]))
+		if ipv6HeaderLen+payloadLen > len(pkt) {
+			return false
+		}
+		proto = IPProtocol(pkt[6])
+		v.TTL = pkt[7]
+		v.Src, _ = netip.AddrFromSlice(pkt[8:24])
+		v.Dst, _ = netip.AddrFromSlice(pkt[24:40])
+		ipPayload = pkt[ipv6HeaderLen : ipv6HeaderLen+payloadLen]
+	default:
+		return false
+	}
+	v.HasNet = true
+	if len(ipPayload) == 0 {
+		return true // decoder stops at the IP layer; payload empty -> nil
+	}
+	switch proto {
+	case ProtoUDP:
+		if len(ipPayload) < udpHeaderLen {
+			return false
+		}
+		length := int(binary.BigEndian.Uint16(ipPayload[4:6]))
+		if length < udpHeaderLen || length > len(ipPayload) {
+			return false
+		}
+		v.Transport = TypeUDP
+		v.SrcPort = binary.BigEndian.Uint16(ipPayload[0:2])
+		v.DstPort = binary.BigEndian.Uint16(ipPayload[2:4])
+		v.Payload = ipPayload[udpHeaderLen:length]
+	case ProtoTCP:
+		if len(ipPayload) < tcpHeaderLen {
+			return false
+		}
+		dataOff := int(ipPayload[12]>>4) * 4
+		if dataOff < tcpHeaderLen || dataOff > len(ipPayload) {
+			return false
+		}
+		v.Transport = TypeTCP
+		v.SrcPort = binary.BigEndian.Uint16(ipPayload[0:2])
+		v.DstPort = binary.BigEndian.Uint16(ipPayload[2:4])
+		v.Seq = binary.BigEndian.Uint32(ipPayload[4:8])
+		v.Ack = binary.BigEndian.Uint32(ipPayload[8:12])
+		v.TCPFlags = ipPayload[13] & 0x1F
+		v.Payload = ipPayload[dataOff:]
+	case ProtoICMP, ProtoICMPv6:
+		if len(ipPayload) < icmpHeaderLen {
+			return false
+		}
+		v.Transport = TypeICMP
+		v.ICMPType = ipPayload[0]
+		v.ICMPCode = ipPayload[1]
+		v.ICMPID = binary.BigEndian.Uint16(ipPayload[4:6])
+		v.ICMPSeq = binary.BigEndian.Uint16(ipPayload[6:8])
+		v.Payload = ipPayload[icmpHeaderLen:]
+	case ProtoTunnel:
+		if len(ipPayload) < tunnelHeaderLen || string(ipPayload[0:4]) != "VPN0" {
+			return false
+		}
+		v.Transport = TypeTunnel
+		v.Session = binary.BigEndian.Uint32(ipPayload[4:8])
+		v.Payload = ipPayload[tunnelHeaderLen:]
+	default:
+		// Unknown protocol: the decoder stops at the IP layer and
+		// reports its payload as the application payload.
+		v.Payload = ipPayload
+	}
+	if len(v.Payload) == 0 {
+		v.Payload = nil
+	}
+	return true
+}
+
+// slowView fills the view through the pooled decoder — the reference
+// path for every packet quickView declines.
+func slowView(pkt []byte, v *PacketView) error {
+	*v = PacketView{}
+	first := TypeIPv4
+	if len(pkt) > 0 && pkt[0]>>4 == 6 {
+		first = TypeIPv6
+	}
+	d := AcquirePacketDecoder()
+	err := d.Decode(pkt, first)
+	if src, dst, ok := d.Addrs(); ok {
+		v.Src, v.Dst, v.HasNet = src, dst, true
+		if ip4, ok := d.IPv4(); ok {
+			v.TTL = ip4.TTL
+		} else if ip6, ok := d.IPv6(); ok {
+			v.TTL = ip6.HopLimit
+		}
+	}
+	if u, ok := d.UDP(); ok {
+		v.Transport = TypeUDP
+		v.SrcPort, v.DstPort = u.SrcPort, u.DstPort
+	} else if t, ok := d.TCP(); ok {
+		v.Transport = TypeTCP
+		v.SrcPort, v.DstPort = t.SrcPort, t.DstPort
+		v.Seq, v.Ack, v.TCPFlags = t.Seq, t.Ack, t.Flags
+	} else if ic, ok := d.ICMP(); ok {
+		v.Transport = TypeICMP
+		v.ICMPType, v.ICMPCode = ic.TypeCode, ic.Code
+		v.ICMPID, v.ICMPSeq = ic.ID, ic.Seq
+	} else if tn, ok := d.Tunnel(); ok {
+		v.Transport = TypeTunnel
+		v.Session = tn.SessionID
+	}
+	v.Payload = d.Payload()
+	d.Release()
+	return err
+}

@@ -35,11 +35,18 @@ func (d Direction) String() string {
 
 // Sink collects packet records, like a tcpdump process attached to an
 // interface. It is safe for concurrent use (though an installed payload
-// allocator must itself be safe for however the sink is driven).
+// allocator must itself be safe for however the sink is driven) unless
+// the owner switches it to unlocked mode.
 type Sink struct {
 	mu      sync.Mutex
 	records []Record
 	alloc   func(n int) []byte
+	// unlocked skips the mutex on every method — set only by owners
+	// that drive the sink from a single goroutine for its whole life
+	// (the slot-scoped client stacks of a sequential campaign world).
+	// The capture path runs once per simulated packet, where even an
+	// uncontended lock is measurable.
+	unlocked bool
 }
 
 // NewSink returns an empty sink.
@@ -56,9 +63,21 @@ func (s *Sink) SetAlloc(alloc func(n int) []byte) {
 	s.mu.Unlock()
 }
 
+// SetUnlocked switches the sink's locking mode. Unlocked is only safe
+// when a single goroutine owns every interaction with the sink; call it
+// before the sink sees any traffic.
+func (s *Sink) SetUnlocked(unlocked bool) {
+	s.mu.Lock()
+	s.unlocked = unlocked
+	s.mu.Unlock()
+}
+
 // Capture appends a record. The packet bytes are copied.
 func (s *Sink) Capture(t time.Duration, iface string, dir Direction, data []byte) {
-	s.mu.Lock()
+	if !s.unlocked {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	var cp []byte
 	if s.alloc != nil {
 		cp = s.alloc(len(data))
@@ -67,13 +86,14 @@ func (s *Sink) Capture(t time.Duration, iface string, dir Direction, data []byte
 	}
 	copy(cp, data)
 	s.records = append(s.records, Record{t, iface, dir, cp})
-	s.mu.Unlock()
 }
 
 // Records returns a snapshot of all captured records in capture order.
 func (s *Sink) Records() []Record {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !s.unlocked {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	out := make([]Record, len(s.records))
 	copy(out, s.records)
 	return out
@@ -81,16 +101,37 @@ func (s *Sink) Records() []Record {
 
 // Len returns the number of captured packets.
 func (s *Sink) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !s.unlocked {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	return len(s.records)
 }
 
 // Reset discards all records.
 func (s *Sink) Reset() {
-	s.mu.Lock()
+	if !s.unlocked {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	s.records = nil
-	s.mu.Unlock()
+}
+
+// Rebase hands the sink a reusable backing array for its record list
+// and returns the previous one, emptied and with its payload
+// references cleared. A recycler (the simulator's slot runner) threads
+// backings from retired sinks into fresh ones so per-slot captures
+// stop regrowing the record list from scratch; snapshots handed out by
+// Records are copies, so rebasing never invalidates them.
+func (s *Sink) Rebase(backing []Record) []Record {
+	if !s.unlocked {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	old := s.records
+	clear(old)
+	s.records = backing[:0:cap(backing)]
+	return old[:0:cap(old)]
 }
 
 // Filter returns the records matching pred, in order.

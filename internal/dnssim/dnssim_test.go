@@ -3,6 +3,7 @@ package dnssim
 import (
 	"bytes"
 	"net/netip"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -279,5 +280,34 @@ func TestResolverArbitraryBytesNeverPanics(t *testing.T) {
 		return true
 	}, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAppendNameFastPathMatchesSlow(t *testing.T) {
+	cases := []string{
+		"", ".", "a", "a.", "a.b", "www.example.com", "www.example.com.",
+		"UPPER.example.com", "mixed.Example.COM", "a..b", "a..", "..",
+		"xn--bcher-kva.example", "héllo.example", "-dash.example",
+		strings.Repeat("a", 63) + ".example",
+		strings.Repeat("a", 64) + ".example",
+		strings.Repeat("a.", 126) + "a",
+		strings.Repeat("a.", 127) + "a",
+		strings.Repeat("a.", 126) + "a.",
+	}
+	for _, name := range cases {
+		fast, fastErr := appendName(nil, name)
+		slow, slowErr := appendNameSlow(nil, name)
+		if (fastErr == nil) != (slowErr == nil) {
+			t.Fatalf("appendName(%q): fast err %v, slow err %v", name, fastErr, slowErr)
+		}
+		if fastErr != nil {
+			if fastErr.Error() != slowErr.Error() {
+				t.Fatalf("appendName(%q): fast err %q, slow err %q", name, fastErr, slowErr)
+			}
+			continue
+		}
+		if !bytes.Equal(fast, slow) {
+			t.Fatalf("appendName(%q): fast %x, slow %x", name, fast, slow)
+		}
 	}
 }

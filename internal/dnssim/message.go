@@ -61,6 +61,28 @@ func NewQuery(id uint16, name string, qtype uint16) *Message {
 	return &Message{ID: id, Questions: []Question{{Name: name, Type: qtype}}}
 }
 
+// AppendQueryEncode appends the wire encoding of a single-question
+// query to dst — byte-identical to NewQuery(id, name, qtype).
+// AppendEncode(dst) — without materializing the Message or its
+// Questions slice. The query skeleton is fixed (RD set, QR/rcode
+// clear, one question, no answers); only the id, the spliced name, and
+// the qtype vary, so hot callers encode straight into their scratch.
+func AppendQueryEncode(dst []byte, id uint16, name string, qtype uint16) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	hdr := dst[start:]
+	binary.BigEndian.PutUint16(hdr[0:2], id)
+	binary.BigEndian.PutUint16(hdr[2:4], 1<<8) // flags: RD only
+	binary.BigEndian.PutUint16(hdr[4:6], 1)    // one question
+	var err error
+	if dst, err = appendName(dst, name); err != nil {
+		return nil, err
+	}
+	dst = binary.BigEndian.AppendUint16(dst, qtype)
+	dst = binary.BigEndian.AppendUint16(dst, 1) // class IN
+	return dst, nil
+}
+
 // Reply builds a response skeleton echoing the query's ID and questions.
 func (m *Message) Reply() *Message {
 	r := &Message{ID: m.ID, Response: true}
@@ -212,9 +234,40 @@ func DecodeInto(m *Message, data []byte, in *Interner) error {
 }
 
 // appendName appends the wire encoding of name to dst without any
-// intermediate allocation (strings.ToLower returns its input unchanged
-// for the already-lowercase names the simulator uses).
+// intermediate allocation. The fast path folds the lowercase check
+// into the label-encoding scan itself; anything unusual (uppercase,
+// non-ASCII, trailing dot, bad label) defers to the slow path, which
+// reproduces the exact historical behavior and error text.
 func appendName(dst []byte, name string) ([]byte, error) {
+	if n := len(name); n > 0 && n <= 253 {
+		out := dst
+		start := 0
+		for i := 0; i <= n; i++ {
+			var c byte = '.'
+			if i < n {
+				c = name[i]
+				if c != '.' {
+					if (c >= 'A' && c <= 'Z') || c >= 0x80 {
+						return appendNameSlow(dst, name)
+					}
+					continue
+				}
+			}
+			label := name[start:i]
+			if len(label) == 0 || len(label) > 63 {
+				// Covers trailing dots and malformed labels alike.
+				return appendNameSlow(dst, name)
+			}
+			out = append(out, byte(len(label)))
+			out = append(out, label...)
+			start = i + 1
+		}
+		return append(out, 0), nil
+	}
+	return appendNameSlow(dst, name)
+}
+
+func appendNameSlow(dst []byte, name string) ([]byte, error) {
 	name = strings.TrimSuffix(strings.ToLower(name), ".")
 	if name == "" {
 		return append(dst, 0), nil

@@ -13,16 +13,17 @@
 package netsim
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Clock is the simulation's virtual time source. It only moves when the
 // simulation advances it; tests that "wait three minutes" for a tunnel to
-// recover advance the clock rather than sleeping.
+// recover advance the clock rather than sleeping. Lock-free: Now sits on
+// the per-packet capture path, so the single word of state is atomic
+// rather than mutex-guarded.
 type Clock struct {
-	mu  sync.Mutex
-	now time.Duration
+	now atomic.Int64 // nanoseconds since simulation start
 }
 
 // NewClock returns a clock at time zero.
@@ -30,9 +31,7 @@ func NewClock() *Clock { return &Clock{} }
 
 // Now returns the current virtual time (duration since simulation start).
 func (c *Clock) Now() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return time.Duration(c.now.Load())
 }
 
 // Advance moves the clock forward by d. Negative advances are ignored:
@@ -41,10 +40,7 @@ func (c *Clock) Advance(d time.Duration) time.Duration {
 	if d < 0 {
 		d = 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.now += d
-	return c.now
+	return time.Duration(c.now.Add(int64(d)))
 }
 
 // AdvanceTo moves the clock forward to t; a no-op when the clock is
@@ -52,12 +48,15 @@ func (c *Clock) Advance(d time.Duration) time.Duration {
 // point onto a fixed virtual-time slot, so a resumed campaign replays
 // the identical timeline as an uninterrupted one.
 func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if t > c.now {
-		c.now = t
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return time.Duration(cur)
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return t
+		}
 	}
-	return c.now
 }
 
 // Jump sets the clock to exactly t, backwards included (negative t
@@ -70,8 +69,6 @@ func (c *Clock) Jump(t time.Duration) time.Duration {
 	if t < 0 {
 		t = 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.now = t
-	return c.now
+	c.now.Store(int64(t))
+	return time.Duration(t)
 }

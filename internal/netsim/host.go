@@ -116,6 +116,39 @@ func (h *Host) rawHandler() RawHandler {
 	return h.raw
 }
 
+// hostDown, hostRaw, hostUDP, and hostTCP are the delivery path's
+// accessors for host state: direct field reads on a single-goroutine
+// (slot-arena) network, the host's mutex-guarded getters otherwise.
+// The delivery path runs once per simulated packet, so the four lock
+// round-trips per delivery are measurable in campaign benchmarks.
+func (n *Network) hostDown(h *Host) bool {
+	if n.slotArena != nil {
+		return h.drop
+	}
+	return h.down()
+}
+
+func (n *Network) hostRaw(h *Host) RawHandler {
+	if n.slotArena != nil {
+		return h.raw
+	}
+	return h.rawHandler()
+}
+
+func (n *Network) hostUDP(h *Host, port uint16) UDPHandler {
+	if n.slotArena != nil {
+		return h.udp[port]
+	}
+	return h.udpHandler(port)
+}
+
+func (n *Network) hostTCP(h *Host, port uint16) TCPHandler {
+	if n.slotArena != nil {
+		return h.tcp[port]
+	}
+	return h.tcpHandler(port)
+}
+
 // HasIPv6 reports whether the host has an IPv6 address.
 func (h *Host) HasIPv6() bool { return h.Addr6.IsValid() }
 

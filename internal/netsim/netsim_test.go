@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"vpnscope/internal/arena"
 	"vpnscope/internal/capture"
 	"vpnscope/internal/geo"
 )
@@ -469,5 +470,50 @@ func TestHostsDeterministicOrder(t *testing.T) {
 				t.Fatalf("round %d: Hosts()[%d] differs", round, i)
 			}
 		}
+	}
+}
+
+// TestHostCacheInvalidation pins the single-goroutine HostByAddr MRU
+// cache to registry semantics: lookups must stop resolving the moment a
+// host is rewound away and must see a re-registration, even when the
+// address was cached.
+func TestHostCacheInvalidation(t *testing.T) {
+	n := New(3)
+	n.SetSlotArena(arena.New())
+	la := city(t, "Los Angeles")
+
+	a := NewHost("a", la, addr("198.51.100.1"))
+	if err := n.AddHost(a); err != nil {
+		t.Fatal(err)
+	}
+	mark := n.HostMark()
+	b := NewHost("b", la, addr("198.51.100.2"))
+	if err := n.AddHost(b); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the cache on both addresses.
+	if got := n.HostByAddr(b.Addr); got != b {
+		t.Fatalf("HostByAddr(b) = %v, want b", got)
+	}
+	if got := n.HostByAddr(a.Addr); got != a {
+		t.Fatalf("HostByAddr(a) = %v, want a", got)
+	}
+
+	n.RewindHosts(mark)
+	if got := n.HostByAddr(b.Addr); got != nil {
+		t.Fatalf("HostByAddr(b) after rewind = %v, want nil", got)
+	}
+	if got := n.HostByAddr(a.Addr); got != a {
+		t.Fatalf("HostByAddr(a) after rewind = %v, want a", got)
+	}
+
+	// Re-register under the same address: cached nil must not stick.
+	b2 := NewHost("b2", la, addr("198.51.100.2"))
+	if err := n.AddHost(b2); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.HostByAddr(b2.Addr); got != b2 {
+		t.Fatalf("HostByAddr(b2) = %v, want b2", got)
 	}
 }

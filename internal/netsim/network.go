@@ -75,6 +75,125 @@ type Network struct {
 	// Nil (the default, and the only safe setting for a Network
 	// exercised from multiple goroutines) falls back to the heap.
 	slotArena *arena.Arena
+
+	// protos is the flow-scoped packet-prototype cache (prototype.go).
+	// Guarded by the same single-goroutine discipline as slotArena: the
+	// cached build path is only taken when an arena is installed.
+	protos map[protoKey]packetPrototype
+
+	// paths caches the deterministic per-endpoint-pair path model
+	// (great-circle hop count and unjittered RTT) so the haversine trig
+	// runs once per flow instead of once per exchange. Same
+	// single-goroutine gate as protos; dropped by BeginSlot.
+	paths map[pathKey]pathStat
+
+	// errCache interns the repeated refused/timed-out/blocked failures
+	// of a lossy campaign (errors.go). Same single-goroutine gate.
+	errCache map[errKey]error
+
+	// sinkBackings recycles capture-record arrays between slot-scoped
+	// stacks (Stack.Retire feeds it, NewStack/AddInterface drain it) so
+	// every slot's sinks stop regrowing their record lists from nothing.
+	// Same single-goroutine gate as the caches above.
+	sinkBackings [][]capture.Record
+
+	// sbufs is a plain LIFO of serialize buffers that replaces the
+	// process-wide sync.Pool on single-goroutine networks: the pool's
+	// procPin/atomic traffic is measurable on the per-exchange path and
+	// buys nothing when one goroutine owns the world. Same
+	// single-goroutine gate as the caches above.
+	sbufs []*capture.SerializeBuffer
+
+	// hostCache is a tiny MRU over HostByAddr: a slot's traffic hits a
+	// handful of hosts over and over, and three word-compares per probe
+	// beat hashing a 24-byte netip.Addr on every packet. Entries are
+	// dropped whenever the registry changes (AddHost/RewindHosts). Same
+	// single-goroutine gate as the caches above.
+	hostCache    [4]hostCacheEntry
+	hostCacheIdx int
+}
+
+type hostCacheEntry struct {
+	addr netip.Addr
+	h    *Host
+}
+
+// dropHostCache forgets cached HostByAddr results; callers that mutate
+// the host registry must invoke it.
+func (n *Network) dropHostCache() {
+	n.hostCache = [4]hostCacheEntry{}
+}
+
+// AcquireBuffer returns a cleared serialize buffer: from the network's
+// own freelist on a single-goroutine (slot-arena) network, from the
+// process-wide pool otherwise. Pair with ReleaseBuffer.
+func (n *Network) AcquireBuffer() *capture.SerializeBuffer {
+	if n.slotArena != nil {
+		if k := len(n.sbufs); k > 0 {
+			b := n.sbufs[k-1]
+			n.sbufs = n.sbufs[:k-1]
+			b.Clear()
+			return b
+		}
+		return capture.NewSerializeBuffer()
+	}
+	return capture.GetSerializeBuffer()
+}
+
+// ReleaseBuffer returns a buffer obtained from AcquireBuffer. The caller
+// must not touch b — or any slice obtained from it — afterwards.
+func (n *Network) ReleaseBuffer(b *capture.SerializeBuffer) {
+	if n.slotArena != nil {
+		n.sbufs = append(n.sbufs, b)
+		return
+	}
+	b.Release()
+}
+
+// takeSinkBacking pops a recycled record array, or nil when none.
+func (n *Network) takeSinkBacking() []capture.Record {
+	if k := len(n.sinkBackings); k > 0 {
+		b := n.sinkBackings[k-1]
+		n.sinkBackings = n.sinkBackings[:k-1]
+		return b
+	}
+	return nil
+}
+
+// putSinkBacking returns a record array to the recycle pool (bounded;
+// a slot retires a handful of sinks at most).
+func (n *Network) putSinkBacking(b []capture.Record) {
+	if cap(b) > 0 && len(n.sinkBackings) < 16 {
+		n.sinkBackings = append(n.sinkBackings, b)
+	}
+}
+
+// pathKey is an ordered endpoint-coordinate pair.
+type pathKey struct{ a, b geo.Coord }
+
+// pathStat is the deterministic part of the path model between two
+// coordinates — everything Exchange derives before jitter is applied.
+type pathStat struct {
+	hops  int
+	rttMs float64
+}
+
+// pathTo returns the cached hop count and unjittered model RTT for the
+// coordinate pair, computing and caching on first sight.
+func (n *Network) pathTo(a, b geo.Coord) pathStat {
+	if n.slotArena == nil {
+		return pathStat{hops: pathHops(a, b), rttMs: n.rttModel.RTTMs(a, b)}
+	}
+	key := pathKey{a, b}
+	st, ok := n.paths[key]
+	if !ok {
+		st = pathStat{hops: pathHops(a, b), rttMs: n.rttModel.RTTMs(a, b)}
+		if n.paths == nil {
+			n.paths = make(map[pathKey]pathStat, 64)
+		}
+		n.paths[key] = st
+	}
+	return st
 }
 
 // New creates an empty network seeded for deterministic jitter and loss.
@@ -117,6 +236,10 @@ func (n *Network) SetFaultHook(h FaultHook) {
 }
 
 func (n *Network) fault() FaultHook {
+	if n.slotArena != nil {
+		// Single-goroutine network: no concurrent SetFaultHook possible.
+		return n.faultHook
+	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	return n.faultHook
@@ -137,6 +260,7 @@ func (n *Network) ResetStream(label string) {
 func (n *Network) AddHost(h *Host) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.dropHostCache()
 	if !h.Addr.IsValid() {
 		return fmt.Errorf("netsim: host %q has no address", h.Name)
 	}
@@ -176,6 +300,7 @@ func (n *Network) HostMark() int {
 func (n *Network) RewindHosts(mark int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.dropHostCache()
 	if mark < 0 || mark >= len(n.hostLog) {
 		return
 	}
@@ -193,6 +318,20 @@ func (n *Network) RewindHosts(mark int) {
 
 // HostByAddr returns the host owning addr, or nil.
 func (n *Network) HostByAddr(addr netip.Addr) *Host {
+	if n.slotArena != nil {
+		// Single-goroutine network: registry reads race with nothing.
+		for i := range n.hostCache {
+			if e := &n.hostCache[i]; e.h != nil && e.addr == addr {
+				return e.h
+			}
+		}
+		h := n.hosts[addr]
+		if h != nil {
+			n.hostCacheIdx = (n.hostCacheIdx + 1) % len(n.hostCache)
+			n.hostCache[n.hostCacheIdx] = hostCacheEntry{addr: addr, h: h}
+		}
+		return h
+	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	return n.hosts[addr]
@@ -220,14 +359,21 @@ func (n *Network) Hosts() []*Host {
 // jitterDraw and reliabilityDraw consume the network's stochastic
 // stream under the lock: ResetStream replaces n.rng concurrently when a
 // parallel campaign resets a sibling shard, and the draws themselves
-// mutate source state.
+// mutate source state. A slot-arena network is single-goroutine, so its
+// draws skip the lock.
 func (n *Network) jitterDraw() float64 {
+	if n.slotArena != nil {
+		return n.rng.NormFloat64()
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.rng.NormFloat64()
 }
 
 func (n *Network) reliabilityDraw(p float64) bool {
+	if n.slotArena != nil {
+		return n.rng.Bool(p)
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.rng.Bool(p)
@@ -236,7 +382,13 @@ func (n *Network) reliabilityDraw(p float64) bool {
 // baseRTT returns the modeled RTT between two coordinates with
 // deterministic jitter applied (a few percent, never negative).
 func (n *Network) baseRTT(a, b geo.Coord) time.Duration {
-	ms := n.rttModel.RTTMs(a, b)
+	return n.jitterRTT(n.rttModel.RTTMs(a, b))
+}
+
+// jitterRTT applies one jitter draw to an unjittered model RTT —
+// split from baseRTT so the path-cached exchange path consumes the
+// stochastic stream in exactly the same order as the uncached one.
+func (n *Network) jitterRTT(ms float64) time.Duration {
 	jitter := 1 + 0.015*n.jitterDraw()
 	if jitter < 0.95 {
 		jitter = 0.95
@@ -266,15 +418,15 @@ func (n *Network) Exchange(from *Host, pkt []byte) ([]byte, error) {
 	if target == nil {
 		// Unrouted destinations burn the full timeout.
 		n.Clock.Advance(Timeout)
-		return nil, fmt.Errorf("%w: %v", ErrNoRoute, dst)
+		return nil, n.errAddr(ErrNoRoute, dst, "")
 	}
 	if hook := n.fault(); hook != nil {
 		switch act := hook(n.Clock.Now(), from, dst, proto); {
 		case act.Refuse:
-			return nil, fmt.Errorf("%w: %v (fault injected)", ErrRefused, dst)
+			return nil, n.errAddr(ErrRefused, dst, " (fault injected)")
 		case act.Drop:
 			n.Clock.Advance(Timeout)
-			return nil, fmt.Errorf("%w: %v (fault injected)", ErrTimeout, dst)
+			return nil, n.errAddr(ErrTimeout, dst, " (fault injected)")
 		case act.Delay > 0:
 			n.Clock.Advance(act.Delay)
 		}
@@ -283,14 +435,14 @@ func (n *Network) Exchange(from *Host, pkt []byte) ([]byte, error) {
 	// target being the last); a packet whose TTL runs out earlier gets
 	// an ICMP Time Exceeded from the router where it died, which is
 	// what traceroute harvests.
-	hops := pathHops(from.Coord, target.Coord)
-	if ttl := peekTTL(pkt); int(ttl) < hops {
-		return n.expireAtHop(from, target, pkt, int(ttl), hops)
+	path := n.pathTo(from.Coord, target.Coord)
+	if ttl := peekTTL(pkt); int(ttl) < path.hops {
+		return n.expireAtHop(from, target, pkt, int(ttl), path.hops)
 	}
-	rtt := n.baseRTT(from.Coord, target.Coord)
-	if target.down() || !n.reliabilityDraw(target.reliability()) {
+	rtt := n.jitterRTT(path.rttMs)
+	if n.hostDown(target) || !n.reliabilityDraw(target.reliability()) {
 		n.Clock.Advance(Timeout)
-		return nil, fmt.Errorf("%w: %v (%s)", ErrTimeout, dst, target.Name)
+		return nil, n.errAddrHost(ErrTimeout, dst, target.Name)
 	}
 	if proto == capture.ProtoTCP {
 		// Handshake costs an extra round trip.
@@ -407,7 +559,7 @@ func (n *Network) expireAtHop(from, target *Host, pkt []byte, ttl, hops int) ([]
 	// Time Exceeded only makes sense for IPv4 in this simulator (the
 	// router addresses are v4); v6 packets just die quietly.
 	if !src.Is4() {
-		return nil, fmt.Errorf("%w: %v (hop limit exceeded)", ErrTimeout, dst)
+		return nil, n.errAddr(ErrTimeout, dst, " (hop limit exceeded)")
 	}
 	return n.buildOwned(64, router, src,
 		&capture.ICMP{TypeCode: capture.ICMPTimeExceeded})
@@ -431,7 +583,7 @@ func peekSrc(pkt []byte) (src netip.Addr, proto capture.IPProtocol, err error) {
 // into ring. Every emitted packet is an owned copy (slot arena when one
 // is installed), so the ring can be drained and recycled freely.
 func (n *Network) deliver(target *Host, pkt []byte, ring *deliveryRing) error {
-	if raw := target.rawHandler(); raw != nil {
+	if raw := n.hostRaw(target); raw != nil {
 		// A raw handler that reports handled consumes the packet; one
 		// that reports false falls through to port dispatch below (the
 		// VPN host serves both raw tunnel frames and plain provider DNS).
@@ -439,70 +591,64 @@ func (n *Network) deliver(target *Host, pkt []byte, ring *deliveryRing) error {
 			return nil
 		}
 	}
-	// Decode with pooled scratch layers instead of capture.NewPacket —
-	// this path runs once per exchange for the whole campaign, and the
-	// packet bytes outlive the dispatch (NoCopy contract holds).
-	d := capture.AcquirePacketDecoder()
-	defer d.Release()
-	if err := d.Decode(pkt, firstLayerType(pkt)); err != nil {
+	// Parse through the shape fast path: direct offset reads for the
+	// well-formed shapes the builders emit, decoder fallback for
+	// anything else — identical results and errors either way.
+	var v capture.PacketView
+	if err := capture.ParseView(pkt, &v); err != nil {
 		return err
 	}
-	srcAddr, dstAddr, ok := d.Addrs()
-	if !ok {
+	if !v.HasNet {
 		return &capture.DecodeError{Type: capture.TypeInvalid, Reason: "no network layer"}
 	}
 
-	if ic, ok := d.ICMP(); ok {
-		if ic.TypeCode != capture.ICMPEchoRequest {
+	switch v.Transport {
+	case capture.TypeICMP:
+		if v.ICMPType != capture.ICMPEchoRequest {
 			return nil
 		}
-		ring.ls.ICMP = capture.ICMP{TypeCode: capture.ICMPEchoReply, ID: ic.ID, Seq: ic.Seq}
-		reply, err := n.buildOwned(64, dstAddr, srcAddr,
-			ring.ls.Pair(&ring.ls.ICMP, ic.LayerPayload())...)
+		ring.ls.ICMP = capture.ICMP{TypeCode: capture.ICMPEchoReply, ID: v.ICMPID, Seq: v.ICMPSeq}
+		reply, err := n.buildOwned(64, v.Dst, v.Src,
+			ring.ls.Pair(&ring.ls.ICMP, v.Payload)...)
 		if err != nil {
 			return err
 		}
 		ring.emit(reply)
-		return nil
-	}
 
-	if u, ok := d.UDP(); ok {
-		h := target.udpHandler(u.DstPort)
+	case capture.TypeUDP:
+		h := n.hostUDP(target, v.DstPort)
 		if h == nil {
-			return fmt.Errorf("%w: udp %v:%d", ErrRefused, dstAddr, u.DstPort)
+			return n.errAddrPort(ErrRefused, "udp", v.Dst, v.DstPort)
 		}
-		payload := h(srcAddr, u.SrcPort, u.LayerPayload())
+		payload := h(v.Src, v.SrcPort, v.Payload)
 		if payload == nil {
 			return nil
 		}
-		ring.ls.UDP = capture.UDP{SrcPort: u.DstPort, DstPort: u.SrcPort}
-		reply, err := n.buildOwned(64, dstAddr, srcAddr,
+		ring.ls.UDP = capture.UDP{SrcPort: v.DstPort, DstPort: v.SrcPort}
+		reply, err := n.buildOwned(64, v.Dst, v.Src,
 			ring.ls.Pair(&ring.ls.UDP, payload)...)
 		if err != nil {
 			return err
 		}
 		ring.emit(reply)
-		return nil
-	}
 
-	if t, ok := d.TCP(); ok {
-		h := target.tcpHandler(t.DstPort)
+	case capture.TypeTCP:
+		h := n.hostTCP(target, v.DstPort)
 		if h == nil {
-			return fmt.Errorf("%w: tcp %v:%d", ErrRefused, dstAddr, t.DstPort)
+			return n.errAddrPort(ErrRefused, "tcp", v.Dst, v.DstPort)
 		}
-		payload := h(srcAddr, t.SrcPort, t.LayerPayload())
+		payload := h(v.Src, v.SrcPort, v.Payload)
 		if payload == nil {
 			return nil
 		}
-		ring.ls.TCP = capture.TCP{SrcPort: t.DstPort, DstPort: t.SrcPort,
+		ring.ls.TCP = capture.TCP{SrcPort: v.DstPort, DstPort: v.SrcPort,
 			Flags: capture.FlagACK | capture.FlagPSH}
-		reply, err := n.buildOwned(64, dstAddr, srcAddr,
+		reply, err := n.buildOwned(64, v.Dst, v.Src,
 			ring.ls.Pair(&ring.ls.TCP, payload)...)
 		if err != nil {
 			return err
 		}
 		ring.emit(reply)
-		return nil
 	}
 	return nil
 }
@@ -547,15 +693,6 @@ func buildPacket(src, dst netip.Addr, inner ...capture.SerializableLayer) ([]byt
 
 // ipHeaderScratch holds reusable network-layer header values so the
 // build path does not heap-allocate a fresh IPv4/IPv6 struct per packet.
-type ipHeaderScratch struct {
-	v4 capture.IPv4
-	v6 capture.IPv6
-}
-
-var ipHeaderPool = sync.Pool{
-	New: func() any { return new(ipHeaderScratch) },
-}
-
 // buildPacketTTL is buildPacket with an explicit TTL / hop limit —
 // traceroute's probe ladder needs it. The result is an owned,
 // exact-size copy; buildPacketTTLInto is the zero-copy variant.
@@ -577,8 +714,6 @@ func buildPacketTTL(ttl byte, src, dst netip.Addr, inner ...capture.Serializable
 // the bytes have been copied downstream (Sink.Capture and deliver's
 // reply construction both copy).
 func buildPacketTTLInto(buf *capture.SerializeBuffer, ttl byte, src, dst netip.Addr, inner ...capture.SerializableLayer) ([]byte, error) {
-	hs := ipHeaderPool.Get().(*ipHeaderScratch)
-	defer ipHeaderPool.Put(hs)
 	buf.Clear()
 	// Serialize inner layers in reverse (SerializeLayers semantics)
 	// without materializing a combined layers slice.
@@ -590,11 +725,11 @@ func buildPacketTTLInto(buf *capture.SerializeBuffer, ttl byte, src, dst netip.A
 	proto := protoOf(inner)
 	var netLayer capture.SerializableLayer
 	if src.Is4() && dst.Is4() {
-		hs.v4 = capture.IPv4{TTL: ttl, Protocol: proto, Src: src, Dst: dst}
-		netLayer = &hs.v4
+		buf.HdrV4 = capture.IPv4{TTL: ttl, Protocol: proto, Src: src, Dst: dst}
+		netLayer = &buf.HdrV4
 	} else {
-		hs.v6 = capture.IPv6{HopLimit: ttl, Next: proto, Src: src, Dst: dst}
-		netLayer = &hs.v6
+		buf.HdrV6 = capture.IPv6{HopLimit: ttl, Next: proto, Src: src, Dst: dst}
+		netLayer = &buf.HdrV6
 	}
 	if err := netLayer.SerializeTo(buf); err != nil {
 		return nil, err
@@ -623,9 +758,9 @@ func protoOf(layers []capture.SerializableLayer) capture.IPProtocol {
 // reply the delivery path emits goes through here, so per-packet copies
 // cost a pointer bump instead of a garbage-collected allocation.
 func (n *Network) buildOwned(ttl byte, src, dst netip.Addr, inner ...capture.SerializableLayer) ([]byte, error) {
-	buf := capture.GetSerializeBuffer()
-	defer buf.Release()
-	pkt, err := buildPacketTTLInto(buf, ttl, src, dst, inner...)
+	buf := n.AcquireBuffer()
+	defer n.ReleaseBuffer(buf)
+	pkt, err := n.BuildPacketTTLInto(buf, ttl, src, dst, inner...)
 	if err != nil {
 		return nil, err
 	}
@@ -676,7 +811,7 @@ func (n *Network) Ping(from *Host, dst netip.Addr) (time.Duration, error) {
 	before := n.Clock.Now()
 	buf := capture.GetSerializeBuffer()
 	defer buf.Release()
-	pkt, err := BuildPacketInto(buf, from.Addr, dst,
+	pkt, err := n.BuildPacketInto(buf, from.Addr, dst,
 		&capture.ICMP{TypeCode: capture.ICMPEchoRequest, ID: 1, Seq: 1})
 	if err != nil {
 		return 0, err
@@ -702,7 +837,7 @@ func (n *Network) Traceroute(from *Host, dst netip.Addr) ([]Hop, error) {
 	target := n.HostByAddr(dst)
 	if target == nil {
 		n.Clock.Advance(Timeout)
-		return nil, fmt.Errorf("%w: %v", ErrNoRoute, dst)
+		return nil, n.errAddr(ErrNoRoute, dst, "")
 	}
 	dist := geo.DistanceKm(from.Coord, target.Coord)
 	// 3 hops locally, up to 9 intercontinentally.

@@ -71,6 +71,11 @@ type Stack struct {
 	// tunnel-nested exchanges: the layers are fully serialized into the
 	// packet before Send can re-enter exchange.
 	ls capture.LayerScratch
+
+	// allSinks tracks every sink this stack ever created (interfaces
+	// can be removed before teardown, taking their map entry with
+	// them); Retire harvests their record arrays for the next slot.
+	allSinks []*capture.Sink
 }
 
 // NewStack builds a stack for host with its physical interface and
@@ -88,6 +93,7 @@ func NewStack(n *Network, host *Host) *Stack {
 		Sink: capture.NewSink(),
 		send: func(pkt []byte) ([]byte, error) { return n.Exchange(host, pkt) },
 	}
+	s.adoptSink(phys.Sink)
 	s.ifaces[PhysicalName] = phys
 	s.routes = []Route{{Prefix: netip.MustParsePrefix("0.0.0.0/0"), Iface: PhysicalName}}
 	if host.HasIPv6() {
@@ -111,8 +117,40 @@ func (s *Stack) AddInterface(name string, addr netip.Addr, send SendFunc) *Inter
 	if s.captureAlloc != nil {
 		iface.Sink.SetAlloc(s.captureAlloc)
 	}
+	s.adoptSink(iface.Sink)
 	s.ifaces[name] = iface
 	return iface
+}
+
+// adoptSink registers a fresh sink for Retire and seeds it with a
+// recycled record array when the network runs in slot-scoped
+// (single-goroutine) mode. Callers hold s.mu or own the stack solely.
+func (s *Stack) adoptSink(sink *capture.Sink) {
+	if s.Net.slotArena != nil {
+		// A slot-arena network is single-goroutine by contract, so its
+		// sinks can skip their mutex on the per-packet capture path.
+		sink.SetUnlocked(true)
+		if backing := s.Net.takeSinkBacking(); backing != nil {
+			sink.Rebase(backing)
+		}
+	}
+	s.allSinks = append(s.allSinks, sink)
+}
+
+// Retire hands every sink's record array back to the network's recycle
+// pool. The campaign runner calls it when a slot's client machine is
+// torn down; the stack must not capture traffic afterwards. No-op on a
+// multi-goroutine (heap-allocating) network.
+func (s *Stack) Retire() {
+	if s.Net.slotArena == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sink := range s.allSinks {
+		s.Net.putSinkBacking(sink.Rebase(nil))
+	}
+	s.allSinks = nil
 }
 
 // SetCaptureAlloc installs alloc as the payload allocator on every
@@ -172,10 +210,19 @@ func (s *Stack) Routes() []Route {
 	return out
 }
 
+// lockless reports whether the stack can skip its mutex: a slot-arena
+// network is single-goroutine by contract, and these stacks live and
+// die inside one vantage-point slot. The per-packet route/firewall/
+// interface lookups below are hot enough for the uncontended lock to
+// show up in campaign profiles.
+func (s *Stack) lockless() bool { return s.Net.slotArena != nil }
+
 // lookupRoute returns the best route for dst, or nil.
 func (s *Stack) lookupRoute(dst netip.Addr) *Route {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !s.lockless() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	var best *Route
 	for i := range s.routes {
 		r := &s.routes[i]
@@ -208,8 +255,10 @@ func (s *Stack) Resolvers() []netip.Addr {
 // Resolver0 returns the first configured resolver without copying the
 // whole list — the overwhelmingly common lookup on the DNS hot path.
 func (s *Stack) Resolver0() (netip.Addr, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !s.lockless() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	if len(s.resolvers) == 0 {
 		return netip.Addr{}, false
 	}
@@ -225,8 +274,10 @@ func (s *Stack) SetIPv6(on bool) {
 
 // IPv6Enabled reports whether the stack will emit IPv6 packets.
 func (s *Stack) IPv6Enabled() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !s.lockless() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	return s.ipv6
 }
 
@@ -262,8 +313,10 @@ func (s *Stack) AllowAlso(addrs ...netip.Addr) {
 }
 
 func (s *Stack) blockedByFirewall(dst netip.Addr) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !s.lockless() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	return s.allowOnly != nil && !s.allowOnly[dst]
 }
 
@@ -276,11 +329,11 @@ func (s *Stack) Send(pkt []byte) ([]byte, error) {
 		return nil, err
 	}
 	if dst.Is6() && !s.IPv6Enabled() {
-		return nil, fmt.Errorf("%w: IPv6 disabled", ErrBlocked)
+		return nil, errV6Disabled
 	}
 	route := s.lookupRoute(dst)
 	if route == nil {
-		return nil, fmt.Errorf("%w: %v (no route)", ErrNoRoute, dst)
+		return nil, s.Net.errAddr(ErrNoRoute, dst, " (no route)")
 	}
 	if route.Blackhole {
 		return nil, fmt.Errorf("%w: blackhole route %v", ErrBlocked, route.Prefix)
@@ -292,9 +345,14 @@ func (s *Stack) Send(pkt []byte) ([]byte, error) {
 // physical firewall and recording captures. VPN clients call this with
 // the physical interface to carry their encapsulated traffic.
 func (s *Stack) SendVia(ifaceName string, pkt []byte) ([]byte, error) {
-	s.mu.Lock()
-	iface := s.ifaces[ifaceName]
-	s.mu.Unlock()
+	var iface *Interface
+	if s.lockless() {
+		iface = s.ifaces[ifaceName]
+	} else {
+		s.mu.Lock()
+		iface = s.ifaces[ifaceName]
+		s.mu.Unlock()
+	}
 	if iface == nil {
 		return nil, fmt.Errorf("%w: interface %q gone", ErrNoRoute, ifaceName)
 	}
@@ -304,7 +362,7 @@ func (s *Stack) SendVia(ifaceName string, pkt []byte) ([]byte, error) {
 			return nil, err
 		}
 		if s.blockedByFirewall(dst) {
-			return nil, fmt.Errorf("%w: %v", ErrBlocked, dst)
+			return nil, s.Net.errAddr(ErrBlocked, dst, "")
 		}
 	}
 	iface.Sink.Capture(s.Net.Clock.Now(), ifaceName, capture.DirOut, pkt)
@@ -327,9 +385,14 @@ func (s *Stack) srcAddrFor(dst netip.Addr, route *Route) netip.Addr {
 		}
 		return netip.Addr{}
 	}
-	s.mu.Lock()
-	iface := s.ifaces[route.Iface]
-	s.mu.Unlock()
+	var iface *Interface
+	if s.lockless() {
+		iface = s.ifaces[route.Iface]
+	} else {
+		s.mu.Lock()
+		iface = s.ifaces[route.Iface]
+		s.mu.Unlock()
+	}
 	if iface != nil && iface.Addr.IsValid() {
 		return iface.Addr
 	}
@@ -349,11 +412,11 @@ func (s *Stack) ExchangeTCP(dst netip.Addr, port uint16, payload []byte) ([]byte
 func (s *Stack) exchange(dst netip.Addr, port uint16, payload []byte, tcp bool) ([]byte, error) {
 	route := s.lookupRoute(dst)
 	if route == nil {
-		return nil, fmt.Errorf("%w: %v (no route)", ErrNoRoute, dst)
+		return nil, s.Net.errAddr(ErrNoRoute, dst, " (no route)")
 	}
 	src := s.srcAddrFor(dst, route)
 	if !src.IsValid() {
-		return nil, fmt.Errorf("%w: no %v source address", ErrNoRoute, dst)
+		return nil, s.Net.errWith(ErrNoRoute, "no ", dst, " source address")
 	}
 	var transport capture.SerializableLayer
 	srcPort := s.ephemeralPort()
@@ -364,9 +427,9 @@ func (s *Stack) exchange(dst netip.Addr, port uint16, payload []byte, tcp bool) 
 		s.ls.UDP = capture.UDP{SrcPort: srcPort, DstPort: port}
 		transport = &s.ls.UDP
 	}
-	buf := capture.GetSerializeBuffer()
-	defer buf.Release()
-	pkt, err := buildPacketTTLInto(buf, 64, src, dst, s.ls.Pair(transport, payload)...)
+	buf := s.Net.AcquireBuffer()
+	defer s.Net.ReleaseBuffer(buf)
+	pkt, err := s.Net.BuildPacketTTLInto(buf, 64, src, dst, s.ls.Pair(transport, payload)...)
 	if err != nil {
 		return nil, err
 	}
@@ -378,12 +441,11 @@ func (s *Stack) exchange(dst netip.Addr, port uint16, payload []byte, tcp bool) 
 		return nil, nil
 	}
 	// resp is owned by this call, so the decoded payload may alias it.
-	d := capture.AcquirePacketDecoder()
-	defer d.Release()
-	if err := d.Decode(resp, firstLayerType(resp)); err != nil {
+	var v capture.PacketView
+	if err := capture.ParseView(resp, &v); err != nil {
 		return nil, nil // matches Packet semantics: no application layer
 	}
-	return d.Payload(), nil
+	return v.Payload, nil
 }
 
 // Ping sends an ICMP echo to dst via the routing table and returns its
@@ -391,15 +453,16 @@ func (s *Stack) exchange(dst netip.Addr, port uint16, payload []byte, tcp bool) 
 func (s *Stack) Ping(dst netip.Addr) (rtt float64, err error) {
 	route := s.lookupRoute(dst)
 	if route == nil {
-		return 0, fmt.Errorf("%w: %v (no route)", ErrNoRoute, dst)
+		return 0, s.Net.errAddr(ErrNoRoute, dst, " (no route)")
 	}
 	src := s.srcAddrFor(dst, route)
 	if !src.IsValid() {
-		return 0, fmt.Errorf("%w: no source address for %v", ErrNoRoute, dst)
+		return 0, s.Net.errWith(ErrNoRoute, "no source address for ", dst, "")
 	}
-	buf := capture.GetSerializeBuffer()
-	defer buf.Release()
-	pkt, err := BuildPacketInto(buf, src, dst, &capture.ICMP{TypeCode: capture.ICMPEchoRequest, ID: 9, Seq: 1})
+	buf := s.Net.AcquireBuffer()
+	defer s.Net.ReleaseBuffer(buf)
+	s.ls.ICMP = capture.ICMP{TypeCode: capture.ICMPEchoRequest, ID: 9, Seq: 1}
+	pkt, err := s.Net.BuildPacketInto(buf, src, dst, s.ls.One(&s.ls.ICMP)...)
 	if err != nil {
 		return 0, err
 	}
@@ -409,7 +472,7 @@ func (s *Stack) Ping(dst netip.Addr) (rtt float64, err error) {
 		return 0, err
 	}
 	if resp == nil {
-		return 0, fmt.Errorf("%w: no echo reply from %v", ErrTimeout, dst)
+		return 0, s.Net.errWith(ErrTimeout, "no echo reply from ", dst, "")
 	}
 	return float64(s.Net.Clock.Now()-before) / 1e6, nil // milliseconds
 }
@@ -467,21 +530,19 @@ func (s *Stack) Traceroute(dst netip.Addr, maxHops int) ([]TracerouteHop, error)
 	}
 	route := s.lookupRoute(dst)
 	if route == nil {
-		return nil, fmt.Errorf("%w: %v (no route)", ErrNoRoute, dst)
+		return nil, s.Net.errAddr(ErrNoRoute, dst, " (no route)")
 	}
 	src := s.srcAddrFor(dst, route)
 	if !src.IsValid() {
-		return nil, fmt.Errorf("%w: no source address for %v", ErrNoRoute, dst)
+		return nil, s.Net.errWith(ErrNoRoute, "no source address for ", dst, "")
 	}
 	var out []TracerouteHop
-	buf := capture.GetSerializeBuffer()
-	defer buf.Release()
-	d := capture.AcquirePacketDecoder()
-	defer d.Release()
+	buf := s.Net.AcquireBuffer()
+	defer s.Net.ReleaseBuffer(buf)
 	probe := capture.ICMP{TypeCode: capture.ICMPEchoRequest, ID: 33}
 	for ttl := 1; ttl <= maxHops; ttl++ {
 		probe.Seq = uint16(ttl)
-		pkt, err := buildPacketTTLInto(buf, byte(ttl), src, dst, &probe)
+		pkt, err := s.Net.BuildPacketTTLInto(buf, byte(ttl), src, dst, &probe)
 		if err != nil {
 			return out, err
 		}
@@ -493,18 +554,17 @@ func (s *Stack) Traceroute(dst netip.Addr, maxHops int) ([]TracerouteHop, error)
 			out = append(out, TracerouteHop{RTTms: rtt})
 			continue
 		}
-		if err := d.Decode(resp, firstLayerType(resp)); err != nil {
+		var v capture.PacketView
+		if err := capture.ParseView(resp, &v); err != nil {
 			out = append(out, TracerouteHop{RTTms: rtt})
 			continue
 		}
-		hopAddr, _, okAddr := d.Addrs()
-		ic, okICMP := d.ICMP()
-		if !okAddr || !okICMP {
+		if !v.HasNet || v.Transport != capture.TypeICMP {
 			out = append(out, TracerouteHop{RTTms: rtt})
 			continue
 		}
-		hop := TracerouteHop{Addr: hopAddr, RTTms: rtt}
-		if ic.TypeCode == capture.ICMPEchoReply {
+		hop := TracerouteHop{Addr: v.Src, RTTms: rtt}
+		if v.ICMPType == capture.ICMPEchoReply {
 			hop.Reached = true
 			out = append(out, hop)
 			return out, nil

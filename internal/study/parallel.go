@@ -130,18 +130,11 @@ func (w *World) runParallelSlots(specs []slotSpec, c *committer, workers int) (*
 	}
 
 	var (
-		mu        sync.Mutex
-		cond      = sync.NewCond(&mu)
-		delivered = make(map[int]*vpResult)
-		stop      atomic.Bool
-		wg        sync.WaitGroup
+		q    = newIntake()
+		stop atomic.Bool
+		wg   sync.WaitGroup
 	)
-	deliver := func(i int, out *vpResult) {
-		mu.Lock()
-		delivered[i] = out
-		cond.Broadcast()
-		mu.Unlock()
-	}
+	deliver := q.put
 
 	for k := 0; k < workers; k++ {
 		wg.Add(1)
@@ -155,6 +148,20 @@ func (w *World) runParallelSlots(specs []slotSpec, c *committer, workers int) (*
 				w.workerLoop(ctx, id, specs, sched, cfg, flags, tel, &stop, deliver)
 			})
 		}(k)
+	}
+
+	// pending is the committer's private view of delivered slots; it is
+	// refilled in batches from the intake, so the committer touches the
+	// shared lock once per batch instead of once per slot.
+	pending := make(map[int]*vpResult)
+	absorb := func(batch []slotDelivery) {
+		for _, d := range batch {
+			pending[d.idx] = d.out
+		}
+		if tel != nil && len(batch) > 0 {
+			tel.M.CommitDrains.Add(1)
+			tel.M.CommitBatched.Add(int64(len(batch)))
+		}
 	}
 
 	var retErr error
@@ -171,30 +178,34 @@ func (w *World) runParallelSlots(specs []slotSpec, c *committer, workers int) (*
 		if !needMeasure {
 			// Resumed or quarantine-skipped: drop any speculative
 			// measurement a worker already published for this slot.
-			mu.Lock()
-			if _, speculative := delivered[i]; speculative && tel != nil {
-				tel.M.SpeculativeDiscards.Add(1)
+			absorb(q.tryDrain())
+			if _, speculative := pending[i]; speculative {
+				if tel != nil {
+					tel.M.SpeculativeDiscards.Add(1)
+				}
+				delete(pending, i)
 			}
-			delete(delivered, i)
-			mu.Unlock()
 			continue
 		}
-		mu.Lock()
-		out := delivered[i]
-		if out == nil && tel != nil {
-			waitStart := time.Now()
-			for out == nil {
-				cond.Wait()
-				out = delivered[i]
+		out, ok := pending[i]
+		if !ok {
+			absorb(q.tryDrain())
+			out, ok = pending[i]
+		}
+		if !ok {
+			var waitStart time.Time
+			if tel != nil {
+				waitStart = time.Now()
 			}
-			tel.M.CommitWaitNs.Add(time.Since(waitStart).Nanoseconds())
+			for !ok {
+				absorb(q.drain())
+				out, ok = pending[i]
+			}
+			if tel != nil {
+				tel.M.CommitWaitNs.Add(time.Since(waitStart).Nanoseconds())
+			}
 		}
-		for out == nil {
-			cond.Wait()
-			out = delivered[i]
-		}
-		delete(delivered, i)
-		mu.Unlock()
+		delete(pending, i)
 		if out.err != nil {
 			retErr = out.err
 			break
@@ -211,8 +222,8 @@ func (w *World) runParallelSlots(specs []slotSpec, c *committer, workers int) (*
 		}
 	}
 	stop.Store(true)
-	// Wake any worker parked inside deliver's lock handoff and let the
-	// pool drain the scheduler.
+	// Workers never block on the intake (put is append-and-go), so the
+	// pool just drains the scheduler and exits.
 	wg.Wait()
 	if tel != nil {
 		st := sched.Stats()
@@ -221,6 +232,76 @@ func (w *World) runParallelSlots(specs []slotSpec, c *committer, workers int) (*
 		tel.M.StealRescans.Add(st.Rescans)
 	}
 	return c.finish(), retErr
+}
+
+// slotDelivery is one worker-measured slot result keyed by spec index.
+type slotDelivery struct {
+	idx int
+	out *vpResult
+}
+
+// intake is the double-buffered delivery queue between workers and the
+// committer. Workers append to the fill buffer under a short critical
+// section; the committer swaps the whole buffer out in one lock
+// acquisition and consumes it privately, so commit work (report
+// serialization, checkpointing) overlaps worker execution instead of
+// trading per-slot lock handoffs with it.
+type intake struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []slotDelivery // fill buffer (workers append)
+	spare   []slotDelivery // drained buffer, recycled at the next swap
+	waiting bool
+}
+
+func newIntake() *intake {
+	q := &intake{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// put publishes one result. Only a committer actually parked in drain
+// is signaled — the common case appends and leaves without a wakeup.
+func (q *intake) put(i int, out *vpResult) {
+	q.mu.Lock()
+	q.buf = append(q.buf, slotDelivery{idx: i, out: out})
+	if q.waiting {
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// tryDrain swaps out the current batch without blocking; nil when empty.
+func (q *intake) tryDrain() []slotDelivery {
+	q.mu.Lock()
+	batch := q.swapLocked()
+	q.mu.Unlock()
+	return batch
+}
+
+// drain blocks until at least one delivery is buffered, then swaps out
+// the whole batch. The committer owns the returned slice until its next
+// drain/tryDrain call.
+func (q *intake) drain() []slotDelivery {
+	q.mu.Lock()
+	for len(q.buf) == 0 {
+		q.waiting = true
+		q.cond.Wait()
+	}
+	q.waiting = false
+	batch := q.swapLocked()
+	q.mu.Unlock()
+	return batch
+}
+
+func (q *intake) swapLocked() []slotDelivery {
+	if len(q.buf) == 0 {
+		return nil
+	}
+	batch := q.buf
+	q.buf = q.spare[:0]
+	q.spare = batch
+	return batch
 }
 
 // workerLoop is one executor goroutine's slot-pulling loop, running

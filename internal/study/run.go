@@ -355,10 +355,11 @@ func (w *World) markCampaign() {
 //   - the netsim jitter/reliability stream, the fault plan's stream,
 //     and the MITM CA serial base re-derive from (seed, slot identity).
 func (w *World) beginSlot(cfg *RunConfig, s slotSpec) {
-	// Recycle the previous slot's transient packet buffers in O(chunks).
-	// Nothing a slot reports retains arena bytes (reports hold parsed
-	// strings and heap copies), so the reset is invisible to results.
-	w.Net.SlotArena().Reset()
+	// Recycle the previous slot's transient packet buffers in O(chunks)
+	// and drop the packet-prototype cache that points into them. Nothing
+	// a slot reports retains arena bytes (reports hold parsed strings and
+	// heap copies), so the reset is invisible to results.
+	w.Net.BeginSlot()
 	w.Net.RewindHosts(w.hostMark)
 	w.Authority.TrimLog(w.authMark)
 	w.Net.Clock.Jump(campaignBase + time.Duration(s.timeSlot)*cfg.VPSlot)
@@ -435,6 +436,10 @@ func (w *World) measureSlot(cfg *RunConfig, s slotSpec) vpResult {
 			Provider: s.provider, VPLabel: s.label, Err: err.Error(),
 		}}
 	}
+	// Registered before Disconnect's defer so it runs after it: the
+	// sinks' record arrays go back to the recycle pool only once the
+	// teardown traffic has been captured.
+	defer stack.Retire()
 
 	var client *vpn.Client
 	attempts := 0
@@ -479,6 +484,8 @@ func (w *World) measureSlot(cfg *RunConfig, s slotSpec) vpResult {
 		opts.SkipFailure = true
 	}
 	env := vpntest.NewEnv(w.Config, w.Baseline, stack, s.provider, s.label, vp.ClaimedCountry)
+	env.Client.Intern = &w.dnsIntern
+	env.Client.Certs = &w.certCache
 	out.report = vpntest.RunSuite(env, opts)
 	return out
 }

@@ -96,6 +96,13 @@ type World struct {
 	// uses worker 0; the parallel executor stamps each replica.
 	telWorker    int
 	telStealFrom int
+	// dnsIntern and certCache are the world-lived lookup caches handed
+	// to every slot's web client: slots resolve the same static
+	// hostnames and fetch the same certificates over and over, and a
+	// per-slot cache would start cold every time. Single-goroutine, like
+	// everything else hanging off a world.
+	dnsIntern dnssim.Interner
+	certCache tlssim.CertCache
 }
 
 // Well-known public resolver addresses.

@@ -69,6 +69,14 @@ type RuntimeSnapshot struct {
 	SpeculativeDiscards int64       `json:"speculative_discards"`
 	WorkerWorldBuilds   int64       `json:"worker_world_builds"`
 	SpansDropped        int64       `json:"spans_dropped"`
+	// Committer-pipeline shape: batches drained, results carried in
+	// them, and how long the committer sat blocked on undelivered slots
+	// (also surfaced under wall as commit_wait_ms — here so the
+	// executor-shape section answers the committer-bottleneck question
+	// on its own).
+	CommitDrains  int64   `json:"commit_drains"`
+	CommitBatched int64   `json:"commit_batched"`
+	CommitWaitMs  float64 `json:"commit_wait_ms"`
 }
 
 // WallSnapshot is the wall-clock section: how long things took on the
@@ -142,6 +150,9 @@ func (s *Sink) Snapshot() *Snapshot {
 			SpeculativeDiscards: m.SpeculativeDiscards.Load(),
 			WorkerWorldBuilds:   m.WorkerWorldBuilds.Load(),
 			SpansDropped:        s.spansDropped(),
+			CommitDrains:        m.CommitDrains.Load(),
+			CommitBatched:       m.CommitBatched.Load(),
+			CommitWaitMs:        float64(m.CommitWaitNs.Load()) / float64(time.Millisecond),
 		},
 		Wall: WallSnapshot{
 			ElapsedMs:      float64(time.Since(s.start)) / float64(time.Millisecond),

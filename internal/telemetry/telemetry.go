@@ -81,6 +81,8 @@ type Metrics struct {
 	SlotsMeasured       atomic.Int64 // slots measured, including speculative ones later discarded
 	SpeculativeDiscards atomic.Int64 // measured slots thrown away because quarantine overtook them
 	WorkerWorldBuilds   atomic.Int64 // lazily cloned worker world replicas
+	CommitDrains        atomic.Int64 // intake batches the committer pulled (blocking or not)
+	CommitBatched       atomic.Int64 // slot results delivered through those batches
 
 	// Wall-clock counters.
 	CommitWaitNs atomic.Int64 // time the committer spent blocked on not-yet-delivered slots

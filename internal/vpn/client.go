@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"strconv"
 	"sync"
 	"time"
 
@@ -50,10 +51,42 @@ type Client struct {
 	origResolvers []netip.Addr
 	sendCount     int
 	peerSeq       int
+	// dnsBuf is the reusable encode scratch for peer-exit queries.
+	dnsBuf []byte
 	// ls backs the encapsulation headers tunnelSend builds; the client
 	// runs on its world's single goroutine and every build serializes
 	// before the scratch is reused.
 	ls capture.LayerScratch
+	// downCause/downWrapped memoize tunnelSend's ErrTunnelDown wrap:
+	// a failing tunnel surfaces the same underlying carrier error (the
+	// netsim layer interns its exchange failures) over and over, so the
+	// wrap is built once per distinct cause instead of per send.
+	downCause   error
+	downWrapped error
+}
+
+// tunnelError mirrors fmt.Errorf("%w: %v", ErrTunnelDown, cause): the
+// same rendered text and the same errors.Is(ErrTunnelDown) behavior,
+// without the fmt machinery on a path every failed send of a lossy
+// campaign crosses.
+type tunnelError struct{ msg string }
+
+func (e *tunnelError) Error() string { return e.msg }
+func (e *tunnelError) Unwrap() error { return ErrTunnelDown }
+
+// errNonTunnelResponse is the constant-text variant for a response that
+// came back unencapsulated.
+var errNonTunnelResponse = &tunnelError{ErrTunnelDown.Error() + ": non-tunnel response"}
+
+// wrapTunnelDown returns the memoized ErrTunnelDown wrap for cause.
+func (c *Client) wrapTunnelDown(cause error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cause != c.downCause {
+		c.downCause = cause
+		c.downWrapped = &tunnelError{ErrTunnelDown.Error() + ": " + cause.Error()}
+	}
+	return c.downWrapped
 }
 
 // directCarrier ships tunnel frames straight to the vantage point over
@@ -161,11 +194,11 @@ func (c *Client) tunnelSend(inner []byte) ([]byte, error) {
 
 	// The scrambled frame dies inside this send — slot-arena scratch.
 	enc := c.Stack.Net.SlotArena().Copy(inner)
-	capture.Scramble(c.VP.sessionKey, enc)
-	buf := capture.GetSerializeBuffer()
-	defer buf.Release()
+	c.VP.ks.XOR(c.VP.sessionKey, enc)
+	buf := c.Stack.Net.AcquireBuffer()
+	defer c.Stack.Net.ReleaseBuffer(buf)
 	c.ls.Tunnel = capture.Tunnel{SessionID: c.VP.sessionKey}
-	outer, err := netsim.BuildPacketInto(buf, c.Stack.Host.Addr, c.VP.Addr(),
+	outer, err := c.Stack.Net.BuildPacketInto(buf, c.Stack.Host.Addr, c.VP.Addr(),
 		c.ls.Pair(&c.ls.Tunnel, enc)...)
 	if err != nil {
 		return nil, err
@@ -173,23 +206,20 @@ func (c *Client) tunnelSend(inner []byte) ([]byte, error) {
 	resp, err := c.carrier.Send(outer)
 	if err != nil {
 		c.noteFailure(err)
-		return nil, fmt.Errorf("%w: %v", ErrTunnelDown, err)
+		return nil, c.wrapTunnelDown(err)
 	}
 	c.noteSuccess()
 	if resp == nil {
 		return nil, nil
 	}
-	p := capture.AcquirePacketDecoder()
-	defer p.Release()
-	_ = p.Decode(resp, capture.TypeIPv4)
-	tun, ok := p.Tunnel()
-	if !ok {
-		return nil, fmt.Errorf("%w: non-tunnel response", ErrTunnelDown)
+	var v capture.PacketView
+	if capture.ParseView(resp, &v) != nil || v.Transport != capture.TypeTunnel {
+		return nil, errNonTunnelResponse
 	}
 	// resp is owned by this call, so unscramble the tunnel payload in
 	// place instead of copying it out first.
-	dec := tun.LayerPayload()
-	capture.Scramble(c.VP.sessionKey, dec)
+	dec := v.Payload
+	c.VP.ks.XOR(c.VP.sessionKey, dec)
 	return dec, nil
 }
 
@@ -201,16 +231,17 @@ func (c *Client) emitPeerTraffic() {
 	c.peerSeq++
 	seq := c.peerSeq
 	c.mu.Unlock()
-	name := fmt.Sprintf("exit-%d.peer-traffic.example", seq)
-	wire, err := dnssim.NewQuery(uint16(seq), name, dnssim.TypeA).Encode()
+	name := "exit-" + strconv.Itoa(seq) + ".peer-traffic.example"
+	wire, err := dnssim.AppendQueryEncode(c.dnsBuf[:0], uint16(seq), name, dnssim.TypeA)
 	if err != nil {
 		return
 	}
+	c.dnsBuf = wire[:0]
 	resolver := netip.AddrFrom4([4]byte{8, 8, 8, 8})
-	buf := capture.GetSerializeBuffer()
-	defer buf.Release()
+	buf := c.Stack.Net.AcquireBuffer()
+	defer c.Stack.Net.ReleaseBuffer(buf)
 	c.ls.UDP = capture.UDP{SrcPort: 53000, DstPort: 53}
-	pkt, err := netsim.BuildPacketInto(buf, c.Stack.Host.Addr, resolver,
+	pkt, err := c.Stack.Net.BuildPacketInto(buf, c.Stack.Host.Addr, resolver,
 		c.ls.Pair(&c.ls.UDP, wire)...)
 	if err != nil {
 		return

@@ -181,6 +181,14 @@ type VantagePoint struct {
 	// build serializes before the next scratch use, so a single scratch
 	// suffices even for nested forwards.
 	ls capture.LayerScratch
+	// ks caches the session-key keystream both tunnel endpoints scramble
+	// with; client and server share it safely because tunnel handling
+	// nests on the world's single goroutine.
+	ks capture.Keystream
+	// helloBuf/mitmBuf are the TLS-interception frame scratch buffers
+	// (same single-goroutine, serialize-before-reuse contract as ls).
+	helloBuf []byte
+	mitmBuf  []byte
 }
 
 // ID returns a stable identifier like "HideMyAss#17".

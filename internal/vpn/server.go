@@ -54,31 +54,25 @@ func (vp *VantagePoint) installDemuxed(d *tunnelDemux) {
 // wrapped response back toward the client.
 func (vp *VantagePoint) serveTunnel(n *netsim.Network, env *ServerEnv, pkt []byte, emit func([]byte)) {
 	resolver := vp.resolver
-	outer := capture.AcquirePacketDecoder()
-	defer outer.Release()
-	_ = outer.Decode(pkt, capture.TypeIPv4) // partial decodes handled below
-	tun, ok := outer.Tunnel()
-	if !ok {
+	var outer capture.PacketView
+	if capture.ParseView(pkt, &outer) != nil || outer.Transport != capture.TypeTunnel {
 		return // not tunnel traffic
 	}
-	if tun.SessionID != vp.sessionKey {
+	if outer.Session != vp.sessionKey {
 		return // unknown session
 	}
-	clientAddr, _, ok := outer.Addrs()
-	if !ok {
-		return
-	}
+	clientAddr := outer.Src
 
 	// The decapsulated inner packet lives only for this delivery — a
 	// slot-arena copy when the world has one installed.
-	inner := n.SlotArena().Copy(tun.LayerPayload())
-	capture.Scramble(vp.sessionKey, inner)
+	inner := n.SlotArena().Copy(outer.Payload)
+	vp.ks.XOR(vp.sessionKey, inner)
 
 	respInner := vp.serveInner(n, env, resolver, inner)
 	if respInner == nil {
 		return
 	}
-	capture.Scramble(vp.sessionKey, respInner)
+	vp.ks.XOR(vp.sessionKey, respInner)
 	vp.ls.Tunnel = capture.Tunnel{SessionID: vp.sessionKey}
 	wrapped, err := n.BuildPacket(vp.Addr(), clientAddr,
 		vp.ls.Pair(&vp.ls.Tunnel, respInner)...)
@@ -92,13 +86,11 @@ func (vp *VantagePoint) serveTunnel(n *netsim.Network, env *ServerEnv, pkt []byt
 // raw inner response packet (addressed back to the tunnel-internal
 // client), or nil.
 func (vp *VantagePoint) serveInner(n *netsim.Network, env *ServerEnv, resolver *dnssim.Resolver, inner []byte) []byte {
-	p := capture.AcquirePacketDecoder()
-	defer p.Release()
-	_ = p.Decode(inner, innerFirstLayer(inner)) // partial decodes handled below
-	src, dst, ok := p.Addrs()
-	if !ok {
+	var v capture.PacketView
+	if capture.ParseView(inner, &v) != nil || !v.HasNet {
 		return nil
 	}
+	src, dst := v.Src, v.Dst
 
 	// IPv6 through a tunnel the provider cannot carry is dropped.
 	if dst.Is6() && !vp.Provider.Spec.SupportsIPv6 {
@@ -114,12 +106,12 @@ func (vp *VantagePoint) serveInner(n *netsim.Network, env *ServerEnv, resolver *
 
 	// Tunnel-internal DNS service.
 	if dst == TunnelInternalDNS {
-		if u, ok := p.UDP(); ok && u.DstPort == 53 {
-			answer := resolver.HandleQuery(u.LayerPayload())
+		if v.Transport == capture.TypeUDP && v.DstPort == 53 {
+			answer := resolver.HandleQuery(v.Payload)
 			if answer == nil {
 				return nil
 			}
-			vp.ls.UDP = capture.UDP{SrcPort: 53, DstPort: u.SrcPort}
+			vp.ls.UDP = capture.UDP{SrcPort: 53, DstPort: v.SrcPort}
 			resp, err := n.BuildPacket(TunnelInternalDNS, src,
 				vp.ls.Pair(&vp.ls.UDP, answer)...)
 			if err != nil {
@@ -130,13 +122,14 @@ func (vp *VantagePoint) serveInner(n *netsim.Network, env *ServerEnv, resolver *
 		return nil
 	}
 
+	switch v.Transport {
 	// ICMP: forward the echo from the egress. The vantage point acts
 	// as a router: it decrements the inner TTL, answers Time Exceeded
 	// as the tunnel gateway when the TTL dies here, and preserves the
 	// responder's address so traceroute through the tunnel shows the
 	// hops beyond the vantage point.
-	if ic, ok := p.ICMP(); ok {
-		ttl := innerTTL(inner)
+	case capture.TypeICMP:
+		ttl := v.TTL
 		if ttl <= 1 {
 			vp.ls.ICMP = capture.ICMP{TypeCode: capture.ICMPTimeExceeded}
 			out, err := n.BuildPacket(TunnelInternalDNS, src,
@@ -146,11 +139,11 @@ func (vp *VantagePoint) serveInner(n *netsim.Network, env *ServerEnv, resolver *
 			}
 			return out
 		}
-		buf := capture.GetSerializeBuffer()
-		defer buf.Release()
-		vp.ls.ICMP = capture.ICMP{TypeCode: ic.TypeCode, ID: ic.ID, Seq: ic.Seq}
-		fwd, err := netsim.BuildPacketTTLInto(buf, ttl-1, egress, dst,
-			vp.ls.Pair(&vp.ls.ICMP, ic.LayerPayload())...)
+		buf := n.AcquireBuffer()
+		defer n.ReleaseBuffer(buf)
+		vp.ls.ICMP = capture.ICMP{TypeCode: v.ICMPType, ID: v.ICMPID, Seq: v.ICMPSeq}
+		fwd, err := n.BuildPacketTTLInto(buf, ttl-1, egress, dst,
+			vp.ls.Pair(&vp.ls.ICMP, v.Payload)...)
 		if err != nil {
 			return nil
 		}
@@ -158,44 +151,39 @@ func (vp *VantagePoint) serveInner(n *netsim.Network, env *ServerEnv, resolver *
 		if err != nil || resp == nil {
 			return nil
 		}
-		rp := capture.AcquirePacketDecoder()
-		defer rp.Release()
-		_ = rp.Decode(resp, innerFirstLayer(resp))
-		ric, ok := rp.ICMP()
-		if !ok {
+		var rv capture.PacketView
+		if capture.ParseView(resp, &rv) != nil || rv.Transport != capture.TypeICMP {
 			return nil
 		}
 		// Relay the response from whoever actually sent it — the
 		// destination for echo replies, a mid-path router for Time
 		// Exceeded.
 		responder := dst
-		if a, _, ok := rp.Addrs(); ok && a.IsValid() {
-			responder = a
+		if rv.Src.IsValid() {
+			responder = rv.Src
 		}
-		vp.ls.ICMP = capture.ICMP{TypeCode: ric.TypeCode, ID: ric.ID, Seq: ric.Seq}
+		vp.ls.ICMP = capture.ICMP{TypeCode: rv.ICMPType, ID: rv.ICMPID, Seq: rv.ICMPSeq}
 		out, err := n.BuildPacket(responder, src,
-			vp.ls.Pair(&vp.ls.ICMP, ric.LayerPayload())...)
+			vp.ls.Pair(&vp.ls.ICMP, rv.Payload)...)
 		if err != nil {
 			return nil
 		}
 		return out
-	}
 
-	if u, ok := p.UDP(); ok {
-		return vp.forwardUDP(n, egress, src, dst, u)
-	}
-	if t, ok := p.TCP(); ok {
-		return vp.forwardTCP(n, env, egress, src, dst, t)
+	case capture.TypeUDP:
+		return vp.forwardUDP(n, egress, src, dst, v.SrcPort, v.DstPort, v.Payload)
+	case capture.TypeTCP:
+		return vp.forwardTCP(n, env, egress, src, dst, v.SrcPort, v.DstPort, v.Payload)
 	}
 	return nil
 }
 
-func (vp *VantagePoint) forwardUDP(n *netsim.Network, egress, src, dst netip.Addr, u *capture.UDP) []byte {
-	buf := capture.GetSerializeBuffer()
-	defer buf.Release()
-	vp.ls.UDP = capture.UDP{SrcPort: u.SrcPort, DstPort: u.DstPort}
-	fwd, err := netsim.BuildPacketInto(buf, egress, dst,
-		vp.ls.Pair(&vp.ls.UDP, u.LayerPayload())...)
+func (vp *VantagePoint) forwardUDP(n *netsim.Network, egress, src, dst netip.Addr, srcPort, dstPort uint16, payload []byte) []byte {
+	buf := n.AcquireBuffer()
+	defer n.ReleaseBuffer(buf)
+	vp.ls.UDP = capture.UDP{SrcPort: srcPort, DstPort: dstPort}
+	fwd, err := n.BuildPacketInto(buf, egress, dst,
+		vp.ls.Pair(&vp.ls.UDP, payload)...)
 	if err != nil {
 		return nil
 	}
@@ -203,50 +191,47 @@ func (vp *VantagePoint) forwardUDP(n *netsim.Network, egress, src, dst netip.Add
 	if err != nil || resp == nil {
 		return nil
 	}
-	rp := capture.AcquirePacketDecoder()
-	defer rp.Release()
-	_ = rp.Decode(resp, innerFirstLayer(resp))
-	ru, ok := rp.UDP()
-	if !ok {
+	var rv capture.PacketView
+	if capture.ParseView(resp, &rv) != nil || rv.Transport != capture.TypeUDP {
 		return nil
 	}
-	vp.ls.UDP = capture.UDP{SrcPort: ru.SrcPort, DstPort: ru.DstPort}
+	vp.ls.UDP = capture.UDP{SrcPort: rv.SrcPort, DstPort: rv.DstPort}
 	out, err := n.BuildPacket(dst, src,
-		vp.ls.Pair(&vp.ls.UDP, ru.LayerPayload())...)
+		vp.ls.Pair(&vp.ls.UDP, rv.Payload)...)
 	if err != nil {
 		return nil
 	}
 	return out
 }
 
-func (vp *VantagePoint) forwardTCP(n *netsim.Network, env *ServerEnv, egress, src, dst netip.Addr, t *capture.TCP) []byte {
-	payload := t.LayerPayload()
+func (vp *VantagePoint) forwardTCP(n *netsim.Network, env *ServerEnv, egress, src, dst netip.Addr, srcPort, dstPort uint16, payload []byte) []byte {
 	spec := &vp.Provider.Spec
 
 	// National censorship applies where the machine physically sits —
 	// this is exactly why redirections appeared "only on endpoints
 	// claiming to be in their respective countries" (§6.1.1): those
 	// endpoints really were there.
-	if t.DstPort == 80 && env != nil && env.Web != nil {
+	if dstPort == 80 && env != nil && env.Web != nil {
 		if policy := websim.PolicyFor(vp.ActualCity.Country); policy != nil {
-			if req, err := websim.ParseRequest(payload); err == nil {
-				if resp, blocked := policy.Apply(vp.Host.Block.Org, req.Host(), env.Web.SiteByName); blocked {
-					return vp.buildTCPResponse(n, dst, src, t, resp.Encode())
+			if host, ok := websim.RequestHost(payload); ok {
+				if resp, blocked := policy.Apply(vp.Host.Block.Org, host, env.Web.SiteByName); blocked {
+					return vp.buildTCPResponse(n, dst, src, srcPort, dstPort, resp.Encode())
 				}
 			}
 		}
 	}
 
 	// Transparent proxy: parse and regenerate HTTP request headers.
-	if t.DstPort == 80 && spec.TransparentProxy {
+	if dstPort == 80 && spec.TransparentProxy {
 		payload = websim.RegenerateHeaders(payload)
 	}
 
 	// TLS interception: terminate the client's hello, fetch upstream,
 	// re-sign with the provider CA.
-	if t.DstPort == 443 && spec.InterceptTLS && vp.Provider.MITMCA != nil {
+	if dstPort == 443 && spec.InterceptTLS && vp.Provider.MITMCA != nil {
 		if sni, innerReq, err := tlssim.ParseClientHello(payload); err == nil {
-			upstream := vp.exchangeTCP(n, egress, dst, t, tlssim.EncodeClientHello(sni, innerReq))
+			vp.helloBuf = tlssim.AppendClientHello(vp.helloBuf[:0], sni, innerReq)
+			upstream := vp.exchangeTCP(n, egress, dst, srcPort, dstPort, vp.helloBuf)
 			if upstream == nil {
 				return nil
 			}
@@ -254,33 +239,34 @@ func (vp *VantagePoint) forwardTCP(n *netsim.Network, env *ServerEnv, egress, sr
 			if err != nil {
 				return nil
 			}
-			mitm, err := tlssim.EncodeServerHello(vp.Provider.MITMCA.Issue(sni), serverInner)
+			mitm, err := tlssim.AppendServerHello(vp.mitmBuf[:0], vp.Provider.MITMCA.Issue(sni), serverInner)
 			if err != nil {
 				return nil
 			}
-			return vp.buildTCPResponse(n, dst, src, t, mitm)
+			vp.mitmBuf = mitm
+			return vp.buildTCPResponse(n, dst, src, srcPort, dstPort, mitm)
 		}
 	}
 
-	respPayload := vp.exchangeTCP(n, egress, dst, t, payload)
+	respPayload := vp.exchangeTCP(n, egress, dst, srcPort, dstPort, payload)
 	if respPayload == nil {
 		return nil
 	}
 
 	// Content injection on HTTP responses.
-	if t.DstPort == 80 && spec.InjectContent {
+	if dstPort == 80 && spec.InjectContent {
 		respPayload = websim.InjectOverlay(respPayload, vp.Provider.Spec.Domain)
 	}
-	return vp.buildTCPResponse(n, dst, src, t, respPayload)
+	return vp.buildTCPResponse(n, dst, src, srcPort, dstPort, respPayload)
 }
 
 // exchangeTCP forwards a TCP request payload from the egress address and
 // returns the response payload.
-func (vp *VantagePoint) exchangeTCP(n *netsim.Network, egress, dst netip.Addr, t *capture.TCP, payload []byte) []byte {
-	buf := capture.GetSerializeBuffer()
-	defer buf.Release()
-	vp.ls.TCP = capture.TCP{SrcPort: t.SrcPort, DstPort: t.DstPort, Flags: capture.FlagACK | capture.FlagPSH}
-	fwd, err := netsim.BuildPacketInto(buf, egress, dst,
+func (vp *VantagePoint) exchangeTCP(n *netsim.Network, egress, dst netip.Addr, srcPort, dstPort uint16, payload []byte) []byte {
+	buf := n.AcquireBuffer()
+	defer n.ReleaseBuffer(buf)
+	vp.ls.TCP = capture.TCP{SrcPort: srcPort, DstPort: dstPort, Flags: capture.FlagACK | capture.FlagPSH}
+	fwd, err := n.BuildPacketInto(buf, egress, dst,
 		vp.ls.Pair(&vp.ls.TCP, payload)...)
 	if err != nil {
 		return nil
@@ -289,45 +275,24 @@ func (vp *VantagePoint) exchangeTCP(n *netsim.Network, egress, dst netip.Addr, t
 	if err != nil || resp == nil {
 		return nil
 	}
-	rp := capture.AcquirePacketDecoder()
-	defer rp.Release()
-	_ = rp.Decode(resp, innerFirstLayer(resp))
-	rt, ok := rp.TCP()
-	if !ok {
+	var rv capture.PacketView
+	if capture.ParseView(resp, &rv) != nil || rv.Transport != capture.TypeTCP {
 		return nil
 	}
-	// The returned payload aliases resp (owned by this exchange), not
-	// the released decoder, so it stays valid for the caller.
-	return rt.LayerPayload()
+	// The returned payload aliases resp (owned by this exchange), so it
+	// stays valid for the caller.
+	return rv.Payload
 }
 
 // buildTCPResponse builds the inner response packet back to the client
-// (slot-arena owned, like every packet on the delivery path).
-func (vp *VantagePoint) buildTCPResponse(n *netsim.Network, fromDst, toSrc netip.Addr, t *capture.TCP, payload []byte) []byte {
-	vp.ls.TCP = capture.TCP{SrcPort: t.DstPort, DstPort: t.SrcPort, Flags: capture.FlagACK | capture.FlagPSH}
+// (slot-arena owned, like every packet on the delivery path). Ports are
+// the client's original request ports; the reply swaps them.
+func (vp *VantagePoint) buildTCPResponse(n *netsim.Network, fromDst, toSrc netip.Addr, reqSrcPort, reqDstPort uint16, payload []byte) []byte {
+	vp.ls.TCP = capture.TCP{SrcPort: reqDstPort, DstPort: reqSrcPort, Flags: capture.FlagACK | capture.FlagPSH}
 	out, err := n.BuildPacket(fromDst, toSrc,
 		vp.ls.Pair(&vp.ls.TCP, payload)...)
 	if err != nil {
 		return nil
 	}
 	return out
-}
-
-func innerFirstLayer(pkt []byte) capture.LayerType {
-	if len(pkt) > 0 && pkt[0]>>4 == 6 {
-		return capture.TypeIPv6
-	}
-	return capture.TypeIPv4
-}
-
-// innerTTL reads the TTL / hop limit from a raw inner packet.
-func innerTTL(pkt []byte) byte {
-	switch {
-	case len(pkt) >= 20 && pkt[0]>>4 == 4:
-		return pkt[8]
-	case len(pkt) >= 40 && pkt[0]>>4 == 6:
-		return pkt[7]
-	default:
-		return 64
-	}
 }

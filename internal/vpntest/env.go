@@ -15,6 +15,9 @@ package vpntest
 import (
 	"fmt"
 	"net/netip"
+	"sort"
+	"strings"
+	"sync"
 
 	"vpnscope/internal/geo"
 	"vpnscope/internal/netsim"
@@ -78,6 +81,90 @@ type Config struct {
 	// paper used three minutes and acknowledges the resulting
 	// conservatism.
 	FailureWindowSeconds int
+
+	// Derived state below is built lazily, once per Config, and shared
+	// by every slot of a study (the corpora are static, so the per-host
+	// URL strings, probe wire bytes, and host sets never change).
+	derivedOnce   sync.Once
+	tlsURLs       []hostURLs
+	sortedV6Hosts []string
+	v6ProbeReqs   [][]byte
+
+	legitOnce sync.Once
+	legitBase *Baseline
+	legitMap  map[string]bool
+}
+
+// hostURLs are the two probe URLs RunTLS fetches for one host.
+type hostURLs struct {
+	https, http string
+}
+
+// derived builds the Config's lazily shared probe furniture.
+func (c *Config) derived() {
+	c.derivedOnce.Do(func() {
+		c.tlsURLs = make([]hostURLs, len(c.TLSHosts))
+		for i, h := range c.TLSHosts {
+			c.tlsURLs[i] = hostURLs{https: "https://" + h + "/", http: "http://" + h + "/"}
+		}
+		c.sortedV6Hosts = make([]string, 0, len(c.IPv6ProbeHosts))
+		for host := range c.IPv6ProbeHosts {
+			c.sortedV6Hosts = append(c.sortedV6Hosts, host)
+		}
+		sort.Strings(c.sortedV6Hosts)
+		c.v6ProbeReqs = make([][]byte, len(c.sortedV6Hosts))
+		for i, host := range c.sortedV6Hosts {
+			c.v6ProbeReqs[i] = websim.NewRequest("GET", host, "/").Encode()
+		}
+	})
+}
+
+// legitNames returns the exact-match host set legitimateQueryNames
+// uses, cached for the (Config, Baseline) pair every slot of a study
+// shares; an unexpected second baseline gets a fresh uncached build.
+func (c *Config) legitNames(b *Baseline) map[string]bool {
+	c.legitOnce.Do(func() {
+		c.legitBase = b
+		c.legitMap = buildLegitNames(c, b)
+	})
+	if c.legitBase == b {
+		return c.legitMap
+	}
+	return buildLegitNames(c, b)
+}
+
+func buildLegitNames(c *Config, b *Baseline) map[string]bool {
+	exact := map[string]bool{}
+	addURL := func(raw string) {
+		if h := hostOf(raw); h != "" {
+			exact[strings.ToLower(h)] = true
+		}
+	}
+	for _, u := range c.DOMSiteURLs {
+		addURL(u)
+	}
+	for _, h := range c.TLSHosts {
+		exact[strings.ToLower(h)] = true
+	}
+	for _, h := range c.DNSCheckHosts {
+		exact[strings.ToLower(h)] = true
+	}
+	for h := range c.IPv6ProbeHosts {
+		exact[strings.ToLower(h)] = true
+	}
+	addURL(c.EchoURL)
+	addURL(c.IPEchoURL)
+	addURL(c.WebRTCProbeURL)
+	addURL(c.TunnelFailureURL)
+	// Subresource hosts referenced by baseline DOMs (ad networks etc.).
+	if b != nil {
+		for _, hosts := range b.ResourceHosts {
+			for h := range hosts {
+				exact[strings.ToLower(h)] = true
+			}
+		}
+	}
+	return exact
 }
 
 // Env is one vantage point's test context: the connected stack plus the

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
-	"sort"
 	"strings"
 	"time"
 
@@ -219,11 +218,13 @@ type TLSResult struct {
 // HTTP load following redirects (§5.3.1 "TLS Interception and Downgrade
 // Detection").
 func RunTLS(env *Env) (*TLSResult, error) {
+	env.Cfg.derived()
 	res := &TLSResult{}
-	for _, host := range env.Cfg.TLSHosts {
+	for i, host := range env.Cfg.TLSHosts {
 		res.HostsProbed++
+		urls := &env.Cfg.tlsURLs[i]
 
-		chain, err := env.Client.Get("https://" + host + "/")
+		chain, err := env.Client.Get(urls.https)
 		if err != nil {
 			res.Unreachable++
 			continue
@@ -247,7 +248,7 @@ func RunTLS(env *Env) (*TLSResult, error) {
 			}
 		}
 
-		httpChain, err := env.Client.Get("http://" + host + "/")
+		httpChain, err := env.Client.Get(urls.http)
 		if err != nil {
 			continue
 		}
@@ -255,7 +256,7 @@ func RunTLS(env *Env) (*TLSResult, error) {
 		finalHost := hostOf(httpFinal.URL)
 		if finalHost != "" && !psl.Related(host, finalHost, nil) {
 			res.Redirections = append(res.Redirections, Redirection{
-				FromURL:     "http://" + host + "/",
+				FromURL:     urls.http,
 				Destination: httpFinal.URL,
 				Status:      httpFinal.Response.Status,
 			})
@@ -595,33 +596,29 @@ func RunLeakTests(env *Env) (*LeakResult, error) {
 	}
 
 	res := &LeakResult{}
-	d := capture.AcquirePacketDecoder()
+	var v capture.PacketView
 	for _, rec := range phys.Sink.Records()[mark:] {
 		if rec.Dir != capture.DirOut {
 			continue
 		}
-		// Sink records own their bytes, so the NoCopy decode is safe.
-		_ = d.Decode(rec.Data, packetFirstLayer(rec.Data))
-		if u, ok := d.UDP(); ok && u.DstPort == 53 {
+		// Sink records own their bytes, so the alias-not-copy view is
+		// safe; ParseView matches the decoder pass byte for byte.
+		if capture.ParseView(rec.Data, &v) == nil &&
+			v.Transport == capture.TypeUDP && v.DstPort == 53 {
 			res.DNSLeakCount++
 		}
 	}
-	d.Release()
 	res.DNSLeak = res.DNSLeakCount > 0
 
 	// IPv6 probes: direct connections to known v6 addresses. Probe in
 	// sorted host order — map iteration order would otherwise vary the
-	// virtual-time trace between identically seeded runs.
+	// virtual-time trace between identically seeded runs. The host list
+	// and per-host request wires are prebuilt on the shared Config.
 	mark = phys.Sink.Len()
-	hosts := make([]string, 0, len(env.Cfg.IPv6ProbeHosts))
-	for host := range env.Cfg.IPv6ProbeHosts {
-		hosts = append(hosts, host)
-	}
-	sort.Strings(hosts)
-	for _, host := range hosts {
+	env.Cfg.derived()
+	for i, host := range env.Cfg.sortedV6Hosts {
 		res.IPv6Probes++
-		req := websim.NewRequest("GET", host, "/")
-		_, _ = env.Stack.ExchangeTCP(env.Cfg.IPv6ProbeHosts[host], 80, req.Encode())
+		_, _ = env.Stack.ExchangeTCP(env.Cfg.IPv6ProbeHosts[host], 80, env.Cfg.v6ProbeReqs[i])
 	}
 	for _, rec := range phys.Sink.Records()[mark:] {
 		if rec.Dir == capture.DirOut && len(rec.Data) > 0 && rec.Data[0]>>4 == 6 {
@@ -757,20 +754,20 @@ func RunP2PDetection(env *Env) (*P2PResult, error) {
 	legit := env.legitimateQueryNames()
 	res := &P2PResult{}
 	seen := map[string]bool{}
-	d := capture.AcquirePacketDecoder()
-	defer d.Release()
+	var v capture.PacketView
+	var msg dnssim.Message
 	for _, rec := range phys.Sink.Records() {
 		if rec.Dir != capture.DirOut {
 			continue
 		}
-		// Sink records own their bytes, so the NoCopy decode is safe.
-		_ = d.Decode(rec.Data, packetFirstLayer(rec.Data))
-		u, ok := d.UDP()
-		if !ok || u.DstPort != 53 {
+		// Sink records own their bytes, so the alias-not-copy view is
+		// safe; ParseView matches the decoder pass byte for byte.
+		if capture.ParseView(rec.Data, &v) != nil ||
+			v.Transport != capture.TypeUDP || v.DstPort != 53 {
 			continue
 		}
-		msg, err := dnssim.Decode(u.LayerPayload())
-		if err != nil || msg.Response || len(msg.Questions) == 0 {
+		if err := dnssim.DecodeInto(&msg, v.Payload, env.Client.Intern); err != nil ||
+			msg.Response || len(msg.Questions) == 0 {
 			continue
 		}
 		name := msg.Questions[0].Name
@@ -790,42 +787,32 @@ func RunP2PDetection(env *Env) (*P2PResult, error) {
 // suite itself may have resolved: the target corpora, infrastructure
 // endpoints, and the tagged probe domain.
 func (e *Env) legitimateQueryNames() func(string) bool {
-	exact := map[string]bool{}
-	addURL := func(raw string) {
-		if h := hostOf(raw); h != "" {
-			exact[strings.ToLower(h)] = true
-		}
-	}
-	for _, u := range e.Cfg.DOMSiteURLs {
-		addURL(u)
-	}
-	for _, h := range e.Cfg.TLSHosts {
-		exact[strings.ToLower(h)] = true
-	}
-	for _, h := range e.Cfg.DNSCheckHosts {
-		exact[strings.ToLower(h)] = true
-	}
-	for h := range e.Cfg.IPv6ProbeHosts {
-		exact[strings.ToLower(h)] = true
-	}
-	addURL(e.Cfg.EchoURL)
-	addURL(e.Cfg.IPEchoURL)
-	addURL(e.Cfg.WebRTCProbeURL)
-	addURL(e.Cfg.TunnelFailureURL)
+	exact := e.Cfg.legitNames(e.Baseline)
 	probe := strings.ToLower(e.Cfg.ProbeDomain)
-	// Subresource hosts referenced by baseline DOMs (ad networks etc.).
-	for _, hosts := range e.Baseline.ResourceHosts {
-		for h := range hosts {
-			exact[strings.ToLower(h)] = true
-		}
-	}
 	return func(name string) bool {
-		name = strings.ToLower(strings.TrimSuffix(name, "."))
+		name = strings.TrimSuffix(name, ".")
+		// Names on the wire are lowercase in the common case; only
+		// fold when needed so the probe avoids an allocation.
+		if !isLowerASCII(name) {
+			name = strings.ToLower(name)
+		}
 		if exact[name] {
 			return true
 		}
 		return probe != "" && (name == probe || strings.HasSuffix(name, "."+probe))
 	}
+}
+
+// isLowerASCII reports whether s contains no ASCII uppercase letters
+// and no non-ASCII bytes (for which ToLower could also change bytes).
+func isLowerASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 || ('A' <= c && c <= 'Z') {
+			return false
+		}
+	}
+	return true
 }
 
 // FailureResult is the tunnel-failure recovery test output.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/netip"
 	"net/url"
+	"strconv"
 	"strings"
 
 	"vpnscope/internal/capture"
@@ -50,8 +51,118 @@ type Client struct {
 	dnsIntern dnssim.Interner
 	// reqBuf is the reusable request-encode buffer; both the plain-TCP
 	// exchange and the client-hello framer copy the bytes before the
-	// next fetch reuses it.
-	reqBuf []byte
+	// next fetch reuses it. helloBuf stages the framed client hello the
+	// same way.
+	reqBuf   []byte
+	helloBuf []byte
+
+	// Intern, when set, replaces the client's private DNS-name interner
+	// with a longer-lived one (the campaign runner hands every slot's
+	// client the worker world's interner, so the table stays warm
+	// across slots instead of re-learning the same static names).
+	Intern *dnssim.Interner
+	// Certs, when set, interns decoded server-hello certificates the
+	// same way (see tlssim.CertCache).
+	Certs *tlssim.CertCache
+
+	// Single-entry memos for the failure wraps below. A failing slot
+	// surfaces the same (host, cause) failure dozens of times in a row
+	// — retries, redirect chains, subresource fetches — and the netsim
+	// layer interns its exchange errors, so cause identity is stable.
+	lastResolve  resolveErrKey
+	lastResolveE error
+	lastNX       nxErrKey
+	lastNXE      error
+	lastEmpty    emptyErrKey
+	lastEmptyE   error
+}
+
+type resolveErrKey struct {
+	host   string
+	server netip.Addr
+	cause  error
+}
+
+type nxErrKey struct {
+	host  string
+	rcode int
+}
+
+type emptyErrKey struct {
+	url      string
+	fetching bool // "fetching %q" vs "resolving %q"
+	cause    error
+}
+
+// wrappedErr is a pre-rendered fmt.Errorf("...: %w", ..., cause)
+// equivalent: same text, same errors.Is/As behavior via Unwrap.
+type wrappedErr struct {
+	cause error
+	msg   string
+}
+
+func (e *wrappedErr) Error() string { return e.msg }
+func (e *wrappedErr) Unwrap() error { return e.cause }
+
+// interner returns the client's effective DNS interner.
+func (c *Client) interner() *dnssim.Interner {
+	if c.Intern != nil {
+		return c.Intern
+	}
+	return &c.dnsIntern
+}
+
+// errResolveVia renders fmt.Errorf("resolving %q via %v: %w", host,
+// server, cause), memoized on the last distinct key.
+func (c *Client) errResolveVia(host string, server netip.Addr, cause error) error {
+	key := resolveErrKey{host, server, cause}
+	if key != c.lastResolve || c.lastResolveE == nil {
+		b := make([]byte, 0, 96)
+		b = append(b, "resolving "...)
+		b = strconv.AppendQuote(b, host)
+		b = append(b, " via "...)
+		b = server.AppendTo(b)
+		b = append(b, ": "...)
+		b = append(b, cause.Error()...)
+		c.lastResolve, c.lastResolveE = key, &wrappedErr{cause, string(b)}
+	}
+	return c.lastResolveE
+}
+
+// errNXDomain renders fmt.Errorf("%w: %q (rcode %d)", ErrNXDomain,
+// host, rcode), memoized on the last distinct key.
+func (c *Client) errNXDomain(host string, rcode int) error {
+	key := nxErrKey{host, rcode}
+	if key != c.lastNX || c.lastNXE == nil {
+		b := make([]byte, 0, 96)
+		b = append(b, ErrNXDomain.Error()...)
+		b = append(b, ": "...)
+		b = strconv.AppendQuote(b, host)
+		b = append(b, " (rcode "...)
+		b = strconv.AppendInt(b, int64(rcode), 10)
+		b = append(b, ')')
+		c.lastNX, c.lastNXE = key, &wrappedErr{ErrNXDomain, string(b)}
+	}
+	return c.lastNXE
+}
+
+// errWrapURL renders fmt.Errorf("fetching %q: %w", url, cause) (or the
+// "resolving" variant), memoized on the last distinct key.
+func (c *Client) errWrapURL(fetching bool, url string, cause error) error {
+	key := emptyErrKey{url, fetching, cause}
+	if key != c.lastEmpty || c.lastEmptyE == nil {
+		b := make([]byte, 0, 96)
+		if fetching {
+			b = append(b, "fetching "...)
+		} else {
+			b = append(b, "resolving "...)
+		}
+		b = strconv.AppendQuote(b, url)
+		b = append(b, ": "...)
+		b = append(b, cause.Error()...)
+		c.lastEmpty, c.lastEmptyE = key, &wrappedErr{cause, string(b)}
+	}
+	return c.lastEmptyE
 }
 
 // Client errors.
@@ -82,24 +193,24 @@ func (c *Client) ResolveVia(server netip.Addr, host string, v6 bool) (netip.Addr
 		qtype = dnssim.TypeAAAA
 	}
 	c.nextID++
-	wire, err := dnssim.NewQuery(c.nextID, host, qtype).AppendEncode(c.dnsScratch[:0])
+	wire, err := dnssim.AppendQueryEncode(c.dnsScratch[:0], c.nextID, host, qtype)
 	if err != nil {
 		return netip.Addr{}, err
 	}
 	c.dnsScratch = wire
 	respWire, err := c.Stack.QueryUDP(server, 53, wire)
 	if err != nil {
-		return netip.Addr{}, fmt.Errorf("resolving %q via %v: %w", host, server, err)
+		return netip.Addr{}, c.errResolveVia(host, server, err)
 	}
 	if respWire == nil {
-		return netip.Addr{}, fmt.Errorf("resolving %q: %w", host, ErrEmptyResponse)
+		return netip.Addr{}, c.errWrapURL(false, host, ErrEmptyResponse)
 	}
-	if err := dnssim.DecodeInto(&c.dnsMsg, respWire, &c.dnsIntern); err != nil {
-		return netip.Addr{}, fmt.Errorf("resolving %q: %w", host, err)
+	if err := dnssim.DecodeInto(&c.dnsMsg, respWire, c.interner()); err != nil {
+		return netip.Addr{}, c.errWrapURL(false, host, err)
 	}
 	msg := &c.dnsMsg
 	if msg.RCode != dnssim.RCodeOK || len(msg.Answers) == 0 {
-		return netip.Addr{}, fmt.Errorf("%w: %q (rcode %d)", ErrNXDomain, host, msg.RCode)
+		return netip.Addr{}, c.errNXDomain(host, int(msg.RCode))
 	}
 	return msg.Answers[0].Addr, nil
 }
@@ -115,11 +226,11 @@ func (c *Client) Get(rawURL string) ([]FetchResult, error) {
 	var chain []FetchResult
 	current := rawURL
 	for hop := 0; hop <= max; hop++ {
-		res, err := c.fetchOne(current)
-		if err != nil {
+		var res FetchResult
+		if err := c.fetchOne(current, &res); err != nil {
 			return chain, err
 		}
-		chain = append(chain, *res)
+		chain = append(chain, res)
 		if res.Response == nil || res.Response.Status < 300 || res.Response.Status >= 400 {
 			return chain, nil
 		}
@@ -136,15 +247,17 @@ func (c *Client) Get(rawURL string) ([]FetchResult, error) {
 	return chain, ErrTooManyHops
 }
 
-// fetchOne performs a single HTTP(S) request with no redirect chasing.
-func (c *Client) fetchOne(rawURL string) (*FetchResult, error) {
+// fetchOne performs a single HTTP(S) request with no redirect chasing,
+// filling out (which stays caller-owned so redirect chains can keep the
+// hop records on the stack or in a grown slice).
+func (c *Client) fetchOne(rawURL string, out *FetchResult) error {
 	scheme, host, path, ok := splitURL(rawURL)
 	if !ok {
 		// General shapes (ports, userinfo, query, escapes) take the
 		// full parser.
 		u, err := url.Parse(rawURL)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %q: %v", ErrBadURL, rawURL, err)
+			return fmt.Errorf("%w: %q: %v", ErrBadURL, rawURL, err)
 		}
 		scheme, host, path = u.Scheme, u.Hostname(), u.Path
 	}
@@ -152,60 +265,103 @@ func (c *Client) fetchOne(rawURL string) (*FetchResult, error) {
 		path = "/"
 	}
 	var addr netip.Addr
-	if ip, perr := netip.ParseAddr(host); perr == nil {
+	if !looksLikeIP(host) {
+		// Hostnames never look like address literals, so skip the
+		// ParseAddr attempt (whose error return allocates) entirely.
+		var err error
+		addr, err = c.Resolve(host, false)
+		if err != nil {
+			return err
+		}
+	} else if ip, perr := netip.ParseAddr(host); perr == nil {
 		addr = ip
 	} else {
 		var err error
 		addr, err = c.Resolve(host, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	req := NewRequest("GET", host, path)
-	c.reqBuf = req.AppendEncode(c.reqBuf[:0])
+	c.reqBuf = appendGET(c.reqBuf[:0], host, path)
+	out.URL = rawURL
 	switch scheme {
 	case "http":
 		raw, err := c.Stack.ExchangeTCP(addr, 80, c.reqBuf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if raw == nil {
-			return nil, fmt.Errorf("fetching %q: %w", rawURL, ErrEmptyResponse)
+			return c.errWrapURL(true, rawURL, ErrEmptyResponse)
 		}
 		resp, err := ParseResponse(raw)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return &FetchResult{URL: rawURL, Response: resp}, nil
+		out.Response = resp
+		return nil
 	case "https":
-		hello := tlssim.EncodeClientHello(host, c.reqBuf)
-		raw, err := c.Stack.ExchangeTCP(addr, 443, hello)
+		c.helloBuf = tlssim.AppendClientHello(c.helloBuf[:0], host, c.reqBuf)
+		raw, err := c.Stack.ExchangeTCP(addr, 443, c.helloBuf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if raw == nil {
-			return nil, fmt.Errorf("fetching %q: %w", rawURL, ErrEmptyResponse)
+			return c.errWrapURL(true, rawURL, ErrEmptyResponse)
 		}
-		cert, inner, err := tlssim.ParseServerHello(raw)
+		cert, inner, err := c.Certs.ParseServerHello(raw)
 		if errors.Is(err, tlssim.ErrDowngraded) {
 			// Cleartext where TLS was expected: surface, don't fail.
 			resp, perr := ParseResponse(raw)
 			if perr != nil {
-				return nil, err
+				return err
 			}
-			return &FetchResult{URL: rawURL, Response: resp, Downgraded: true}, nil
+			out.Response, out.Downgraded = resp, true
+			return nil
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 		resp, err := ParseResponse(inner)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return &FetchResult{URL: rawURL, Response: resp, Cert: cert, TLS: true}, nil
+		out.Response, out.Cert, out.TLS = resp, cert, true
+		return nil
 	default:
-		return nil, fmt.Errorf("%w: %q", ErrNotHTTPishPort, scheme)
+		return fmt.Errorf("%w: %q", ErrNotHTTPishPort, scheme)
 	}
+}
+
+// looksLikeIP reports whether host could be an IP literal: anything
+// with a colon (every IPv6 form) or made purely of digits and dots
+// (every IPv4 form). It may claim non-addresses look like IPs — those
+// still go through ParseAddr — but it never misses a real literal, so
+// hostnames skip the parser's allocation-heavy error path.
+func looksLikeIP(host string) bool {
+	if strings.IndexByte(host, ':') >= 0 {
+		return true
+	}
+	for i := 0; i < len(host); i++ {
+		if c := host[i]; (c < '0' || c > '9') && c != '.' {
+			return false
+		}
+	}
+	return len(host) > 0
+}
+
+// appendGET serializes the standard measurement GET request onto dst:
+// byte-identical to NewRequest("GET", host, path).AppendEncode(dst),
+// without materializing the Request and its header slice.
+func appendGET(dst []byte, host, path string) []byte {
+	dst = append(dst, "GET "...)
+	dst = append(dst, path...)
+	dst = append(dst, " HTTP/1.1\r\nHost: "...)
+	dst = append(dst, host...)
+	dst = append(dst, "\r\nuser-agent: vpnscope/1.0 (measurement; +https://vpnscope.test)\r\n"...)
+	dst = append(dst, "Accept: */*\r\n"...)
+	dst = append(dst, "X-VPNScope-Canary: qJx7-canary-ordered\r\n"...)
+	dst = append(dst, "accept-language: en-US,en;q=0.9\r\n\r\n"...)
+	return dst
 }
 
 // splitURL splits a plain absolute http(s) URL of the shape every
@@ -234,6 +390,20 @@ func splitURL(raw string) (scheme, host, path string, ok bool) {
 // resolveRef resolves a possibly relative redirect Location against the
 // current URL.
 func resolveRef(base, ref string) (string, error) {
+	// Fast paths for the two shapes the simulated web emits: an
+	// absolute http(s) Location (returned verbatim — resolution is the
+	// identity for absolute refs) and a root-relative path against a
+	// plain absolute base. Both are gated on splitURL's conservative
+	// shape check so anything unusual still takes net/url.
+	if _, _, path, ok := splitURL(ref); ok && plainURLPath(path) {
+		if _, _, _, ok := splitURL(base); ok {
+			return ref, nil
+		}
+	} else if len(ref) > 1 && ref[0] == '/' && ref[1] != '/' && plainURLPath(ref) {
+		if scheme, host, _, ok := splitURL(base); ok {
+			return scheme + "://" + host + ref, nil
+		}
+	}
 	b, err := url.Parse(base)
 	if err != nil {
 		return "", fmt.Errorf("%w: %q", ErrBadURL, base)
@@ -243,6 +413,26 @@ func resolveRef(base, ref string) (string, error) {
 		return "", fmt.Errorf("%w: %q", ErrBadURL, ref)
 	}
 	return b.ResolveReference(r).String(), nil
+}
+
+// plainURLPath reports whether path survives net/url's parse→String
+// round trip unchanged: only bytes String never escapes, and no dot
+// segments for ResolveReference to remove. (Every "." or ".." segment
+// in a rooted path starts with "/.", so one substring check covers
+// them all.)
+func plainURLPath(path string) bool {
+	for i := 0; i < len(path); i++ {
+		c := path[i]
+		switch {
+		case 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9':
+		case c == '-' || c == '.' || c == '_' || c == '~' || c == '/':
+		case c == '!' || c == '$' || c == '&' || c == '\'' || c == '(' || c == ')':
+		case c == '*' || c == '+' || c == ',' || c == ';' || c == '=' || c == ':' || c == '@':
+		default:
+			return false
+		}
+	}
+	return !strings.Contains(path, "/.")
 }
 
 // LoadPage fetches a page and all subresources its DOM references,

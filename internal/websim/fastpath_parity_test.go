@@ -1,0 +1,210 @@
+package websim
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// The client's hot paths replace fmt/net-url/codec machinery with
+// hand-rolled equivalents. These tests pin each one to the original,
+// byte for byte, because the rendered strings land in result records
+// and are part of the campaign's determinism contract.
+
+func TestErrResolveViaMatchesFmt(t *testing.T) {
+	c := &Client{}
+	cause := errors.New("netsim: timeout: 10.0.0.1")
+	for _, host := range []string{"api.example.com", "weird host\"", "ünïcode.example"} {
+		for _, server := range []netip.Addr{
+			netip.MustParseAddr("9.9.9.9"),
+			netip.MustParseAddr("2001:db8::53"),
+		} {
+			want := fmt.Errorf("resolving %q via %v: %w", host, server, cause)
+			got := c.errResolveVia(host, server, cause)
+			if got.Error() != want.Error() {
+				t.Errorf("errResolveVia(%q, %v) = %q, want %q", host, server, got, want)
+			}
+			if !errors.Is(got, cause) {
+				t.Errorf("errResolveVia(%q, %v) does not unwrap to cause", host, server)
+			}
+		}
+	}
+	// Memoized: same key returns the identical error value.
+	server := netip.MustParseAddr("9.9.9.9")
+	if c.errResolveVia("h.example", server, cause) != c.errResolveVia("h.example", server, cause) {
+		t.Error("errResolveVia did not memoize an identical key")
+	}
+}
+
+func TestErrNXDomainMatchesFmt(t *testing.T) {
+	c := &Client{}
+	for _, tc := range []struct {
+		host  string
+		rcode int
+	}{{"gone.example", 3}, {"srvfail.example", 2}, {"quo\"te.example", 3}} {
+		want := fmt.Errorf("%w: %q (rcode %d)", ErrNXDomain, tc.host, tc.rcode)
+		got := c.errNXDomain(tc.host, tc.rcode)
+		if got.Error() != want.Error() {
+			t.Errorf("errNXDomain(%q, %d) = %q, want %q", tc.host, tc.rcode, got, want)
+		}
+		if !errors.Is(got, ErrNXDomain) {
+			t.Errorf("errNXDomain(%q, %d) does not unwrap to ErrNXDomain", tc.host, tc.rcode)
+		}
+	}
+}
+
+func TestErrWrapURLMatchesFmt(t *testing.T) {
+	c := &Client{}
+	cause := ErrEmptyResponse
+	wantF := fmt.Errorf("fetching %q: %w", "http://a.example/x", cause)
+	if got := c.errWrapURL(true, "http://a.example/x", cause); got.Error() != wantF.Error() {
+		t.Errorf("errWrapURL(fetching) = %q, want %q", got, wantF)
+	}
+	wantR := fmt.Errorf("resolving %q: %w", "a.example", cause)
+	if got := c.errWrapURL(false, "a.example", cause); got.Error() != wantR.Error() {
+		t.Errorf("errWrapURL(resolving) = %q, want %q", got, wantR)
+	}
+	if !errors.Is(c.errWrapURL(true, "u", cause), ErrEmptyResponse) {
+		t.Error("errWrapURL does not unwrap to its cause")
+	}
+}
+
+func TestAppendGETMatchesRequestEncode(t *testing.T) {
+	for _, tc := range []struct{ host, path string }{
+		{"site.example", "/"},
+		{"cdn.site.example", "/assets/app.js"},
+		{"10.1.2.3", "/ip"},
+	} {
+		want := NewRequest("GET", tc.host, tc.path).Encode()
+		got := appendGET(nil, tc.host, tc.path)
+		if string(got) != string(want) {
+			t.Errorf("appendGET(%q, %q) =\n%q\nwant\n%q", tc.host, tc.path, got, want)
+		}
+	}
+}
+
+func TestLooksLikeIPNeverMissesALiteral(t *testing.T) {
+	for _, lit := range []string{
+		"1.2.3.4", "255.255.255.255", "0.0.0.0",
+		"::1", "2001:db8::1", "fe80::1%eth0", "::ffff:10.0.0.1",
+	} {
+		if _, err := netip.ParseAddr(lit); err != nil {
+			t.Fatalf("test literal %q does not parse", lit)
+		}
+		if !looksLikeIP(lit) {
+			t.Errorf("looksLikeIP(%q) = false for a valid address literal", lit)
+		}
+	}
+	for _, host := range []string{"site.example", "a-b.example", "localhost", ""} {
+		if looksLikeIP(host) {
+			t.Errorf("looksLikeIP(%q) = true; hostname should skip ParseAddr", host)
+		}
+	}
+}
+
+func TestRequestHostMatchesParseRequest(t *testing.T) {
+	cases := [][]byte{
+		NewRequest("GET", "site.example", "/").Encode(),
+		NewRequest("POST", "other.example", "/submit").Encode(),
+		[]byte("GET / HTTP/1.1\r\n\r\n"),                                       // no Host at all
+		[]byte("GET / HTTP/1.1\r\nHOST: caps.example\r\n\r\n"),                 // case-folded name
+		[]byte("GET / HTTP/1.1\r\nHost:   padded.example  \r\n\r\n"),           // trimmed value
+		[]byte("GET / HTTP/1.1\r\nHost: a.example\r\nHost: b.example\r\n\r\n"), // first wins
+		[]byte("GET / HTTP/1.1\r\nHost: a.example\r\nbroken line\r\n\r\n"),     // bad header after Host
+		[]byte("GET /nospace\r\nHost: a.example\r\n\r\n"),                      // bad request line
+		[]byte("GET / SPDY/3\r\nHost: a.example\r\n\r\n"),                      // wrong protocol
+		[]byte("no terminator"),
+		[]byte("GET / HTTP/1.1\r\nHost : spaced-name.example\r\n\r\n"), // name with trailing space
+	}
+	for _, wire := range cases {
+		wantHost, wantOK := "", false
+		if req, err := ParseRequest(wire); err == nil {
+			wantHost, wantOK = req.Host(), true
+		}
+		gotHost, gotOK := RequestHost(wire)
+		if gotHost != wantHost || gotOK != wantOK {
+			t.Errorf("RequestHost(%q) = (%q, %v), want (%q, %v)", wire, gotHost, gotOK, wantHost, wantOK)
+		}
+	}
+}
+
+func TestResolveRefFastPathMatchesNetURL(t *testing.T) {
+	slow := func(base, ref string) (string, error) {
+		b, err := url.Parse(base)
+		if err != nil {
+			return "", err
+		}
+		r, err := url.Parse(ref)
+		if err != nil {
+			return "", err
+		}
+		return b.ResolveReference(r).String(), nil
+	}
+	bases := []string{
+		"http://site.example/",
+		"https://site.example/deep/page",
+		"http://site.example",
+	}
+	refs := []string{
+		"http://other.example/landing",
+		"https://cdn.example/a/b.js",
+		"/",
+		"/login",
+		"/a/b/c",
+		"/a:b",
+		"relative/path",
+		"../up",
+		"/dot/./seg",
+		"/trail/..",
+		"/query?x=1",
+		"//protocol-relative.example/x",
+		"http://abs.example/with/../dots",
+	}
+	for _, base := range bases {
+		for _, ref := range refs {
+			want, werr := slow(base, ref)
+			got, gerr := resolveRef(base, ref)
+			if (werr == nil) != (gerr == nil) {
+				t.Errorf("resolveRef(%q, %q) err = %v, slow err = %v", base, ref, gerr, werr)
+				continue
+			}
+			if werr == nil && got != want {
+				t.Errorf("resolveRef(%q, %q) = %q, want %q", base, ref, got, want)
+			}
+		}
+	}
+}
+
+func TestCanonicalHeaderNameMatchesSlowPath(t *testing.T) {
+	slow := func(name string) string {
+		parts := strings.Split(strings.TrimSpace(name), "-")
+		for i, p := range parts {
+			if p == "" {
+				continue
+			}
+			parts[i] = strings.ToUpper(p[:1]) + strings.ToLower(p[1:])
+		}
+		return strings.Join(parts, "-")
+	}
+	names := []string{
+		"Host", "host", "HOST", "user-agent", "User-Agent", "USER-AGENT",
+		"X-VPNScope-Canary", "x-vpnscope-canary", "accept-language",
+		"Content-Length", "a", "A", "-", "--", "a--b", "-leading", "trailing-",
+		"  padded  ", "1-numeric", "mixed CASE inner", "Ünïcode-Header",
+	}
+	for _, name := range names {
+		if got, want := canonicalHeaderName(name), slow(name); got != want {
+			t.Errorf("canonicalHeaderName(%q) = %q, want %q", name, got, want)
+		}
+	}
+	// Already-canonical names come back without reallocation.
+	in := "X-Already-Canonical"
+	if out := canonicalHeaderName(in); out != in {
+		t.Errorf("canonical input changed: %q -> %q", in, out)
+	}
+}
+
+var _ = strings.Compare // keep strings imported if cases shrink

@@ -129,23 +129,34 @@ func (r *Request) Encode() []byte { return r.AppendEncode(nil) }
 // ParseRequest decodes a request produced by Encode (or by a proxy's
 // regeneration of one).
 func ParseRequest(data []byte) (*Request, error) {
+	req := &Request{}
+	if err := ParseRequestInto(req, data); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// ParseRequestInto decodes data into req, reusing req.Headers capacity.
+// Acceptance, rejection, and error text match ParseRequest exactly;
+// servers that field one request at a time use it to keep a single
+// Request scratch alive across their whole lifetime.
+func ParseRequestInto(req *Request, data []byte) error {
 	head, body, err := splitHead(data)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrMalformedRequest, err)
+		return fmt.Errorf("%w: %v", ErrMalformedRequest, err)
 	}
 	line0, rest := cutLine(head)
 	method, after, _ := strings.Cut(line0, " ")
 	path, proto, ok := strings.Cut(after, " ")
 	if !ok || !strings.HasPrefix(proto, "HTTP/1.") {
-		return nil, fmt.Errorf("%w: bad request line %q", ErrMalformedRequest, line0)
+		return fmt.Errorf("%w: bad request line %q", ErrMalformedRequest, line0)
 	}
-	req := &Request{Method: method, Path: path, Body: body}
-	hs, err := parseHeaders(rest)
+	hs, err := parseHeadersInto(req.Headers[:0], rest)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrMalformedRequest, err)
+		return fmt.Errorf("%w: %v", ErrMalformedRequest, err)
 	}
-	req.Headers = hs
-	return req, nil
+	*req = Request{Method: method, Path: path, Headers: hs, Body: body}
+	return nil
 }
 
 // AppendEncode serializes the response onto dst and returns the
@@ -219,7 +230,17 @@ func cutLine(head string) (line, rest string) {
 }
 
 func parseHeaders(head string) ([]Header, error) {
-	out := make([]Header, 0, strings.Count(head, "\r\n")+1)
+	return parseHeadersInto(nil, head)
+}
+
+// parseHeadersInto appends parsed headers onto dst (pre-sizing it when
+// it has no capacity to reuse) and returns nil, not an empty slice, for
+// a headerless message — the historical parseHeaders contract.
+func parseHeadersInto(dst []Header, head string) ([]Header, error) {
+	if cap(dst) == 0 {
+		dst = make([]Header, 0, strings.Count(head, "\r\n")+1)
+	}
+	out := dst
 	for len(head) > 0 {
 		var line string
 		line, head = cutLine(head)
@@ -236,6 +257,73 @@ func parseHeaders(head string) ([]Header, error) {
 		return nil, nil
 	}
 	return out, nil
+}
+
+// RequestHost extracts the Host header from a wire-encoded request
+// without materializing the Request. ok mirrors ParseRequest returning
+// nil error — same header-terminator, request-line, and header-line
+// checks — and host mirrors Request.Host (empty when the header is
+// absent), so gates that only need the host (the censorship filter
+// inspects every forwarded TCP payload) keep their exact semantics
+// while skipping the full decode.
+func RequestHost(data []byte) (host string, ok bool) {
+	head, _, ok := bytes.Cut(data, []byte("\r\n\r\n"))
+	if !ok {
+		return "", false
+	}
+	// Request line: "<method> <path> HTTP/1.x".
+	line, rest := cutLineBytes(head)
+	i := bytes.IndexByte(line, ' ')
+	if i < 0 {
+		return "", false
+	}
+	j := bytes.IndexByte(line[i+1:], ' ')
+	if j < 0 || !bytes.HasPrefix(line[i+1+j+1:], []byte("HTTP/1.")) {
+		return "", false
+	}
+	found := false
+	for len(rest) > 0 {
+		line, rest = cutLineBytes(rest)
+		if len(line) == 0 {
+			continue
+		}
+		k := bytes.IndexByte(line, ':')
+		if k < 0 {
+			// ParseRequest fails the whole request on any bad header
+			// line, even after Host was seen.
+			return "", false
+		}
+		if !found && len(line[:k]) == len("Host") && asciiEqualFold(line[:k], "Host") {
+			host, found = string(bytes.TrimSpace(line[k+1:])), true
+		}
+	}
+	return host, true
+}
+
+// cutLineBytes is cutLine over the wire bytes.
+func cutLineBytes(head []byte) (line, rest []byte) {
+	if i := bytes.Index(head, []byte("\r\n")); i >= 0 {
+		return head[:i], head[i+2:]
+	}
+	return head, nil
+}
+
+// asciiEqualFold is strings.EqualFold for a byte slice vs an ASCII
+// string of the same length.
+func asciiEqualFold(b []byte, s string) bool {
+	for i := 0; i < len(s); i++ {
+		c, d := b[i], s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if 'A' <= d && d <= 'Z' {
+			d += 'a' - 'A'
+		}
+		if c != d {
+			return false
+		}
+	}
+	return true
 }
 
 func defaultReason(status int) string {

@@ -13,13 +13,13 @@ import (
 // "modified existing headers in ways consistent with parsing and
 // subsequent regeneration" signature (§6.2.1).
 func RegenerateHeaders(raw []byte) []byte {
-	req, err := ParseRequest(raw)
-	if err != nil {
+	var req Request
+	if err := ParseRequestInto(&req, raw); err != nil {
 		return raw // not HTTP; pass through untouched
 	}
-	regen := &Request{Method: req.Method, Path: req.Path, Body: req.Body}
+	regen := Request{Method: req.Method, Path: req.Path, Body: req.Body}
 	var host *Header
-	var rest []Header
+	rest := make([]Header, 0, len(req.Headers))
 	for _, h := range req.Headers {
 		ch := Header{Name: canonicalHeaderName(h.Name), Value: strings.TrimSpace(h.Value)}
 		if strings.EqualFold(ch.Name, "Host") && host == nil {
@@ -39,9 +39,59 @@ func RegenerateHeaders(raw []byte) []byte {
 }
 
 // canonicalHeaderName converts a header name to HTTP canonical form
-// (Title-Case per dash-separated token).
+// (Title-Case per dash-separated token). The ASCII fast path costs at
+// most one allocation (none when the name is already canonical) and
+// produces byte-identical output to the historical
+// Split/ToUpper/ToLower/Join construction, which remains as the
+// fallback for non-ASCII names.
 func canonicalHeaderName(name string) string {
-	parts := strings.Split(strings.TrimSpace(name), "-")
+	trimmed := strings.TrimSpace(name)
+	canonical := true
+	tokenStart := true
+	for i := 0; i < len(trimmed); i++ {
+		c := trimmed[i]
+		if c >= 0x80 {
+			return canonicalHeaderNameSlow(trimmed)
+		}
+		switch {
+		case c == '-':
+			tokenStart = true
+			continue
+		case tokenStart && 'a' <= c && c <= 'z':
+			canonical = false
+		case !tokenStart && 'A' <= c && c <= 'Z':
+			canonical = false
+		}
+		tokenStart = false
+	}
+	if canonical {
+		return trimmed
+	}
+	var b strings.Builder
+	b.Grow(len(trimmed))
+	tokenStart = true
+	for i := 0; i < len(trimmed); i++ {
+		c := trimmed[i]
+		switch {
+		case c == '-':
+			tokenStart = true
+		case tokenStart:
+			if 'a' <= c && c <= 'z' {
+				c -= 'a' - 'A'
+			}
+			tokenStart = false
+		default:
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+func canonicalHeaderNameSlow(trimmed string) string {
+	parts := strings.Split(trimmed, "-")
 	for i, p := range parts {
 		if p == "" {
 			continue

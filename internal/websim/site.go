@@ -54,8 +54,14 @@ type Site struct {
 	dom      string
 	domBody  []byte
 	jsBodies map[string][]byte
+	req      Request
 	resp     Response
 	encBuf   []byte
+	tlsBuf   []byte
+	// redirects caches the encoded HTTPS-upgrade redirect per request
+	// path; a campaign fetches the same handful of paths from a site
+	// thousands of times.
+	redirects map[string][]byte
 }
 
 // Static response furniture shared by every site; never mutated.
@@ -136,37 +142,54 @@ func (s *Site) encode(resp *Response) []byte {
 func (s *Site) Install(host *netsim.Host) {
 	s.Host = host
 	host.HandleTCP(80, func(_ netip.Addr, _ uint16, payload []byte) []byte {
-		req, err := ParseRequest(payload)
-		if err != nil {
+		if err := ParseRequestInto(&s.req, payload); err != nil {
 			return (&Response{Status: 400, Body: []byte(err.Error())}).Encode()
 		}
 		if !s.NoHTTPSUpgrade {
-			return s.encode(Redirect("https://" + s.HostName + req.Path))
+			return s.upgradeRedirect(s.req.Path)
 		}
-		return s.encode(s.serve(req))
+		return s.encode(s.serve(&s.req))
 	})
 	host.HandleTCP(443, func(_ netip.Addr, _ uint16, payload []byte) []byte {
-		sni, inner, err := tlssim.ParseClientHello(payload)
+		// The simulated listener never branches on SNI, so skip
+		// extracting it.
+		inner, err := tlssim.ClientHelloInner(payload)
 		if err != nil {
 			return nil // not TLS: silently dropped, like a real listener
 		}
-		_ = sni
-		req, err := ParseRequest(inner)
-		if err != nil {
-			return tlsFrame(s.Cert, (&Response{Status: 400}).Encode())
+		if err := ParseRequestInto(&s.req, inner); err != nil {
+			return s.tlsFrame((&Response{Status: 400}).Encode())
 		}
-		return tlsFrame(s.Cert, s.encode(s.serve(req)))
+		return s.tlsFrame(s.encode(s.serve(&s.req)))
 	})
 }
 
-// tlsFrame wraps a response in a server hello; an encoding failure
-// drops the response (the client records an unreachable host) rather
-// than killing the handler.
-func tlsFrame(cert tlssim.Certificate, inner []byte) []byte {
-	framed, err := tlssim.EncodeServerHello(cert, inner)
+// upgradeRedirect returns the encoded HTTPS-upgrade redirect for path,
+// cached after the first request for it.
+func (s *Site) upgradeRedirect(path string) []byte {
+	if wire, ok := s.redirects[path]; ok {
+		return wire
+	}
+	wire := Redirect("https://" + s.HostName + path).Encode()
+	if s.redirects == nil {
+		s.redirects = make(map[string][]byte, 8)
+	}
+	if len(s.redirects) < 64 {
+		s.redirects[path] = wire
+	}
+	return wire
+}
+
+// tlsFrame wraps a response in a server hello using the site's reusable
+// frame buffer (same one-exchange-at-a-time contract as encode); an
+// encoding failure drops the response (the client records an
+// unreachable host) rather than killing the handler.
+func (s *Site) tlsFrame(inner []byte) []byte {
+	framed, err := tlssim.AppendServerHello(s.tlsBuf[:0], s.Cert, inner)
 	if err != nil {
 		return nil
 	}
+	s.tlsBuf = framed
 	return framed
 }
 

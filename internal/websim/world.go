@@ -261,33 +261,35 @@ func BuildWeb(n *netsim.Network, dir *dnssim.Directory, ca *tlssim.CA, seed uint
 	return w, nil
 }
 
+// forbiddenWire is the encoded bare-403 every hostile handler returns;
+// never mutated (netsim copies handler payloads before reuse).
+var forbiddenWire = Forbidden().Encode()
+
 // installHostility rewraps a site's handlers so requests from known VPN
 // ranges receive a bare 403 (HTTP) or a certificate-then-403 (HTTPS).
 func (w *Web) installHostility(site *Site) {
 	host := site.Host
 	host.HandleTCP(80, func(src netip.Addr, _ uint16, payload []byte) []byte {
 		if w.isVPNAddr(src) {
-			return Forbidden().Encode()
+			return forbiddenWire
 		}
-		req, err := ParseRequest(payload)
-		if err != nil {
+		if err := ParseRequestInto(&site.req, payload); err != nil {
 			return (&Response{Status: 400}).Encode()
 		}
-		return site.encode(Redirect("https://" + site.HostName + req.Path))
+		return site.upgradeRedirect(site.req.Path)
 	})
 	host.HandleTCP(443, func(src netip.Addr, _ uint16, payload []byte) []byte {
-		_, inner, err := tlssim.ParseClientHello(payload)
+		inner, err := tlssim.ClientHelloInner(payload)
 		if err != nil {
 			return nil
 		}
 		if w.isVPNAddr(src) {
-			return tlsFrame(site.Cert, Forbidden().Encode())
+			return site.tlsFrame(forbiddenWire)
 		}
-		req, err := ParseRequest(inner)
-		if err != nil {
-			return tlsFrame(site.Cert, (&Response{Status: 400}).Encode())
+		if err := ParseRequestInto(&site.req, inner); err != nil {
+			return site.tlsFrame((&Response{Status: 400}).Encode())
 		}
-		return tlsFrame(site.Cert, site.encode(site.serve(req)))
+		return site.tlsFrame(site.encode(site.serve(&site.req)))
 	})
 }
 
@@ -338,19 +340,25 @@ func buildBlockPages(n *netsim.Network, dir *dnssim.Directory) error {
 				Headers: []Header{{"Content-Type", "text/html"}},
 				Body:    []byte("<html><body><h1>Access to this resource is restricted by national regulation.</h1></body></html>"),
 			}
-			serve := func(_ netip.Addr, _ uint16, _ []byte) []byte { return notice.Encode() }
-			host.HandleTCP(80, serve)
+			// The notice never changes, so encode it (and its TLS
+			// framing) once at world build instead of per request.
+			noticeWire := notice.Encode()
+			host.HandleTCP(80, func(_ netip.Addr, _ uint16, _ []byte) []byte { return noticeWire })
 			if scheme == "https" {
 				// The NL ziggo.nl destination is HTTPS; serve a
 				// self-signed-style cert (clients don't validate block
 				// pages in the study).
 				ca := tlssim.NewCA(hostname+" self-signed", 1)
 				cert := ca.Issue(hostname)
+				framedNotice, ferr := tlssim.EncodeServerHello(cert, noticeWire)
+				if ferr != nil {
+					return ferr
+				}
 				host.HandleTCP(443, func(_ netip.Addr, _ uint16, payload []byte) []byte {
-					if _, _, err := tlssim.ParseClientHello(payload); err != nil {
+					if _, err := tlssim.ClientHelloInner(payload); err != nil {
 						return nil
 					}
-					return tlsFrame(cert, notice.Encode())
+					return framedNotice
 				})
 			}
 		}

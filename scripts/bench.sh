@@ -2,14 +2,31 @@
 # bench.sh — run the campaign Study benchmarks and append the numbers
 # to the BENCH trajectory file (see README.md, "Profiling and
 # benchmarks"). One full-study iteration takes a few seconds; the
-# scaling sweep repeats the campaign at workers ∈ {1,2,4,8}.
+# scaling sweep repeats the campaign at workers ∈ {1,2,4,8,16}.
 #
-#   BENCH_OUT   trajectory file (default BENCH_7.json)
+#   BENCH_OUT   trajectory file (default: next unused BENCH_<n>.json)
 #   BENCH_LABEL label for this run (default: short git hash, or "local")
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${BENCH_OUT:-BENCH_7.json}"
+# Default output: one past the highest existing BENCH_<n>.json, so each
+# `make bench` run starts a fresh trajectory for `make benchcheck` to
+# compare against the previous one.
+if [ -n "${BENCH_OUT:-}" ]; then
+    out="$BENCH_OUT"
+else
+    next=0
+    for f in BENCH_*.json; do
+        [ -e "$f" ] || continue
+        n=${f#BENCH_}
+        n=${n%.json}
+        case $n in
+            *[!0-9]*) continue ;;
+        esac
+        [ "$n" -ge "$next" ] && next=$((n + 1))
+    done
+    out="BENCH_${next}.json"
+fi
 label="${BENCH_LABEL:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}"
 
 go test -bench 'BenchmarkFullStudy$|BenchmarkStudySequential$|BenchmarkStudyParallelScaling/' \
@@ -17,14 +34,22 @@ go test -bench 'BenchmarkFullStudy$|BenchmarkStudySequential$|BenchmarkStudyPara
     go run ./cmd/benchtrend -out "$out" -label "$label"
 
 # Observability tax: the same campaign with the telemetry sink off vs
-# on, plus the raw record path (its zero-alloc gate lives inside the
-# benchmark and fails the run if an instrumentation site regresses).
-# Cheap enough to repeat: -benchtime 3x -count 3 with best-of recording
-# — BENCH_6 recorded telemetry *on* as faster than *off* because single
-# 1x iterations on a shared host swing tens of percent run to run, and
-# the minimum across repeats is the stablest estimator of true cost.
-go test -bench 'BenchmarkTelemetryOverhead/' \
+# on. Cheap enough to repeat: -benchtime 3x -count 3 with best-of
+# recording — BENCH_6 recorded telemetry *on* as faster than *off*
+# because single 1x iterations on a shared host swing tens of percent
+# run to run, and the minimum across repeats is the stablest estimator
+# of true cost.
+go test -bench 'BenchmarkTelemetryOverhead/(off|on)$' \
     -benchtime 3x -count 3 -benchmem -run '^$' . |
+    go run ./cmd/benchtrend -best -out "$out" -label "$label"
+
+# The raw record path (its zero-alloc gate lives inside the benchmark
+# and fails the run if an instrumentation site regresses) is a ~200ns
+# micro-op: it needs thousands of iterations per sample, not the 3x the
+# campaign benchmarks above use, or scheduler jitter dominates and the
+# trend gate trips on noise.
+go test -bench 'BenchmarkTelemetryOverhead/record$' \
+    -benchtime 20000x -count 3 -benchmem -run '^$' . |
     go run ./cmd/benchtrend -best -out "$out" -label "$label"
 
 # Checkpoint-merge cost (the allocs-per-outcome gate lives inside the
