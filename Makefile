@@ -14,7 +14,8 @@ race:
 # tier1 is the full verification gate: build, vet, tests, race subset
 # (the study wildcard covers internal/study/slotsched and the sharded
 # outcome log in internal/results/shardlog), the telemetry sink race
-# suite, the daemon race suite (admission, drain, kill -9 chaos), study
+# suite, the flight-recorder ring race suite, the daemon race suite
+# (admission, drain, kill -9 chaos, panic/stall flight dumps), study
 # bench smoke, the alloc-gated fast-path, prototype-patch,
 # checkpoint-merge, and shard-log benches, and the poisoned-arena
 # prototype retention suite.
@@ -23,6 +24,7 @@ tier1: build
 	go test ./...
 	$(MAKE) race
 	go test -race ./internal/telemetry/...
+	go test -race ./internal/flightrec/...
 	go test -race ./internal/server/...
 	go test -bench Study -benchtime 1x -run '^$$' .
 	go test -bench 'Exchange|BuildPacket|Deliver|PrototypePatch' -benchtime 1x -run '^$$' ./internal/netsim
@@ -42,7 +44,9 @@ benchcheck:
 	go run ./cmd/benchtrend -check
 
 # loadtest drives a real vpnscoped daemon with concurrent clients and
-# reports campaigns/sec and p99 time-to-first-result (override with
-# LOADTEST_CAMPAIGNS / LOADTEST_CLIENTS).
+# reports campaigns/sec, p99 time-to-first-result, and the daemon's
+# own queue-depth / slot-wall-p99 gauges scraped from
+# /metricsz?format=prom (override with LOADTEST_CAMPAIGNS /
+# LOADTEST_CLIENTS).
 loadtest:
 	sh scripts/loadtest.sh

@@ -15,6 +15,7 @@ import (
 	"vpnscope/internal/analysis"
 	"vpnscope/internal/ecosystem"
 	"vpnscope/internal/faultsim"
+	"vpnscope/internal/flightrec"
 	"vpnscope/internal/netsim"
 	"vpnscope/internal/ovpnconf"
 	"vpnscope/internal/report"
@@ -504,6 +505,26 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			record()
+		}
+	})
+	// The flight recorder rides the same hot seams as the telemetry
+	// sink, so it answers to the same ceiling: zero allocations per
+	// record — whether a ring is attached or the site is inert (nil).
+	b.Run("flightrec-record", func(b *testing.B) {
+		ring := flightrec.NewRing(flightrec.DefaultEvents)
+		ev := flightrec.Event{Kind: flightrec.SlotFinish, Worker: 1, Slot: 3,
+			Provider: "p", VP: "vp", Detail: "measured", V1: int64(time.Millisecond), V2: 2}
+		if allocs := testing.AllocsPerRun(100, func() { ring.Record(ev) }); allocs > 0 {
+			b.Fatalf("flightrec record allocates %.1f objects per op, ceiling is 0", allocs)
+		}
+		var nilRing *flightrec.Ring
+		if allocs := testing.AllocsPerRun(100, func() { nilRing.Record(ev) }); allocs > 0 {
+			b.Fatalf("nil-ring record allocates %.1f objects per op, ceiling is 0", allocs)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ring.Record(ev)
 		}
 	})
 }

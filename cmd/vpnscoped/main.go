@@ -9,14 +9,22 @@
 //
 //	vpnscoped -state DIR [-addr HOST:PORT] [-queue N] [-fleet N]
 //	          [-tenant-quota N] [-drain-grace DUR] [-retry-after DUR]
-//	          [-metrics]
+//	          [-metrics] [-flightrec-events N] [-watchdog-interval DUR]
+//	          [-stall-multiple F] [-stall-floor DUR]
 //	vpnscoped -oneshot SPEC.json [-out FILE]
 //
-// Endpoints: POST/GET /campaigns, GET /campaigns/{id}[/result|/events],
-// DELETE /campaigns/{id}, /healthz, /readyz, /metricsz. SIGINT/SIGTERM
+// Endpoints: POST/GET /campaigns, GET /campaigns/{id}[/result|/events|
+// /metricsz], DELETE /campaigns/{id}, /healthz, /readyz, /metricsz
+// (?format=prom for Prometheus text), /debugz/flightrec. SIGINT/SIGTERM
 // drain gracefully: admission closes (503), running campaigns finish or
 // checkpoint, and the process exits 0. See README "Campaign-as-a-
 // service" for a curl walkthrough.
+//
+// Every campaign (and the daemon itself) carries a bounded flight
+// recorder; on panic, terminal failure, drain interrupt, or a stall
+// watchdog fire, its last -flightrec-events events land as NDJSON in
+// the state dir next to the checkpoints. See README "Flight recorder
+// and watchdog".
 package main
 
 import (
@@ -45,6 +53,10 @@ func main() {
 	drainGrace := flag.Duration("drain-grace", 2*time.Second, "how long a drain lets campaigns finish before checkpointing them")
 	retryAfter := flag.Duration("retry-after", 2*time.Second, "Retry-After hint on backpressure responses")
 	metrics := flag.Bool("metrics", false, "enable the telemetry sink backing /metricsz")
+	flightEvents := flag.Int("flightrec-events", 0, "flight-recorder ring size in events per campaign (0 = default 4096, negative disables recorder and watchdog)")
+	watchdogInterval := flag.Duration("watchdog-interval", time.Second, "stall-watchdog sweep period (negative disables the watchdog)")
+	stallMultiple := flag.Float64("stall-multiple", 8, "slot-stall threshold as a multiple of the campaign's rolling p99 slot time")
+	stallFloor := flag.Duration("stall-floor", 30*time.Second, "minimum stall threshold; also the committer-staleness and drain-overrun margin")
 	oneshot := flag.String("oneshot", "", "run a campaign spec file synchronously (no daemon) and exit")
 	out := flag.String("out", "", "with -oneshot: write the result envelope to this file (default stdout)")
 	flag.Parse()
@@ -64,13 +76,17 @@ func main() {
 	}
 	err := server.Serve(server.ServeConfig{
 		Config: server.Config{
-			StateDir:     *state,
-			QueueBound:   *queue,
-			FleetWorkers: *fleet,
-			MaxPerTenant: *tenantQuota,
-			DrainGrace:   *drainGrace,
-			RetryAfter:   *retryAfter,
-			Logf:         log.Printf,
+			StateDir:         *state,
+			QueueBound:       *queue,
+			FleetWorkers:     *fleet,
+			MaxPerTenant:     *tenantQuota,
+			DrainGrace:       *drainGrace,
+			RetryAfter:       *retryAfter,
+			FlightEvents:     *flightEvents,
+			WatchdogInterval: *watchdogInterval,
+			StallMultiple:    *stallMultiple,
+			StallFloor:       *stallFloor,
+			Logf:             log.Printf,
 		},
 		Addr: *addr,
 	})

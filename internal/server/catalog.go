@@ -110,6 +110,7 @@ func (d *Daemon) finishCanceledOrFail(ctx context.Context, c *campaign, month in
 	switch {
 	case errors.Is(cause, errDraining):
 		c.setState(StateInterrupted, "draining: shard log durable for resume")
+		d.dumpFlight(c.flight, c.id, "drain", nil)
 		d.cfg.Logf("campaign %s: interrupted by drain during month %d audit", c.id, month)
 	case errors.Is(cause, errClientCanceled):
 		d.failCampaign(c, "canceled by client")
@@ -158,6 +159,7 @@ func (d *Daemon) runCatalogMonth(ctx context.Context, c *campaign, need, month i
 			QuarantineAfter: c.spec.QuarantineAfter,
 			Parallel:        need,
 			Ctx:             ctx,
+			Flight:          c.flight,
 		}
 		reports, failures := 0, 0
 		if resumed > 0 {

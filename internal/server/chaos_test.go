@@ -20,32 +20,80 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	"vpnscope/internal/study"
 )
 
 // TestChaosDaemonProcess is the subprocess half of the chaos tests: it
 // runs the full Serve lifecycle (recover, schedule, HTTP, signal-drain)
 // and is killed or SIGTERMed by the parent. It skips unless the parent
 // set the state-dir env var.
+//
+// Optional chaos knobs, all env-driven so the parent controls them
+// across the exec boundary:
+//
+//	VPNSCOPED_CHAOS_SLOT_HOOK=panic:<seed>:<slot>  panic mid-measurement
+//	VPNSCOPED_CHAOS_SLOT_HOOK=stall:<seed>:<slot>  wedge the worker forever
+//	VPNSCOPED_CHAOS_WATCHDOG_INTERVAL=<dur>        fast watchdog sweeps
+//	VPNSCOPED_CHAOS_STALL_FLOOR=<dur>              low stall threshold
 func TestChaosDaemonProcess(t *testing.T) {
 	stateDir := os.Getenv("VPNSCOPED_CHAOS_STATE")
 	if stateDir == "" {
 		t.Skip("chaos subprocess helper; driven by the other TestChaos* tests")
 	}
-	logger := log.New(os.Stderr, "[vpnscoped] ", 0)
+	if hook := os.Getenv("VPNSCOPED_CHAOS_SLOT_HOOK"); hook != "" {
+		parts := strings.Split(hook, ":")
+		if len(parts) != 3 {
+			t.Fatalf("bad VPNSCOPED_CHAOS_SLOT_HOOK %q", hook)
+		}
+		mode := parts[0]
+		seed, err1 := strconv.ParseUint(parts[1], 10, 64)
+		slot, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad VPNSCOPED_CHAOS_SLOT_HOOK %q", hook)
+		}
+		study.SlotHook = func(s uint64, order int) {
+			if s != seed || order != slot {
+				return
+			}
+			switch mode {
+			case "panic":
+				panic(fmt.Sprintf("chaos: injected panic at seed %d slot %d", s, order))
+			case "stall":
+				select {} // wedge this worker until the parent kills us
+			}
+		}
+	}
+	cfg := Config{
+		StateDir:     stateDir,
+		FleetWorkers: 2,
+		QueueBound:   16,
+		Logf:         log.New(os.Stderr, "[vpnscoped] ", 0).Printf,
+	}
+	if s := os.Getenv("VPNSCOPED_CHAOS_WATCHDOG_INTERVAL"); s != "" {
+		iv, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.WatchdogInterval = iv
+	}
+	if s := os.Getenv("VPNSCOPED_CHAOS_STALL_FLOOR"); s != "" {
+		fl, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.StallFloor = fl
+	}
 	err := Serve(ServeConfig{
-		Config: Config{
-			StateDir:     stateDir,
-			FleetWorkers: 2,
-			QueueBound:   16,
-			Logf:         logger.Printf,
-		},
-		Addr:  "127.0.0.1:0",
-		Ready: func(addr string) { fmt.Printf("DAEMON_READY %s\n", addr) },
+		Config: cfg,
+		Addr:   "127.0.0.1:0",
+		Ready:  func(addr string) { fmt.Printf("DAEMON_READY %s\n", addr) },
 	})
 	if err != nil {
 		t.Fatalf("Serve: %v", err)
@@ -58,11 +106,13 @@ type daemonProc struct {
 }
 
 // startChaosDaemon re-execs the test binary as a daemon over stateDir
-// and waits for its ready line.
-func startChaosDaemon(t *testing.T, stateDir string) *daemonProc {
+// and waits for its ready line. extraEnv entries ("K=V") configure the
+// subprocess's chaos knobs.
+func startChaosDaemon(t *testing.T, stateDir string, extraEnv ...string) *daemonProc {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=^TestChaosDaemonProcess$", "-test.timeout=600s")
 	cmd.Env = append(os.Environ(), "VPNSCOPED_CHAOS_STATE="+stateDir)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -295,6 +345,161 @@ func TestChaosKillResumeByteIdentical(t *testing.T) {
 			t.Errorf("campaign %s (seed %d): resumed envelope differs from one-shot (%d vs %d bytes)",
 				id, specs[i].Seed, len(got), len(refs[i]))
 		}
+	}
+	p2.sigtermWait(t)
+}
+
+// waitForStatus polls one campaign's daemon-reported state.
+func (p *daemonProc) waitForStatus(t *testing.T, id string, want State, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := p.statuses(t)
+		if st[id].State == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s never reached %s; status %+v", id, want, st[id])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// checkFlightDumpFile asserts path holds a well-formed flight dump:
+// a header line with the wanted reason, then valid NDJSON events
+// including at least one of each wanted kind.
+func checkFlightDumpFile(t *testing.T, path, wantReason string, wantKinds ...string) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("flight dump missing: %v", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("%s: empty dump", path)
+	}
+	var hdr struct {
+		Schema string `json:"schema"`
+		Reason string `json:"reason"`
+		Events uint64 `json:"events"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		t.Fatalf("%s header: %v", path, err)
+	}
+	if hdr.Reason != wantReason || hdr.Events == 0 {
+		t.Fatalf("%s header = %+v, want reason %q with events", path, hdr, wantReason)
+	}
+	kinds := map[string]bool{}
+	for sc.Scan() {
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("%s: bad NDJSON line %q: %v", path, sc.Text(), err)
+		}
+		kinds[ev.Kind] = true
+	}
+	for _, k := range wantKinds {
+		if !kinds[k] {
+			t.Errorf("%s: dump has no %q event; kinds seen: %v", path, k, kinds)
+		}
+	}
+}
+
+// TestChaosFlightDumpOnPanic: a panic in the middle of a real
+// measurement must leave a well-formed NDJSON flight dump and goroutine
+// stacks in the state dir, mark the campaign failed, and both the
+// verdict and the dump must survive a kill -9 restart.
+func TestChaosFlightDumpOnPanic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	spec := CampaignSpec{
+		Seed: 777, Providers: []string{"Mullvad"}, FaultProfile: "lossy",
+		Workers: 1, VPsPerProvider: 4, ExtraTLSHosts: 10, LandmarkCount: 20,
+	}
+	stateDir := t.TempDir()
+	p := startChaosDaemon(t, stateDir, "VPNSCOPED_CHAOS_SLOT_HOOK=panic:777:2")
+	id := p.submit(t, spec)
+	p.waitForStatus(t, id, StateFailed, 60*time.Second)
+
+	dumpPath := stateDir + "/" + id + ".flightrec.ndjson"
+	checkFlightDumpFile(t, dumpPath, "panic", "slot_start", "panic")
+	stacks, err := os.ReadFile(stateDir + "/" + id + ".stacks.txt")
+	if err != nil || !bytes.Contains(stacks, []byte("goroutine")) {
+		t.Errorf("panic stacks missing or empty: %v", err)
+	}
+	dumpBefore, err := os.ReadFile(dumpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash-restart (no hook this time): recovery must keep the failed
+	// verdict and leave the dump untouched.
+	p.kill9(t)
+	p2 := startChaosDaemon(t, stateDir)
+	p2.waitForStatus(t, id, StateFailed, 30*time.Second)
+	dumpAfter, err := os.ReadFile(dumpPath)
+	if err != nil {
+		t.Fatalf("flight dump vanished across restart: %v", err)
+	}
+	if !bytes.Equal(dumpBefore, dumpAfter) {
+		t.Error("flight dump changed across restart")
+	}
+	p2.sigtermWait(t)
+}
+
+// TestChaosWatchdogStallDump: a worker wedged mid-slot must be caught
+// by the stall watchdog — flight dump with reason watchdog-slot_stall
+// plus all-goroutine stacks — and after kill -9 and a clean restart the
+// campaign must still finish byte-identical to a one-shot run.
+func TestChaosWatchdogStallDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	spec := CampaignSpec{
+		Seed: 888, Providers: []string{"Seed4.me", "WorldVPN"}, FaultProfile: "lossy",
+		Workers: 1, VPsPerProvider: 3, ExtraTLSHosts: 10, LandmarkCount: 20,
+	}
+	refCh := make(chan [][]byte, 1)
+	go func() { refCh <- referenceEnvelopes(t, []CampaignSpec{spec}) }()
+
+	stateDir := t.TempDir()
+	p := startChaosDaemon(t, stateDir,
+		"VPNSCOPED_CHAOS_SLOT_HOOK=stall:888:3",
+		"VPNSCOPED_CHAOS_WATCHDOG_INTERVAL=25ms",
+		"VPNSCOPED_CHAOS_STALL_FLOOR=250ms",
+	)
+	id := p.submit(t, spec)
+
+	dumpPath := stateDir + "/" + id + ".flightrec.ndjson"
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if raw, err := os.ReadFile(dumpPath); err == nil &&
+			bytes.Contains(raw, []byte(`"reason":"watchdog-slot_stall"`)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never dumped the stalled campaign")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	checkFlightDumpFile(t, dumpPath, "watchdog-slot_stall", "slot_start", "commit", "watchdog")
+	stacks, err := os.ReadFile(stateDir + "/" + id + ".stacks.txt")
+	if err != nil || !bytes.Contains(stacks, []byte("goroutine")) {
+		t.Errorf("watchdog stacks missing or empty: %v", err)
+	}
+
+	// The wedged worker never returns: kill -9 and restart clean.
+	p.kill9(t)
+	p2 := startChaosDaemon(t, stateDir)
+	p2.waitAllDone(t, []string{id}, 120*time.Second)
+	got := p2.resultBytes(t, id)
+	refs := <-refCh
+	if !bytes.Equal(got, refs[0]) {
+		t.Fatalf("stall-recovered envelope differs from one-shot (%d vs %d bytes)", len(got), len(refs[0]))
 	}
 	p2.sigtermWait(t)
 }

@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"vpnscope/internal/flightrec"
 	"vpnscope/internal/results"
 	"vpnscope/internal/study"
 	"vpnscope/internal/vpn"
@@ -39,6 +42,24 @@ type Config struct {
 	// RetryAfter is the backpressure hint attached to 429/503 responses.
 	// Default 2s.
 	RetryAfter time.Duration
+	// FlightEvents sizes each flight-recorder ring (one per campaign
+	// plus the daemon-wide one) in events. Zero means
+	// flightrec.DefaultEvents; negative disables flight recording and
+	// the watchdog entirely.
+	FlightEvents int
+	// WatchdogInterval is the stall watchdog's sweep period. Zero means
+	// 1s; negative disables the watchdog (flight recording stays on).
+	WatchdogInterval time.Duration
+	// StallMultiple scales a campaign's rolling p99 slot wall time into
+	// its slot-stall threshold: a slot running longer than
+	// max(StallFloor, StallMultiple·p99) fires the watchdog. Zero
+	// means 8.
+	StallMultiple float64
+	// StallFloor is the minimum stall threshold, guarding the p99
+	// heuristic before it has samples; it is also the committer
+	// staleness margin and the drain-overrun margin past DrainGrace.
+	// Zero means 30s.
+	StallFloor time.Duration
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -55,6 +76,15 @@ func (c *Config) fill() error {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 2 * time.Second
+	}
+	if c.WatchdogInterval == 0 {
+		c.WatchdogInterval = time.Second
+	}
+	if c.StallMultiple <= 0 {
+		c.StallMultiple = 8
+	}
+	if c.StallFloor <= 0 {
+		c.StallFloor = 30 * time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -107,9 +137,15 @@ type Event struct {
 // guarded by mu; events only ever append, and cond broadcasts on every
 // append so streamers can tail.
 type campaign struct {
-	id     string
-	spec   CampaignSpec
-	seq    int // admission order, preserved across restart by id sort
+	id   string
+	spec CampaignSpec
+	seq  int // admission order, preserved across restart by id sort
+
+	// flight is the campaign's black-box recorder, attached at admission
+	// (and at crash recovery) and immutable afterwards; nil when the
+	// daemon runs with FlightEvents < 0. Safe to Record on from any
+	// goroutine without c.mu.
+	flight *flightrec.Ring
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -140,6 +176,7 @@ func (c *campaign) emit(ev Event) {
 
 // setState transitions the campaign and emits the matching event.
 func (c *campaign) setState(s State, detail string) {
+	c.flight.Record(flightrec.Event{Kind: flightrec.StateChange, Worker: -1, Detail: string(s)})
 	c.mu.Lock()
 	c.state = s
 	if s == StateFailed {
@@ -169,6 +206,15 @@ func (c *campaign) workers(fleet int) int {
 type Daemon struct {
 	cfg Config
 
+	// rec is the daemon-wide flight recorder (admissions, rejections,
+	// drain transitions, watchdog fires); nil when FlightEvents < 0.
+	rec     *flightrec.Ring
+	metrics daemonMetrics
+	wd      *watchdog
+	// drainStartNs is the wall stamp of the first Drain call (0 before),
+	// the watchdog's drain-overrun clock.
+	drainStartNs atomic.Int64
+
 	mu        sync.Mutex
 	queueCond *sync.Cond // queue non-empty, or draining
 	fleetCond *sync.Cond // fleet tokens released, or draining
@@ -183,6 +229,15 @@ type Daemon struct {
 	runnersWG  sync.WaitGroup
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+}
+
+// newRing builds one flight-recorder ring under the daemon's sizing
+// policy; nil when flight recording is disabled.
+func (d *Daemon) newRing() *flightrec.Ring {
+	if d.cfg.FlightEvents < 0 {
+		return nil
+	}
+	return flightrec.NewRing(d.cfg.FlightEvents)
 }
 
 // Sentinel cancellation causes, distinguishable via context.Cause.
@@ -209,15 +264,22 @@ func New(cfg Config) (*Daemon, error) {
 	d.queueCond = sync.NewCond(&d.mu)
 	d.fleetCond = sync.NewCond(&d.mu)
 	d.baseCtx, d.baseCancel = context.WithCancel(context.Background())
+	d.rec = d.newRing()
+	d.metrics.tenants = map[string]*tenantCounters{}
+	d.wd = newWatchdog()
 	if err := d.recoverState(); err != nil {
 		return nil, err
 	}
 	return d, nil
 }
 
-// Start launches the scheduler. Call once.
+// Start launches the scheduler and, unless disabled, the stall
+// watchdog. Call once.
 func (d *Daemon) Start() {
 	go d.schedule()
+	if d.cfg.WatchdogInterval > 0 && d.rec != nil {
+		go d.watchdogLoop()
+	}
 }
 
 // schedule is the admission-to-fleet pump: strictly FIFO, it parks
@@ -270,6 +332,8 @@ func (d *Daemon) runCampaign(c *campaign, need int) {
 		if r := recover(); r != nil {
 			detail := fmt.Sprintf("panic: %v", r)
 			d.cfg.Logf("campaign %s: %s", c.id, detail)
+			c.flight.Record(flightrec.Event{Kind: flightrec.Panic, Worker: -1, Detail: detail})
+			d.dumpFlight(c.flight, c.id, "panic", debug.Stack())
 			d.writeErrorMarker(c.id, detail)
 			c.setState(StateFailed, detail)
 		}
@@ -333,7 +397,9 @@ func (d *Daemon) runCampaign(c *campaign, need int) {
 		return nil
 	}
 
-	res, err := runStudyFn(w, c.spec.runConfig(ctx, need, progress, resume))
+	rc := c.spec.runConfig(ctx, need, progress, resume)
+	rc.Flight = c.flight
+	res, err := runStudyFn(w, rc)
 	switch {
 	case err == nil:
 		if err := results.SaveFile(d.resultPath(c.id), res, c.spec.envelopeOptions()...); err != nil {
@@ -348,6 +414,7 @@ func (d *Daemon) runCampaign(c *campaign, need int) {
 		case errors.Is(cause, errDraining):
 			// The checkpoint is durable; the next daemon start resumes.
 			c.setState(StateInterrupted, "draining: checkpointed for resume")
+			d.dumpFlight(c.flight, c.id, "drain", nil)
 			at := 0
 			if res != nil {
 				at = res.VPsAttempted
@@ -366,9 +433,12 @@ func (d *Daemon) runCampaign(c *campaign, need int) {
 }
 
 // failCampaign marks a campaign terminally failed, durably: the error
-// marker stops crash recovery from resurrecting it.
+// marker stops crash recovery from resurrecting it. The flight
+// recorder dumps alongside the marker — a failed campaign always
+// leaves its last moments on disk.
 func (d *Daemon) failCampaign(c *campaign, detail string) {
 	d.cfg.Logf("campaign %s: failed: %s", c.id, detail)
+	d.dumpFlight(c.flight, c.id, "failed", nil)
 	d.writeErrorMarker(c.id, detail)
 	c.setState(StateFailed, detail)
 }
@@ -381,9 +451,12 @@ func (d *Daemon) Submit(spec CampaignSpec) (*campaign, error) {
 	if err := spec.validate(); err != nil {
 		return nil, &SubmitError{Status: 400, Err: err}
 	}
+	tc := d.metrics.tenant(spec.tenant())
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.draining {
+		tc.rejectedDraining.Add(1)
+		d.rec.Record(flightrec.Event{Kind: flightrec.Reject, Worker: -1, Detail: "draining"})
 		return nil, &SubmitError{Status: 503, RetryAfter: d.cfg.RetryAfter, Err: errDraining}
 	}
 	if d.cfg.MaxPerTenant > 0 {
@@ -397,17 +470,22 @@ func (d *Daemon) Submit(spec CampaignSpec) (*campaign, error) {
 			}
 		}
 		if active >= d.cfg.MaxPerTenant {
+			tc.rejectedQuota.Add(1)
+			d.rec.Record(flightrec.Event{Kind: flightrec.Reject, Worker: -1, Detail: "tenant-quota", V1: int64(active)})
 			return nil, &SubmitError{Status: 429, RetryAfter: d.cfg.RetryAfter,
 				Err: fmt.Errorf("server: tenant %q at quota (%d active campaigns)", spec.tenant(), active)}
 		}
 	}
 	if len(d.queue) >= d.cfg.QueueBound {
+		tc.rejectedQueueFull.Add(1)
+		d.rec.Record(flightrec.Event{Kind: flightrec.Reject, Worker: -1, Detail: "queue-full", V1: int64(len(d.queue))})
 		return nil, &SubmitError{Status: 429, RetryAfter: d.cfg.RetryAfter,
 			Err: fmt.Errorf("server: queue full (%d campaigns waiting)", len(d.queue))}
 	}
 	d.idSeq++
 	id := fmt.Sprintf("c%08d", d.idSeq)
 	c := newCampaign(id, d.idSeq, spec)
+	c.flight = d.newRing()
 	// Durability before admission: the spec hits disk (fsynced) before
 	// the caller hears 202, so an admitted campaign can never be lost
 	// to a crash.
@@ -420,6 +498,9 @@ func (d *Daemon) Submit(spec CampaignSpec) (*campaign, error) {
 	d.queue = append(d.queue, c)
 	c.events = append(c.events, Event{Type: string(StateQueued)})
 	d.queueCond.Signal()
+	tc.admitted.Add(1)
+	d.rec.Record(flightrec.Event{Kind: flightrec.Admit, Worker: -1, Campaign: id,
+		Detail: spec.tenant(), V1: int64(len(d.queue))})
 	d.cfg.Logf("campaign %s: admitted (tenant=%s queue=%d)", id, spec.tenant(), len(d.queue))
 	return c, nil
 }
@@ -484,6 +565,13 @@ func (d *Daemon) Drain() {
 	d.queueCond.Broadcast()
 	d.fleetCond.Broadcast()
 	d.mu.Unlock()
+	d.drainStartNs.Store(time.Now().UnixNano())
+	d.rec.Record(flightrec.Event{Kind: flightrec.Drain, Worker: -1, Detail: "begin"})
+	// The watchdog keeps sweeping through the drain — a drain that
+	// outlives DrainGrace by StallFloor is exactly what it is for — and
+	// stops only once every runner has exited.
+	defer d.stopWatchdog()
+	defer d.rec.Record(flightrec.Event{Kind: flightrec.Drain, Worker: -1, Detail: "end"})
 	<-d.schedDone
 
 	finished := make(chan struct{})

@@ -8,9 +8,19 @@
 //	                              campaigns; ?month=N selects a month)
 //	GET    /campaigns/{id}/events NDJSON progress stream (tails live)
 //	DELETE /campaigns/{id}        cancel
+//	GET    /campaigns/{id}/metricsz campaign-scoped metrics (JSON, or
+//	                              Prometheus text with ?format=prom)
 //	GET    /healthz               process liveness (always 200)
 //	GET    /readyz                admission readiness (503 while draining)
-//	GET    /metricsz              live telemetry snapshot
+//	GET    /metricsz              daemon metrics: queue depth, per-tenant
+//	                              admissions, watchdog fires, flight-
+//	                              recorder stats, plus the telemetry
+//	                              snapshot when -metrics is on. JSON by
+//	                              default, Prometheus text exposition
+//	                              with ?format=prom
+//	GET    /debugz/flightrec      on-demand flight-recorder dump (NDJSON;
+//	                              daemon ring, or ?campaign=id for one
+//	                              campaign's ring)
 //
 // Backpressure is part of the contract, not an error path: refused
 // submissions carry Retry-After, and a draining daemon answers 503
@@ -27,6 +37,7 @@ import (
 	"strconv"
 	"time"
 
+	"vpnscope/internal/flightrec"
 	"vpnscope/internal/results/shardlog"
 	"vpnscope/internal/telemetry"
 )
@@ -51,18 +62,71 @@ func (d *Daemon) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
-	mux.HandleFunc("GET /metricsz", func(w http.ResponseWriter, r *http.Request) {
-		tel := telemetry.Active()
-		if tel == nil {
-			writeJSON(w, http.StatusNotFound, map[string]string{"error": "telemetry disabled (start vpnscoped with -metrics)"})
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := tel.WriteMetricsTo(w); err != nil {
+	mux.HandleFunc("GET /metricsz", d.handleMetrics)
+	mux.HandleFunc("GET /campaigns/{id}/metricsz", d.handleCampaignMetrics)
+	mux.HandleFunc("GET /debugz/flightrec", d.handleFlightrec)
+	return mux
+}
+
+// handleMetrics serves the daemon-wide registry. The JSON body always
+// has the daemon section; the telemetry section appears when the
+// process-wide sink is enabled (-metrics). ?format=prom switches to
+// Prometheus text exposition.
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := d.writeProm(w); err != nil {
 			d.cfg.Logf("metricsz: %v", err)
 		}
-	})
-	return mux
+		return
+	}
+	doc := metricsDoc{Schema: MetricsSchemaVersion, Daemon: d.metricsView()}
+	if tel := telemetry.Active(); tel != nil {
+		doc.Telemetry = tel.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleCampaignMetrics serves one campaign's scoped view: progress
+// counts, flight-recorder stats, in-flight slots, and the slot
+// wall-time histogram with its p99.
+func (d *Daemon) handleCampaignMetrics(w http.ResponseWriter, r *http.Request) {
+	c, ok := d.campaignOr404(w, r)
+	if !ok {
+		return
+	}
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := writeCampaignProm(w, c, time.Now()); err != nil {
+			d.cfg.Logf("campaign %s: metricsz: %v", c.id, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, campaignMetricsViewOf(c, time.Now()))
+}
+
+// handleFlightrec dumps a flight-recorder ring on demand as NDJSON —
+// the daemon-wide ring by default, one campaign's with ?campaign=id.
+// 404 when recording is disabled or the campaign is unknown.
+func (d *Daemon) handleFlightrec(w http.ResponseWriter, r *http.Request) {
+	ring, id := d.rec, "daemon"
+	if q := r.URL.Query().Get("campaign"); q != "" {
+		c, ok := d.Campaign(q)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown campaign " + q})
+			return
+		}
+		ring, id = c.flight, c.id
+	}
+	if ring == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": "flight recorder disabled (vpnscoped -flightrec-events < 0)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := ring.WriteNDJSON(w, flightrec.DumpMeta{Campaign: id, Reason: "on-demand"}); err != nil {
+		d.cfg.Logf("debugz/flightrec %s: %v", id, err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

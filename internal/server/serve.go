@@ -46,6 +46,14 @@ func newHTTPServer(h http.Handler) *http.Server {
 // returns nil, so the process can exit 0. A second signal aborts the
 // wait and returns an error.
 func Serve(cfg ServeConfig) error {
+	// The signal handler must be live before Ready announces the
+	// daemon: a client that sees the ready line may SIGTERM us
+	// immediately, and an uninstalled handler means death by default
+	// disposition instead of a drain.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
 	d, err := New(cfg.Config)
 	if err != nil {
 		return err
@@ -64,10 +72,6 @@ func Serve(cfg ServeConfig) error {
 	}
 	cfg.Logf("vpnscoped listening on %s (state %s, fleet %d, queue %d)",
 		ln.Addr(), cfg.StateDir, d.cfg.FleetWorkers, d.cfg.QueueBound)
-
-	sigc := make(chan os.Signal, 2)
-	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
-	defer signal.Stop(sigc)
 
 	select {
 	case sig := <-sigc:

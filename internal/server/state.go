@@ -1,10 +1,12 @@
 // Durable campaign state. The state directory is the daemon's whole
 // memory:
 //
-//	<id>.spec.json    the submission, fsynced before admission succeeds
-//	<id>.ckpt.json    the latest checkpoint (atomic rename per outcome)
-//	<id>.result.json  the final envelope of a finished campaign
-//	<id>.error        the terminal-failure marker (never resumed)
+//	<id>.spec.json         the submission, fsynced before admission succeeds
+//	<id>.ckpt.json         the latest checkpoint (atomic rename per outcome)
+//	<id>.result.json       the final envelope of a finished campaign
+//	<id>.error             the terminal-failure marker (never resumed)
+//	<id>.flightrec.ndjson  flight-recorder dump (panic/cancel/watchdog)
+//	<id>.stacks.txt        goroutine stacks accompanying a dump
 //
 // Crash recovery is a pure function of this layout: spec with result →
 // done; spec with error marker → failed; spec alone (checkpoint or
@@ -22,6 +24,7 @@ import (
 	"sort"
 	"strings"
 
+	"vpnscope/internal/flightrec"
 	"vpnscope/internal/results"
 )
 
@@ -29,10 +32,54 @@ import (
 // rename + dir sync, orphan cleanup on failure).
 var writeFileAtomic = results.WriteFileAtomic
 
-func (d *Daemon) specPath(id string) string   { return filepath.Join(d.cfg.StateDir, id+".spec.json") }
-func (d *Daemon) ckptPath(id string) string   { return filepath.Join(d.cfg.StateDir, id+".ckpt.json") }
-func (d *Daemon) resultPath(id string) string { return filepath.Join(d.cfg.StateDir, id+".result.json") }
-func (d *Daemon) errorPath(id string) string  { return filepath.Join(d.cfg.StateDir, id+".error") }
+func (d *Daemon) specPath(id string) string { return filepath.Join(d.cfg.StateDir, id+".spec.json") }
+func (d *Daemon) ckptPath(id string) string { return filepath.Join(d.cfg.StateDir, id+".ckpt.json") }
+func (d *Daemon) resultPath(id string) string {
+	return filepath.Join(d.cfg.StateDir, id+".result.json")
+}
+func (d *Daemon) errorPath(id string) string { return filepath.Join(d.cfg.StateDir, id+".error") }
+
+// flightPath/stacksPath hold a flight-recorder dump and its goroutine
+// stacks. id is a campaign id, or "daemon" for the daemon-wide ring.
+// Recovery ignores both suffixes (it scans only .spec.json), so dumps
+// survive any number of restarts untouched.
+func (d *Daemon) flightPath(id string) string {
+	return filepath.Join(d.cfg.StateDir, id+".flightrec.ndjson")
+}
+func (d *Daemon) stacksPath(id string) string {
+	return filepath.Join(d.cfg.StateDir, id+".stacks.txt")
+}
+
+// dumpFlight writes a ring's NDJSON dump (and optional goroutine
+// stacks) atomically into the state dir. Best-effort by design: a dump
+// failure is logged, never propagated — the black box must not take
+// down the plane.
+func (d *Daemon) dumpFlight(ring *flightrec.Ring, id, reason string, stacks []byte) {
+	if ring == nil {
+		return
+	}
+	d.metrics.flightDumps.Add(1)
+	// Stacks land before the NDJSON: the dump file is the signal that
+	// the black box is on disk, so everything it references must
+	// already be there when it appears.
+	if len(stacks) > 0 {
+		err := writeFileAtomic(d.stacksPath(id), func(w io.Writer) error {
+			_, werr := w.Write(stacks)
+			return werr
+		})
+		if err != nil {
+			d.cfg.Logf("campaign %s: writing stacks: %v", id, err)
+		}
+	}
+	err := writeFileAtomic(d.flightPath(id), func(w io.Writer) error {
+		return ring.WriteNDJSON(w, flightrec.DumpMeta{Campaign: id, Reason: reason})
+	})
+	if err != nil {
+		d.cfg.Logf("campaign %s: writing flight dump: %v", id, err)
+		return
+	}
+	d.cfg.Logf("campaign %s: flight recorder dumped (%s)", id, reason)
+}
 
 // specFile is the on-disk admission record.
 type specFile struct {
@@ -95,6 +142,7 @@ func (d *Daemon) recoverState() error {
 		}
 		d.idSeq++
 		c := newCampaign(id, d.idSeq, sf.Spec)
+		c.flight = d.newRing()
 		d.campaigns[id] = c
 		d.order = append(d.order, c)
 		switch {

@@ -30,9 +30,14 @@ import (
 	"sort"
 	"time"
 
+	"vpnscope/internal/flightrec"
 	"vpnscope/internal/telemetry"
 	"vpnscope/internal/vpntest"
 )
+
+// committerWorker tags flight-recorder events emitted on the committing
+// goroutine (as opposed to a measuring worker).
+const committerWorker = -1
 
 type pendReport struct {
 	rank int
@@ -188,6 +193,10 @@ func (c *committer) prepare(s slotSpec) (needMeasure bool, err error) {
 			tel.M.SlotsDone.Add(1)
 			tel.M.SlotsResumed.Add(1)
 		}
+		c.cfg.Flight.Record(flightrec.Event{
+			Kind: flightrec.SlotResume, Worker: committerWorker,
+			Slot: s.order, Provider: s.provider, VP: s.label,
+		})
 		switch outcome {
 		case outcomeMeasured:
 			st.streak = 0
@@ -210,6 +219,10 @@ func (c *committer) prepare(s slotSpec) (needMeasure bool, err error) {
 		if tel := telemetry.Active(); tel != nil {
 			tel.M.QuarantineTrips.Add(1)
 		}
+		c.cfg.Flight.Record(flightrec.Event{
+			Kind: flightrec.QuarantineTrip, Worker: committerWorker,
+			Slot: s.order, Provider: s.provider, V1: int64(st.streak),
+		})
 		if c.onQuarantine != nil {
 			c.onQuarantine(s.provIdx)
 		}
@@ -232,6 +245,10 @@ func (c *committer) prepare(s slotSpec) (needMeasure bool, err error) {
 			return false, fmt.Errorf("study: resumed quarantine record missing for %s", s.provider)
 		}
 		c.res.Quarantines[qi].SkippedVPs = append(c.res.Quarantines[qi].SkippedVPs, s.label)
+		c.cfg.Flight.Record(flightrec.Event{
+			Kind: flightrec.QuarantineSkip, Worker: committerWorker,
+			Slot: s.order, Provider: s.provider, VP: s.label,
+		})
 		if err := c.stream(Outcome{Rank: s.order, Skip: &SkippedVP{
 			Provider:     s.provider,
 			VPLabel:      s.label,
@@ -309,6 +326,16 @@ func (c *committer) commit(s slotSpec, out vpResult) error {
 			}
 		}
 	}
+	if fr := c.cfg.Flight; fr != nil {
+		detail := "measured"
+		if out.failure != nil {
+			detail = "failed"
+		}
+		fr.Record(flightrec.Event{
+			Kind: flightrec.Commit, Worker: committerWorker,
+			Slot: s.order, Provider: s.provider, VP: s.label, Detail: detail,
+		})
+	}
 	if err := c.stream(o); err != nil {
 		return err
 	}
@@ -324,15 +351,22 @@ func (c *committer) stream(o Outcome) error {
 		return nil
 	}
 	tel := telemetry.Active()
+	fr := c.cfg.Flight
 	var t0 time.Time
-	if tel != nil {
+	if tel != nil || fr != nil {
 		t0 = time.Now()
 	}
 	err := c.cfg.Stream(o)
-	if tel != nil {
+	if tel != nil || fr != nil {
 		d := time.Since(t0)
-		tel.M.Checkpoints.Add(1)
-		tel.CheckpointWall.Observe(d)
+		if tel != nil {
+			tel.M.Checkpoints.Add(1)
+			tel.CheckpointWall.Observe(d)
+		}
+		fr.Record(flightrec.Event{
+			Kind: flightrec.Checkpoint, Worker: committerWorker,
+			Slot: o.Rank, Detail: "stream", V1: int64(d),
+		})
 	}
 	if err != nil {
 		return fmt.Errorf("study: stream: %w", err)
@@ -346,19 +380,26 @@ func (c *committer) checkpoint() error {
 		return nil
 	}
 	tel := telemetry.Active()
+	fr := c.cfg.Flight
 	var t0 time.Time
-	if tel != nil {
+	if tel != nil || fr != nil {
 		t0 = time.Now()
 	}
 	err := c.cfg.Checkpoint(c.snapshot())
-	if tel != nil {
+	if tel != nil || fr != nil {
 		d := time.Since(t0)
-		tel.M.Checkpoints.Add(1)
-		tel.CheckpointWall.Observe(d)
-		tel.RecordCommitSpan(telemetry.Span{
-			Kind:      "checkpoint",
-			WallStart: t0,
-			WallDur:   d,
+		if tel != nil {
+			tel.M.Checkpoints.Add(1)
+			tel.CheckpointWall.Observe(d)
+			tel.RecordCommitSpan(telemetry.Span{
+				Kind:      "checkpoint",
+				WallStart: t0,
+				WallDur:   d,
+			})
+		}
+		fr.Record(flightrec.Event{
+			Kind: flightrec.Checkpoint, Worker: committerWorker,
+			Detail: "checkpoint", V1: int64(d),
 		})
 	}
 	if err != nil {

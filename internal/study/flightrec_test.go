@@ -1,0 +1,115 @@
+// Flight-recorder golden tests: attaching a Ring to RunConfig must
+// never perturb campaign bytes — the recorder observes runtime shape
+// only. This is the same acceptance bar the telemetry sink passes in
+// telemetry_test.go, applied to the second observability channel.
+package study_test
+
+import (
+	"bytes"
+	"testing"
+
+	"vpnscope/internal/faultsim"
+	"vpnscope/internal/flightrec"
+	"vpnscope/internal/study"
+)
+
+// runLossySubsetFlight is runLossySubset with a flight recorder
+// attached.
+func runLossySubsetFlight(t *testing.T, workers int, r *flightrec.Ring) *study.Result {
+	t.Helper()
+	w := buildSubset(t, 2018, "Seed4.me", "WorldVPN", "Windscribe")
+	w.EnableFaults(faultsim.Lossy)
+	res, err := w.RunWith(study.RunConfig{Parallel: workers, Flight: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFlightRecorderDoesNotPerturbResults: the recorder-off sequential
+// envelope is the baseline; recorder-on runs at every worker count must
+// match it byte for byte, while actually recording a full event trail.
+func TestFlightRecorderDoesNotPerturbResults(t *testing.T) {
+	baseline := envelope(t, runLossySubsetFlight(t, 1, nil))
+	for _, workers := range []int{1, 2, 4, 8} {
+		r := flightrec.NewRing(1 << 14)
+		res := runLossySubsetFlight(t, workers, r)
+		if got := envelope(t, res); !bytes.Equal(got, baseline) {
+			t.Errorf("Parallel=%d with flight recorder diverges from recorder-off sequential run", workers)
+		}
+		st := r.Stats()
+		if st.Events == 0 {
+			t.Fatalf("Parallel=%d: recorder saw no events", workers)
+		}
+		// The trail must cover the campaign: a start, a finish, and a
+		// commit per measured slot at minimum.
+		var starts, finishes, commits int
+		for _, ev := range r.Snapshot() {
+			switch ev.Kind {
+			case flightrec.SlotStart:
+				starts++
+			case flightrec.SlotFinish:
+				finishes++
+			case flightrec.Commit:
+				commits++
+			}
+		}
+		if starts == 0 || finishes != starts || commits == 0 {
+			t.Errorf("Parallel=%d: trail starts=%d finishes=%d commits=%d", workers, starts, finishes, commits)
+		}
+		// Every finish fed the rolling wall histogram the watchdog
+		// thresholds on.
+		if n := r.SlotWall().Count(); int(n) != finishes {
+			t.Errorf("Parallel=%d: slot wall count %d != finishes %d", workers, n, finishes)
+		}
+		// After a clean run nothing is left in flight.
+		if active := r.ActiveSlots(nil); len(active) != 0 {
+			t.Errorf("Parallel=%d: %d slots still active after the run", workers, len(active))
+		}
+	}
+}
+
+// TestFlightRecorderResume: a resumed run records SlotResume for
+// checkpoint-absorbed slots and still matches the uninterrupted bytes.
+func TestFlightRecorderResume(t *testing.T) {
+	full := envelope(t, runLossySubsetFlight(t, 2, nil))
+
+	var checkpoint *study.Result
+	w := buildSubset(t, 2018, "Seed4.me", "WorldVPN", "Windscribe")
+	w.EnableFaults(faultsim.Lossy)
+	if _, err := w.RunWith(study.RunConfig{
+		Parallel: 2,
+		Checkpoint: func(partial *study.Result) error {
+			if partial.VPsAttempted <= 3 {
+				cp := *partial
+				checkpoint = &cp
+			}
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if checkpoint == nil {
+		t.Fatal("no checkpoint captured")
+	}
+
+	r := flightrec.NewRing(1 << 14)
+	w2 := buildSubset(t, 2018, "Seed4.me", "WorldVPN", "Windscribe")
+	w2.EnableFaults(faultsim.Lossy)
+	res, err := w2.RunWith(study.RunConfig{Parallel: 2, Resume: checkpoint, Flight: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := envelope(t, res); !bytes.Equal(got, full) {
+		t.Error("resumed run with flight recorder diverges from uninterrupted run")
+	}
+	resumes := 0
+	for _, ev := range r.Snapshot() {
+		if ev.Kind == flightrec.SlotResume {
+			resumes++
+		}
+	}
+	if resumes == 0 {
+		t.Error("resumed run recorded no SlotResume events")
+	}
+}

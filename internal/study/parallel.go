@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vpnscope/internal/flightrec"
 	"vpnscope/internal/study/slotsched"
 	"vpnscope/internal/telemetry"
 	"vpnscope/internal/vpn"
@@ -124,6 +125,10 @@ func (w *World) runParallelSlots(specs []slotSpec, c *committer, workers int) (*
 		}
 	}
 	sched := slotsched.New(needIdx, workers)
+	// The parallel path only runs full campaigns (multiProvider), where a
+	// spec's index equals its canonical rank — so the scheduler's
+	// slot-steal events line up with every other event's Slot field.
+	sched.SetFlight(cfg.Flight)
 	tel := telemetry.Active()
 	if tel != nil {
 		tel.EnsureWorkerTracks(workers)
@@ -183,6 +188,10 @@ func (w *World) runParallelSlots(specs []slotSpec, c *committer, workers int) (*
 				if tel != nil {
 					tel.M.SpeculativeDiscards.Add(1)
 				}
+				cfg.Flight.Record(flightrec.Event{
+					Kind: flightrec.SlotDiscard, Worker: committerWorker,
+					Slot: s.order, Provider: s.provider, VP: s.label,
+				})
 				delete(pending, i)
 			}
 			continue
@@ -194,15 +203,22 @@ func (w *World) runParallelSlots(specs []slotSpec, c *committer, workers int) (*
 		}
 		if !ok {
 			var waitStart time.Time
-			if tel != nil {
+			if tel != nil || cfg.Flight != nil {
 				waitStart = time.Now()
 			}
 			for !ok {
 				absorb(q.drain())
 				out, ok = pending[i]
 			}
-			if tel != nil {
-				tel.M.CommitWaitNs.Add(time.Since(waitStart).Nanoseconds())
+			if tel != nil || cfg.Flight != nil {
+				waited := time.Since(waitStart)
+				if tel != nil {
+					tel.M.CommitWaitNs.Add(waited.Nanoseconds())
+				}
+				cfg.Flight.Record(flightrec.Event{
+					Kind: flightrec.CommitWait, Worker: committerWorker,
+					Slot: s.order, Provider: s.provider, V1: int64(waited),
+				})
 			}
 		}
 		delete(pending, i)

@@ -9,11 +9,20 @@ import (
 
 	"vpnscope/internal/arena"
 	"vpnscope/internal/faultsim"
+	"vpnscope/internal/flightrec"
 	"vpnscope/internal/simrand"
 	"vpnscope/internal/telemetry"
 	"vpnscope/internal/vpn"
 	"vpnscope/internal/vpntest"
 )
+
+// SlotHook, when non-nil, is called at the top of every slot
+// measurement with the world seed and the slot's canonical rank. It
+// exists for chaos testing only — the daemon's subprocess harness uses
+// it to inject a panic or a stall into one exact slot of one exact
+// campaign from environment variables. Set it before any campaign
+// starts; never in production paths.
+var SlotHook func(seed uint64, order int)
 
 // ConnectFailure records a vantage point that could not be tested.
 type ConnectFailure struct {
@@ -173,6 +182,14 @@ type RunConfig struct {
 	// replicas are rebuilt from Options and cannot observe such
 	// mutations.
 	Parallel int
+	// Flight, when non-nil, is the campaign's flight recorder: every
+	// slot start/finish, retry, steal, quarantine decision, commit, and
+	// checkpoint records a bounded, runtime-shape-only event into it
+	// (see internal/flightrec). A nil ring disables recording at zero
+	// cost; the record path never allocates either way, and nothing
+	// recorded feeds back into execution, so results stay byte-identical
+	// with the recorder on or off.
+	Flight *flightrec.Ring
 	// Ctx, when non-nil, cancels the campaign cooperatively: no new
 	// vantage-point slot starts once the context is done, the committer
 	// stops advancing, and the runner returns the partial Result
@@ -378,10 +395,20 @@ func (w *World) beginSlot(cfg *RunConfig, s slotSpec) {
 // worker replicas.
 func (w *World) measureVP(cfg *RunConfig, s slotSpec) vpResult {
 	tel := telemetry.Active()
+	fr := cfg.Flight
 	var wallStart time.Time
 	if tel != nil {
 		tel.M.SlotsMeasured.Add(1)
+	}
+	if tel != nil || fr != nil {
 		wallStart = time.Now()
+	}
+	fr.Record(flightrec.Event{
+		Kind: flightrec.SlotStart, Worker: w.telWorker,
+		Slot: s.order, Provider: s.provider, VP: s.label,
+	})
+	if h := SlotHook; h != nil {
+		h(w.Opts.Seed, s.order)
 	}
 	var before faultsim.Stats
 	if w.faults != nil {
@@ -393,8 +420,28 @@ func (w *World) measureVP(cfg *RunConfig, s slotSpec) vpResult {
 	if w.faults != nil {
 		out.faultDelta = w.faults.Stats().Sub(before)
 	}
+	var wallDur time.Duration
+	if tel != nil || fr != nil {
+		wallDur = time.Since(wallStart)
+	}
+	if fr != nil {
+		outcome := "measured"
+		if out.failure != nil {
+			outcome = "failed"
+		}
+		fr.Record(flightrec.Event{
+			Kind: flightrec.SlotFinish, Worker: w.telWorker,
+			Slot: s.order, Provider: s.provider, VP: s.label,
+			Detail: outcome, V1: int64(wallDur), V2: int64(out.attempts),
+		})
+		if n := out.faultDelta.Total(); n > 0 {
+			fr.Record(flightrec.Event{
+				Kind: flightrec.FaultDraws, Worker: w.telWorker,
+				Slot: s.order, Provider: s.provider, V1: int64(n),
+			})
+		}
+	}
 	if tel != nil {
-		wallDur := time.Since(wallStart)
 		virtStart := campaignBase + time.Duration(s.timeSlot)*cfg.VPSlot
 		outcome := "measured"
 		if out.failure != nil {
@@ -460,7 +507,13 @@ func (w *World) measureSlot(cfg *RunConfig, s slotSpec) vpResult {
 			wait = cfg.BackoffMax
 		}
 		jitter := 0.5 + backoffRNG.Float64()
-		w.Net.Clock.Advance(time.Duration(float64(wait) * jitter))
+		backoff := time.Duration(float64(wait) * jitter)
+		cfg.Flight.Record(flightrec.Event{
+			Kind: flightrec.Retry, Worker: w.telWorker,
+			Slot: s.order, Provider: s.provider, VP: s.label,
+			V1: int64(attempts), V2: int64(backoff),
+		})
+		w.Net.Clock.Advance(backoff)
 	}
 	var out vpResult
 	out.attempts = attempts

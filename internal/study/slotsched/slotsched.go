@@ -20,6 +20,8 @@ package slotsched
 import (
 	"sync"
 	"sync/atomic"
+
+	"vpnscope/internal/flightrec"
 )
 
 // Scheduler distributes a fixed set of slot indices across workers.
@@ -28,6 +30,7 @@ import (
 type Scheduler struct {
 	queues   []*deque
 	enqueued int64
+	flight   *flightrec.Ring
 
 	handed      atomic.Int64
 	ownPops     atomic.Int64
@@ -35,6 +38,14 @@ type Scheduler struct {
 	victimScans atomic.Int64
 	rescans     atomic.Int64
 }
+
+// SetFlight attaches a flight recorder: every successful steal records
+// a SlotSteal event (Worker = thief, V1 = victim, Slot = the stolen
+// scheduler item) and every worker retirement a WorkerExit event (V1 =
+// slots handed so far) at the moment they happen, so a stall dump shows
+// which worker was holding which queue's work. A nil ring is fine (the
+// record path is nil-guarded); call before workers start pulling.
+func (s *Scheduler) SetFlight(r *flightrec.Ring) { s.flight = r }
 
 // Stats is a point-in-time view of the scheduler's counters. Handed is
 // always OwnPops + Steals, and conservation demands Handed == Enqueued
@@ -148,6 +159,9 @@ func (s *Scheduler) NextFrom(worker int) (slot, from int, ok bool) {
 			}
 		}
 		if victim < 0 {
+			s.flight.Record(flightrec.Event{
+				Kind: flightrec.WorkerExit, Worker: worker, V1: s.handed.Load(),
+			})
 			return 0, -1, false
 		}
 		// The victim may drain between the size scan and the steal;
@@ -155,6 +169,9 @@ func (s *Scheduler) NextFrom(worker int) (slot, from int, ok bool) {
 		if slot, ok = s.queues[victim].popBack(); ok {
 			s.steals.Add(1)
 			s.handed.Add(1)
+			s.flight.Record(flightrec.Event{
+				Kind: flightrec.SlotSteal, Worker: worker, Slot: slot, V1: int64(victim),
+			})
 			return slot, victim, true
 		}
 		s.rescans.Add(1)

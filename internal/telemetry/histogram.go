@@ -42,6 +42,40 @@ func (h *Histogram) Count() int64 {
 	return h.count.Load()
 }
 
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q
+// <= 1) as a duration: the inclusive upper bound of the first bucket
+// whose cumulative count reaches q of the total. Observations in the
+// +Inf bucket saturate to twice the largest finite bound. Returns 0
+// when the histogram is empty. Never allocates; safe for concurrent
+// use with Observe (the answer is approximate under concurrency, which
+// is fine for its consumers — stall thresholds and scrape gauges).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	cum := int64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			if i < len(bucketBoundsMs) {
+				return time.Duration(bucketBoundsMs[i]) * time.Millisecond
+			}
+			break
+		}
+	}
+	return 2 * time.Duration(bucketBoundsMs[len(bucketBoundsMs)-1]) * time.Millisecond
+}
+
 // BucketCount is one occupied histogram bucket in a snapshot. LeMs is
 // the bucket's inclusive upper bound in milliseconds; -1 means +Inf.
 type BucketCount struct {

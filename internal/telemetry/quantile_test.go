@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantile checks the bucket-upper-bound quantile estimate
+// the stall watchdog and the Prometheus p99 gauge are built on.
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram Quantile = %v, want 0", got)
+	}
+
+	// 90 fast observations in the 5ms bucket, 10 slow in the 1000ms one.
+	for i := 0; i < 90; i++ {
+		h.Observe(4 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(900 * time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 5 * time.Millisecond},
+		{0.90, 5 * time.Millisecond},
+		{0.99, 1000 * time.Millisecond},
+		{1.00, 1000 * time.Millisecond},
+		// Out-of-range q clamps rather than misbehaves.
+		{-1, 5 * time.Millisecond},
+		{2, 1000 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// Everything in the overflow bucket saturates to twice the largest
+	// finite bound.
+	var inf Histogram
+	inf.Observe(2 * time.Hour)
+	if got, want := inf.Quantile(0.5), 2*600_000*time.Millisecond; got != want {
+		t.Errorf("+Inf-bucket Quantile = %v, want %v", got, want)
+	}
+
+	if allocs := testing.AllocsPerRun(100, func() { h.Quantile(0.99) }); allocs > 0 {
+		t.Errorf("Quantile allocates %.1f objects per op, ceiling is 0", allocs)
+	}
+}

@@ -3,7 +3,10 @@
 # and report campaigns/sec plus p50/p99 time-to-first-result (submit →
 # first committed vantage-point slot). Clients honor backpressure: a
 # 429/503 submission is retried after a short pause, so the run also
-# smoke-tests the admission contract under load.
+# smoke-tests the admission contract under load. Mid-run and at the end
+# the script scrapes /metricsz?format=prom and reports the daemon's own
+# view — queue depth and the slot-wall p99 gauge — next to the
+# client-side numbers.
 #
 #   LOADTEST_CAMPAIGNS total campaigns to run (default 24)
 #   LOADTEST_CLIENTS   concurrent submitting clients (default 8)
@@ -16,7 +19,7 @@ OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
 
 go build -o "$OUT/vpnscoped" ./cmd/vpnscoped
-"$OUT/vpnscoped" -state "$OUT/state" -addr 127.0.0.1:0 -queue 8 \
+"$OUT/vpnscoped" -state "$OUT/state" -addr 127.0.0.1:0 -queue 8 -metrics \
     2>"$OUT/daemon.log" &
 DPID=$!
 
@@ -34,6 +37,21 @@ BASE="http://$ADDR"
 echo "loadtest: $CAMPAIGNS campaigns, $CLIENTS clients, daemon at $BASE"
 
 json_field() { sed -n "s/.*\"$1\": *\"\{0,1\}\([^\",]*\).*/\1/p" | head -1; }
+
+# prom_sample extracts one unlabeled sample value from a Prometheus
+# text scrape on stdin.
+prom_sample() { awk -v m="$1" '$1 == m { print $2; exit }'; }
+
+# scrape_metrics reports the daemon's own operational gauges at a
+# moment in time, straight off the text exposition.
+scrape_metrics() {
+    label=$1
+    curl -s "$BASE/metricsz?format=prom" >"$OUT/prom.$label" || return 0
+    depth=$(prom_sample vpnscoped_queue_depth <"$OUT/prom.$label")
+    free=$(prom_sample vpnscoped_fleet_free <"$OUT/prom.$label")
+    p99=$(prom_sample vpnscope_slot_wall_p99_seconds <"$OUT/prom.$label")
+    echo "loadtest: [$label] queue_depth=${depth:-?} fleet_free=${free:-?} slot_wall_p99=${p99:-n/a}s"
+}
 
 # run_client submits every CLIENTS-th campaign, measures time to first
 # committed slot, and waits for completion.
@@ -78,10 +96,13 @@ while [ "$c" -le "$CLIENTS" ]; do
     PIDS="$PIDS $!"
     c=$((c + 1))
 done
+sleep 1
+scrape_metrics mid-run
 for pid in $PIDS; do
     wait "$pid" || { kill "$DPID" 2>/dev/null || true; exit 1; }
 done
 ELAPSED=$(($(date +%s%3N) - START))
+scrape_metrics final
 
 kill -TERM "$DPID"
 wait "$DPID" || { echo "daemon did not exit 0 on SIGTERM"; exit 1; }
